@@ -1,0 +1,325 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5–6). Run with
+//
+//	go test -bench=. -benchtime=1x .
+//
+// Each benchmark reports the figure's quantities via b.ReportMetric, and the
+// cmd/experiments tool prints the same numbers as readable tables. Dataset
+// sizes are laptop-scale substitutes for the paper's organisms (see
+// DESIGN.md §2 and Table2Row's scale factor); the SHAPE of each result —
+// who wins, how stages scale, where the breakdown mass sits — is the
+// reproduction target, not absolute numbers from a 128-node Cray.
+package repro
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/baseline"
+	"repro/internal/partition"
+	"repro/internal/perfmodel"
+	"repro/internal/pipeline"
+	"repro/internal/quality"
+	"repro/internal/readsim"
+)
+
+// Bench-scale genome sizes (bases): small enough for CI, large enough for
+// hundreds of reads per dataset.
+func benchSize(p readsim.Preset) int {
+	switch p {
+	case readsim.CElegansLike:
+		return 60000
+	case readsim.OSativaLike:
+		return 80000
+	case readsim.HSapiensLike:
+		return 40000
+	}
+	return 50000
+}
+
+const benchSeed = 97
+
+// runCache memoizes pipeline runs per (preset, P): several benchmarks reuse
+// the same run (e.g. Fig 4 efficiency needs the P=1 baseline).
+var (
+	runMu    sync.Mutex
+	runCache = map[[2]int]*pipeline.Output{}
+)
+
+func benchRun(b *testing.B, preset readsim.Preset, p int) *pipeline.Output {
+	b.Helper()
+	runMu.Lock()
+	defer runMu.Unlock()
+	key := [2]int{int(preset), p}
+	if out, ok := runCache[key]; ok {
+		return out
+	}
+	ds := readsim.Generate(preset, benchSize(preset), benchSeed)
+	out, err := pipeline.Run(readsim.Seqs(ds.Reads), pipeline.PresetOptions(preset, p))
+	if err != nil {
+		b.Fatal(err)
+	}
+	runCache[key] = out
+	return out
+}
+
+func benchDataset(preset readsim.Preset) *readsim.Dataset {
+	return readsim.Generate(preset, benchSize(preset), benchSeed)
+}
+
+// calibrationOf derives per-stage rates from the cached P=1 run.
+func calibrationOf(b *testing.B, preset readsim.Preset) perfmodel.Calibration {
+	base := benchRun(b, preset, 1)
+	return perfmodel.Calibrate(base.Stats.Timers, pipeline.MainStages)
+}
+
+// BenchmarkTable1_Environment records the host substitute for the paper's
+// machine table (documentation-only).
+func BenchmarkTable1_Environment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+	}
+	b.ReportMetric(float64(runtime.NumCPU()), "host_cpus")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// BenchmarkTable2_Datasets regenerates the dataset table: reads, mean
+// length, depth and error rate per preset.
+func BenchmarkTable2_Datasets(b *testing.B) {
+	for _, preset := range []readsim.Preset{readsim.OSativaLike, readsim.CElegansLike, readsim.HSapiensLike} {
+		preset := preset
+		b.Run(preset.String(), func(b *testing.B) {
+			var ds *readsim.Dataset
+			for i := 0; i < b.N; i++ {
+				ds = readsim.Generate(preset, benchSize(preset), benchSeed)
+			}
+			b.ReportMetric(float64(len(ds.Reads)), "reads")
+			b.ReportMetric(float64(ds.MeanLen), "mean_len")
+			b.ReportMetric(ds.Depth, "depth")
+			b.ReportMetric(ds.ErrorRate*100, "error_pct")
+		})
+	}
+}
+
+// benchScaling is the shared body of the Figure 4 and Figure 6 scaling
+// benchmarks: per P, report modeled distributed seconds and efficiency.
+func benchScaling(b *testing.B, preset readsim.Preset) {
+	for _, p := range []int{1, 4, 16} {
+		p := p
+		b.Run("P="+itoa(p), func(b *testing.B) {
+			var out *pipeline.Output
+			for i := 0; i < b.N; i++ {
+				runMu.Lock()
+				delete(runCache, [2]int{int(preset), p}) // measure a fresh run
+				runMu.Unlock()
+				out = benchRun(b, preset, p)
+			}
+			cal := calibrationOf(b, preset)
+			base := benchRun(b, preset, 1)
+			baseT := perfmodel.Total(base.Stats.Timers, pipeline.MainStages, cal, perfmodel.Aries())
+			t := perfmodel.Total(out.Stats.Timers, pipeline.MainStages, cal, perfmodel.Aries())
+			b.ReportMetric(t, "modeled_s")
+			b.ReportMetric(100*perfmodel.Efficiency(1, baseT, p, t), "efficiency_pct")
+			b.ReportMetric(float64(out.Stats.CommBytes)/1e6, "comm_MB")
+		})
+	}
+}
+
+// BenchmarkFig4_StrongScaling reproduces Figure 4: strong scaling on the
+// two low-error datasets.
+func BenchmarkFig4_StrongScaling(b *testing.B) {
+	b.Run("celegans", func(b *testing.B) { benchScaling(b, readsim.CElegansLike) })
+	b.Run("osativa", func(b *testing.B) { benchScaling(b, readsim.OSativaLike) })
+}
+
+// benchBreakdown reports per-stage modeled milliseconds at P ranks.
+func benchBreakdown(b *testing.B, preset readsim.Preset, p int) {
+	var out *pipeline.Output
+	for i := 0; i < b.N; i++ {
+		out = benchRun(b, preset, p)
+	}
+	cal := calibrationOf(b, preset)
+	for _, s := range pipeline.MainStages {
+		t := perfmodel.StageTime(out.Stats.Timers, s, cal, perfmodel.Aries())
+		b.ReportMetric(t*1000, s+"_ms")
+	}
+}
+
+// BenchmarkFig5_Breakdown reproduces Figure 5: the per-stage runtime
+// breakdown on the low-error datasets.
+func BenchmarkFig5_Breakdown(b *testing.B) {
+	b.Run("celegans/P=16", func(b *testing.B) { benchBreakdown(b, readsim.CElegansLike, 16) })
+	b.Run("osativa/P=16", func(b *testing.B) { benchBreakdown(b, readsim.OSativaLike, 16) })
+}
+
+// BenchmarkFig6_HSapiens reproduces Figure 6: scaling and breakdown on the
+// high-error dataset.
+func BenchmarkFig6_HSapiens(b *testing.B) {
+	b.Run("scaling", func(b *testing.B) { benchScaling(b, readsim.HSapiensLike) })
+	b.Run("breakdown/P=16", func(b *testing.B) { benchBreakdown(b, readsim.HSapiensLike, 16) })
+}
+
+// BenchmarkTable3_Speedup reproduces Table 3: ELBA versus the multithreaded
+// shared-memory comparator, reporting the modeled speedup at P=16.
+func BenchmarkTable3_Speedup(b *testing.B) {
+	for _, preset := range []readsim.Preset{readsim.CElegansLike, readsim.OSativaLike} {
+		preset := preset
+		b.Run(preset.String(), func(b *testing.B) {
+			ds := benchDataset(preset)
+			reads := readsim.Seqs(ds.Reads)
+			opt := pipeline.PresetOptions(preset, 1)
+			cfg := baseline.Config{
+				K: opt.K, ReliableLow: opt.ReliableLow, ReliableHigh: opt.ReliableHigh,
+				Align: align.DefaultParams(opt.XDrop), MinOverlap: opt.MinOverlap,
+				MinScoreFrac: opt.MinScoreFrac, MaxOverhang: opt.MaxOverhang,
+				Threads: runtime.NumCPU(),
+			}
+			var bogSec float64
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				baseline.BestOverlapAssemble(reads, cfg)
+				bogSec = time.Since(t0).Seconds()
+			}
+			cal := calibrationOf(b, preset)
+			out := benchRun(b, preset, 16)
+			elbaSec := perfmodel.Total(out.Stats.Timers, pipeline.MainStages, cal, perfmodel.Aries())
+			b.ReportMetric(bogSec, "baseline_s")
+			b.ReportMetric(elbaSec, "elba16_modeled_s")
+			if elbaSec > 0 {
+				b.ReportMetric(bogSec/elbaSec, "speedup")
+			}
+		})
+	}
+}
+
+// BenchmarkTable4_Quality reproduces Table 4: assembly-quality metrics for
+// ELBA and the comparator on both low-error datasets.
+func BenchmarkTable4_Quality(b *testing.B) {
+	for _, preset := range []readsim.Preset{readsim.OSativaLike, readsim.CElegansLike} {
+		preset := preset
+		b.Run(preset.String()+"/elba", func(b *testing.B) {
+			var rep *quality.Report
+			for i := 0; i < b.N; i++ {
+				out := benchRun(b, preset, 4)
+				ds := benchDataset(preset)
+				seqs := make([][]byte, len(out.Contigs))
+				for j, c := range out.Contigs {
+					seqs[j] = c.Seq
+				}
+				rep = quality.Evaluate(ds.Genome, seqs)
+			}
+			reportQuality(b, rep)
+		})
+		b.Run(preset.String()+"/bestoverlap", func(b *testing.B) {
+			var rep *quality.Report
+			for i := 0; i < b.N; i++ {
+				ds := benchDataset(preset)
+				opt := pipeline.PresetOptions(preset, 1)
+				cfg := baseline.Config{
+					K: opt.K, ReliableLow: opt.ReliableLow, ReliableHigh: opt.ReliableHigh,
+					Align: align.DefaultParams(opt.XDrop), MinOverlap: opt.MinOverlap,
+					MinScoreFrac: opt.MinScoreFrac, MaxOverhang: opt.MaxOverhang,
+					Threads: runtime.NumCPU(),
+				}
+				res := baseline.BestOverlapAssemble(readsim.Seqs(ds.Reads), cfg)
+				seqs := make([][]byte, len(res.Contigs))
+				for j, c := range res.Contigs {
+					seqs[j] = c.Seq
+				}
+				rep = quality.Evaluate(ds.Genome, seqs)
+			}
+			reportQuality(b, rep)
+		})
+	}
+}
+
+func reportQuality(b *testing.B, rep *quality.Report) {
+	b.ReportMetric(rep.Completeness, "completeness_pct")
+	b.ReportMetric(float64(rep.LongestContig), "longest_contig")
+	b.ReportMetric(float64(rep.NumContigs), "contigs")
+	b.ReportMetric(float64(rep.Misassemblies), "misassembled")
+	b.ReportMetric(float64(rep.N50), "n50")
+}
+
+// BenchmarkContigPhase_Shares verifies the §6.1 claims: the induced
+// subgraph (plus sequence communication) dominates contig generation and
+// ExtractContig stays a small share of the pipeline.
+func BenchmarkContigPhase_Shares(b *testing.B) {
+	var out *pipeline.Output
+	for i := 0; i < b.N; i++ {
+		out = benchRun(b, readsim.CElegansLike, 16)
+	}
+	var phase time.Duration
+	for _, s := range pipeline.ContigStages {
+		phase += out.Stats.Timers.Dur(s)
+	}
+	induced := out.Stats.Timers.Dur("CG:InducedSubgraph") + out.Stats.Timers.Dur("CG:SequenceComm")
+	if phase > 0 {
+		b.ReportMetric(100*float64(induced)/float64(phase), "induced_share_pct")
+	}
+	total := out.Stats.StageTotal()
+	if total > 0 {
+		b.ReportMetric(100*float64(out.Stats.Timers.Dur("ExtractContig"))/float64(total), "extract_share_pct")
+	}
+}
+
+// BenchmarkAblation_Partitioning compares LPT against the unsorted greedy
+// (the paper's 2−1/P vs (4P−1)/(3P) discussion) on a contig-size-like
+// distribution.
+func BenchmarkAblation_Partitioning(b *testing.B) {
+	sizes := contigLikeSizes(4000)
+	for _, p := range []int{64, 1024} {
+		p := p
+		b.Run("LPT/P="+itoa(p), func(b *testing.B) {
+			var m int64
+			for i := 0; i < b.N; i++ {
+				_, loads := partition.LPT(sizes, p)
+				m = partition.Makespan(loads)
+			}
+			lb := partition.LowerBound(sizes, p)
+			b.ReportMetric(float64(m)/float64(lb), "makespan_over_lb")
+		})
+		b.Run("Greedy/P="+itoa(p), func(b *testing.B) {
+			var m int64
+			for i := 0; i < b.N; i++ {
+				_, loads := partition.Greedy(sizes, p)
+				m = partition.Makespan(loads)
+			}
+			lb := partition.LowerBound(sizes, p)
+			b.ReportMetric(float64(m)/float64(lb), "makespan_over_lb")
+		})
+	}
+}
+
+func contigLikeSizes(n int) []int64 {
+	sizes := make([]int64, n)
+	x := uint64(88172645463325252)
+	for i := range sizes {
+		// xorshift: deterministic, no seeding dependencies
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		v := int64(x%97) + 2
+		sizes[i] = v * v / 10
+		if sizes[i] < 2 {
+			sizes[i] = 2
+		}
+	}
+	return sizes
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

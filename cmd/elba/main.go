@@ -1,0 +1,156 @@
+// Command elba assembles long reads into contigs with the reproduced ELBA
+// pipeline on a simulated distributed-memory machine of P ranks.
+//
+// Assemble a FASTA on 16 simulated ranks with the low-error parameters:
+//
+//	elba -in reads.fa -p 16 -out contigs.fa
+//
+// Or simulate and assemble a preset dataset, evaluating against the
+// generated reference and printing the Figure 5-style stage breakdown:
+//
+//	elba -preset celegans -size 150000 -p 16 -breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/elba"
+	"repro/internal/fasta"
+	"repro/internal/pipeline"
+	"repro/internal/readsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("elba: ")
+	var (
+		in        = flag.String("in", "", "input reads FASTA (mutually exclusive with -preset)")
+		preset    = flag.String("preset", "", "simulate a dataset: celegans | osativa | hsapiens")
+		size      = flag.Int("size", 100000, "genome length for -preset")
+		seed      = flag.Int64("seed", 1, "seed for -preset")
+		p         = flag.Int("p", 4, "simulated ranks (perfect square: 1,4,9,16,…)")
+		k         = flag.Int("k", 0, "k-mer length override (default: preset/paper value)")
+		xdrop     = flag.Int("x", 0, "x-drop threshold override")
+		outPath   = flag.String("out", "", "write contigs FASTA here")
+		refPath   = flag.String("ref", "", "reference FASTA for a quality report")
+		breakdown = flag.Bool("breakdown", false, "print the per-stage runtime breakdown")
+		doPolish  = flag.Bool("polish", false, "merge overlapping contigs (the paper's future-work pass)")
+	)
+	flag.Parse()
+
+	var reads [][]byte
+	var reference []byte
+	opt := elba.DefaultOptions(*p)
+	switch {
+	case *preset != "" && *in != "":
+		log.Fatal("-in and -preset are mutually exclusive")
+	case *preset != "":
+		pr, err := parsePreset(*preset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds := elba.SimulateDataset(pr, *size, *seed)
+		fmt.Println(ds.Table2Row())
+		reads = elba.ReadSeqs(ds.Reads)
+		reference = ds.Genome
+		opt = elba.PresetOptions(pr, *p)
+	case *in != "":
+		recs, err := loadFasta(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range recs {
+			reads = append(reads, r.Seq)
+		}
+	default:
+		log.Fatal("need -in or -preset")
+	}
+	if *k > 0 {
+		opt.K = *k
+	}
+	if *xdrop > 0 {
+		opt.XDrop = int32(*xdrop)
+	}
+	if *refPath != "" {
+		recs, err := loadFasta(*refPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reference = nil
+		for _, r := range recs {
+			reference = append(reference, r.Seq...)
+		}
+	}
+
+	result, err := elba.Assemble(reads, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *doPolish {
+		before := len(result.Contigs)
+		result.Contigs = elba.MergeContigs(result.Contigs, elba.DefaultPolishConfig())
+		fmt.Printf("polish: %d contigs -> %d\n", before, len(result.Contigs))
+	}
+	printSummary(result)
+	if *breakdown {
+		fmt.Println("\nStage breakdown (max across ranks):")
+		fmt.Print(result.Stats.Timers.Breakdown(pipeline.MainStages))
+	}
+	if reference != nil {
+		rep := elba.Evaluate(reference, result.Contigs)
+		fmt.Printf("quality: completeness=%.2f%% longest=%d contigs=%d misassembled=%d N50=%d covCV=%.3f\n",
+			rep.Completeness, rep.LongestContig, rep.NumContigs, rep.Misassemblies, rep.N50, rep.CoverageCV)
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := elba.WriteContigs(f, result.Contigs); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d contigs to %s\n", len(result.Contigs), *outPath)
+	}
+}
+
+func parsePreset(s string) (readsim.Preset, error) {
+	switch s {
+	case "celegans":
+		return readsim.CElegansLike, nil
+	case "osativa":
+		return readsim.OSativaLike, nil
+	case "hsapiens":
+		return readsim.HSapiensLike, nil
+	}
+	return 0, fmt.Errorf("unknown preset %q (want celegans|osativa|hsapiens)", s)
+}
+
+func loadFasta(path string) ([]fasta.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return fasta.Read(f)
+}
+
+func printSummary(out *elba.Output) {
+	s := out.Stats
+	fmt.Printf("P=%d reads=%d kmers=%d candidates=%d overlaps=%d contained=%d\n",
+		s.P, s.NumReads, s.NumKmers, s.CandidatePairs, s.KeptOverlaps, s.ContainedReads)
+	fmt.Printf("TR: %d iterations, %d edges removed; branches=%d contigs=%d\n",
+		s.TR.Iterations, s.TR.EdgesRemoved, s.BranchVertices, s.NumContigs)
+	longest := 0
+	if len(out.Contigs) > 0 {
+		longest = len(out.Contigs[0].Seq)
+	}
+	fmt.Printf("contigs=%d longest=%d wall=%v comm=%.1fMB\n",
+		len(out.Contigs), longest, s.WallTime.Round(1e6), float64(s.CommBytes)/1e6)
+}

@@ -1,0 +1,19 @@
+// Package repro reproduces "Distributed-Memory Parallel Contig Generation
+// for De Novo Long-Read Genome Assembly" (Guidi, Raulet, Rokhsar, Oliker,
+// Yelick, Buluç — ICPP 2022) as a pure-Go library.
+//
+// The public API lives in repro/elba; the paper's primary contribution
+// (Algorithm 2, distributed contig generation) is internal/core; the
+// substrates it depends on (simulated MPI runtime, 2D process grid,
+// distributed sparse matrices with SUMMA SpGEMM, distributed k-mer counting,
+// x-drop alignment, bidirected string-graph semantics, transitive reduction,
+// LACC connected components, LPT partitioning, read simulator, quality
+// evaluator and baseline assemblers) each have their own package under
+// internal/. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// the paper-versus-measured record of every table and figure.
+//
+// The benchmark harness in bench_test.go regenerates each table and figure:
+//
+//	go test -bench=Fig4 -benchtime=1x .
+//	go run ./cmd/experiments -exp all
+package repro

@@ -1,0 +1,158 @@
+// Package elba is the public API of this reproduction of "Distributed-Memory
+// Parallel Contig Generation for De Novo Long-Read Genome Assembly"
+// (Guidi et al., ICPP 2022).
+//
+// ELBA assembles long erroneous reads into contigs with the
+// Overlap–Layout–Consensus paradigm, executed as sparse matrix computations
+// on a (simulated) distributed-memory machine: overlap detection is a
+// distributed SpGEMM C = A·Aᵀ, the layout phase is a bidirected transitive
+// reduction, and the contig generation phase — the paper's contribution —
+// masks branches, finds linear components with Awerbuch–Shiloach connected
+// components, load-balances contigs with LPT multiway number partitioning,
+// redistributes each contig's reads to one rank via the induced-subgraph
+// communication, and assembles locally with a linear DFS walk.
+//
+// Quick start:
+//
+//	ds := elba.SimulateDataset(elba.CElegansLike, 100_000, 42)
+//	out, err := elba.Assemble(elba.ReadSeqs(ds.Reads), elba.PresetOptions(elba.CElegansLike, 4))
+//	rep := elba.Evaluate(ds.Genome, out.Contigs)
+package elba
+
+import (
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/fasta"
+	"repro/internal/pipeline"
+	"repro/internal/polish"
+	"repro/internal/quality"
+	"repro/internal/readsim"
+)
+
+// Options parameterizes an assembly run; P is the simulated rank count and
+// must be a perfect square (the paper's 2D grid requirement).
+type Options = pipeline.Options
+
+// Output is an assembled contig set plus run statistics.
+type Output = pipeline.Output
+
+// Stats carries per-stage timings (paper Figure 5 names) and counters.
+type Stats = pipeline.Stats
+
+// Contig is one assembled chain of reads.
+type Contig = core.Contig
+
+// QualityReport holds the Table 4 metrics (completeness, longest contig,
+// contig count, misassemblies) plus N50 and coverage uniformity.
+type QualityReport = quality.Report
+
+// Dataset is a synthetic Table 2 dataset substitute: reference genome plus
+// simulated reads.
+type Dataset = readsim.Dataset
+
+// Read is a simulated read with its ground-truth placement.
+type Read = readsim.Read
+
+// BaselineConfig parameterizes the shared-memory comparator assembler.
+type BaselineConfig = baseline.Config
+
+// BaselineResult is the comparator's output.
+type BaselineResult = baseline.Result
+
+// Dataset presets mirroring the paper's Table 2.
+const (
+	CElegansLike = readsim.CElegansLike
+	OSativaLike  = readsim.OSativaLike
+	HSapiensLike = readsim.HSapiensLike
+)
+
+// DefaultOptions returns the low-error-rate configuration (k=31, x=15) at P
+// simulated ranks.
+func DefaultOptions(p int) Options { return pipeline.DefaultOptions(p) }
+
+// PresetOptions returns per-dataset parameters mirroring §5 (k=17 for the
+// high-error preset).
+func PresetOptions(preset readsim.Preset, p int) Options {
+	return pipeline.PresetOptions(preset, p)
+}
+
+// Assemble runs the full distributed pipeline on the given read sequences.
+func Assemble(reads [][]byte, opt Options) (*Output, error) {
+	return pipeline.Run(reads, opt)
+}
+
+// AssembleFasta reads a FASTA stream and assembles it.
+func AssembleFasta(r io.Reader, opt Options) (*Output, error) {
+	recs, err := fasta.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	reads := make([][]byte, len(recs))
+	for i, rec := range recs {
+		reads[i] = rec.Seq
+	}
+	return Assemble(reads, opt)
+}
+
+// SimulateDataset generates a deterministic synthetic dataset mirroring a
+// Table 2 row at the given genome size.
+func SimulateDataset(preset readsim.Preset, genomeLen int, seed int64) *Dataset {
+	return readsim.Generate(preset, genomeLen, seed)
+}
+
+// ReadSeqs extracts the raw sequences from simulated reads.
+func ReadSeqs(reads []Read) [][]byte { return readsim.Seqs(reads) }
+
+// Evaluate computes assembly-quality metrics against a known reference.
+func Evaluate(reference []byte, contigs []Contig) *QualityReport {
+	seqs := make([][]byte, len(contigs))
+	for i, c := range contigs {
+		seqs[i] = c.Seq
+	}
+	return quality.Evaluate(reference, seqs)
+}
+
+// BestOverlapBaseline runs the shared-memory greedy best-overlap-graph
+// comparator (the Tables 3–4 stand-in for Hifiasm/HiCanu).
+func BestOverlapBaseline(reads [][]byte, cfg BaselineConfig) *BaselineResult {
+	return baseline.BestOverlapAssemble(reads, cfg)
+}
+
+// BaselineFromOptions derives a comparator config matching the pipeline's
+// overlap parameters with the given thread count.
+func BaselineFromOptions(o Options, threads int) BaselineConfig {
+	return BaselineConfig{
+		K:            o.K,
+		ReliableLow:  o.ReliableLow,
+		ReliableHigh: o.ReliableHigh,
+		Align:        alignParams(o),
+		MinOverlap:   o.MinOverlap,
+		MinScoreFrac: o.MinScoreFrac,
+		MaxOverhang:  o.MaxOverhang,
+		Threads:      threads,
+	}
+}
+
+// PolishConfig parameterizes the contig-merging pass.
+type PolishConfig = polish.Config
+
+// DefaultPolishConfig suits contigs from the low-error presets.
+func DefaultPolishConfig() PolishConfig { return polish.DefaultConfig() }
+
+// MergeContigs implements the paper's future-work polishing idea (§7):
+// overlap detection within the contig set joins overlapping contigs into
+// longer sequences; contained contigs are dropped.
+func MergeContigs(contigs []Contig, cfg PolishConfig) []Contig {
+	return polish.Merge(contigs, cfg)
+}
+
+// WriteContigs serializes contigs as FASTA records named contig_0000….
+func WriteContigs(w io.Writer, contigs []Contig) error {
+	recs := make([]fasta.Record, len(contigs))
+	for i, c := range contigs {
+		recs[i] = fasta.Record{ID: contigName(i, c), Seq: c.Seq}
+	}
+	return fasta.Write(w, recs, 80)
+}

@@ -1,0 +1,79 @@
+package elba_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/elba"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds := elba.SimulateDataset(elba.CElegansLike, 30000, 5)
+	if len(ds.Reads) == 0 || len(ds.Genome) != 30000 {
+		t.Fatal("dataset generation failed")
+	}
+	opt := elba.PresetOptions(elba.CElegansLike, 4)
+	out, err := elba.Assemble(elba.ReadSeqs(ds.Reads), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Contigs) == 0 {
+		t.Fatal("no contigs")
+	}
+	rep := elba.Evaluate(ds.Genome, out.Contigs)
+	if rep.Completeness < 50 {
+		t.Fatalf("completeness %.1f", rep.Completeness)
+	}
+	if rep.GenomeLen != 30000 {
+		t.Fatal("report genome length")
+	}
+}
+
+func TestWriteContigsAndAssembleFastaRoundTrip(t *testing.T) {
+	ds := elba.SimulateDataset(elba.CElegansLike, 20000, 9)
+	opt := elba.PresetOptions(elba.CElegansLike, 1)
+	out, err := elba.Assemble(elba.ReadSeqs(ds.Reads), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := elba.WriteContigs(&buf, out.Contigs); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, ">contig_00000") {
+		t.Fatalf("missing contig header in:\n%.200s", text)
+	}
+	// Reads written as FASTA must assemble identically via AssembleFasta.
+	var readsFasta bytes.Buffer
+	for i, r := range ds.Reads {
+		fmt.Fprintf(&readsFasta, ">read_%06d\n%s\n", i, r.Seq)
+	}
+	out2, err := elba.AssembleFasta(&readsFasta, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2.Contigs) != len(out.Contigs) {
+		t.Fatalf("FASTA path gave %d contigs, direct %d", len(out2.Contigs), len(out.Contigs))
+	}
+	for i := range out.Contigs {
+		if !bytes.Equal(out.Contigs[i].Seq, out2.Contigs[i].Seq) {
+			t.Fatal("contigs differ between input paths")
+		}
+	}
+}
+
+func TestBaselineViaPublicAPI(t *testing.T) {
+	ds := elba.SimulateDataset(elba.CElegansLike, 25000, 11)
+	opt := elba.PresetOptions(elba.CElegansLike, 1)
+	res := elba.BestOverlapBaseline(elba.ReadSeqs(ds.Reads), elba.BaselineFromOptions(opt, 2))
+	if len(res.Contigs) == 0 {
+		t.Fatal("baseline produced no contigs")
+	}
+	rep := elba.Evaluate(ds.Genome, res.Contigs)
+	if rep.Completeness < 40 {
+		t.Fatalf("baseline completeness %.1f", rep.Completeness)
+	}
+}

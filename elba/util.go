@@ -1,0 +1,19 @@
+package elba
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+)
+
+// alignParams derives the aligner scoring from pipeline options.
+func alignParams(o Options) align.Params { return align.DefaultParams(o.XDrop) }
+
+// contigName formats a FASTA id carrying the read count and circularity.
+func contigName(i int, c Contig) string {
+	circ := ""
+	if c.Circular {
+		circ = " circular"
+	}
+	return fmt.Sprintf("contig_%05d len=%d reads=%d%s", i, len(c.Seq), len(c.Reads), circ)
+}

@@ -1,0 +1,48 @@
+// The Figure 6 scenario: the high-error H. sapiens-like dataset (15% error,
+// k=17), plus an error-rate sweep showing how assembly quality degrades —
+// the motivation for the paper's choice of per-dataset parameters (§5).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/elba"
+	"repro/internal/pipeline"
+	"repro/internal/readsim"
+)
+
+func main() {
+	// Part 1: H. sapiens-like preset end to end.
+	ds := elba.SimulateDataset(elba.HSapiensLike, 60_000, 13)
+	fmt.Println(ds.Table2Row())
+	out, err := elba.Assemble(elba.ReadSeqs(ds.Reads), elba.PresetOptions(elba.HSapiensLike, 4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := elba.Evaluate(ds.Genome, out.Contigs)
+	fmt.Printf("15%% error, k=17: %d contigs, longest %d, completeness %.1f%%\n\n",
+		len(out.Contigs), rep.LongestContig, rep.Completeness)
+	fmt.Println("Stage breakdown (max across ranks):")
+	fmt.Print(out.Stats.Timers.Breakdown(pipeline.MainStages))
+
+	// Part 2: error-rate sweep on a fixed genome.
+	fmt.Printf("\n%-8s %8s %10s %14s %9s\n", "error", "contigs", "longest", "completeness", "overlaps")
+	genome := readsim.Genome(readsim.GenomeConfig{Length: 50_000, Seed: 17})
+	for _, e := range []float64{0, 0.005, 0.02, 0.05, 0.10} {
+		reads := readsim.Simulate(genome, readsim.ReadConfig{
+			Depth: 15, MeanLen: 2500, ErrorRate: e, Seed: 19,
+		})
+		opt := elba.PresetOptions(elba.CElegansLike, 4)
+		opt.K = 21 // shorter k survives higher error rates
+		opt.XDrop = 30
+		opt.MinScoreFrac = 0.2
+		res, err := elba.Assemble(readsim.Seqs(reads), opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := elba.Evaluate(genome, res.Contigs)
+		fmt.Printf("%-8.1f %8d %10d %13.1f%% %9d\n",
+			e*100, len(res.Contigs), r.LongestContig, r.Completeness, res.Stats.KeptOverlaps)
+	}
+}

@@ -1,0 +1,87 @@
+// File-based workflow: the same loop a user runs with the CLI tools, done
+// through the library — simulate a dataset to FASTA files, assemble from
+// the FASTA, polish, write contigs, and evaluate against the reference.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/elba"
+	"repro/internal/fasta"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "elba-fileio")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	readsPath := filepath.Join(dir, "reads.fa")
+	refPath := filepath.Join(dir, "ref.fa")
+	contigsPath := filepath.Join(dir, "contigs.fa")
+
+	// 1. Simulate and persist a dataset.
+	ds := elba.SimulateDataset(elba.CElegansLike, 60_000, 23)
+	writeFasta(readsPath, readRecords(ds))
+	writeFasta(refPath, []fasta.Record{{ID: "reference", Seq: ds.Genome}})
+	fmt.Printf("wrote %d reads to %s\n", len(ds.Reads), readsPath)
+
+	// 2. Assemble from the FASTA file.
+	f, err := os.Open(readsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := elba.AssembleFasta(f, elba.PresetOptions(elba.CElegansLike, 4))
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Polish (merge overlapping contigs) and write the assembly.
+	out.Contigs = elba.MergeContigs(out.Contigs, elba.DefaultPolishConfig())
+	cf, err := os.Create(contigsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := elba.WriteContigs(cf, out.Contigs); err != nil {
+		log.Fatal(err)
+	}
+	cf.Close()
+	fmt.Printf("wrote %d contigs to %s\n", len(out.Contigs), contigsPath)
+
+	// 4. Evaluate against the persisted reference.
+	rf, err := os.Open(refPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refRecs, err := fasta.Read(rf)
+	rf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := elba.Evaluate(refRecs[0].Seq, out.Contigs)
+	fmt.Printf("completeness %.2f%%, longest %d, N50 %d, misassembled %d\n",
+		rep.Completeness, rep.LongestContig, rep.N50, rep.Misassemblies)
+}
+
+func readRecords(ds *elba.Dataset) []fasta.Record {
+	recs := make([]fasta.Record, len(ds.Reads))
+	for i, r := range ds.Reads {
+		recs[i] = fasta.Record{ID: fmt.Sprintf("read_%06d", i), Seq: r.Seq}
+	}
+	return recs
+}
+
+func writeFasta(path string, recs []fasta.Record) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := fasta.Write(f, recs, 80); err != nil {
+		log.Fatal(err)
+	}
+}

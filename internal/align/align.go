@@ -1,0 +1,219 @@
+// Package align implements the x-drop seed-and-extend pairwise aligner used
+// for the Alignment stage of Algorithm 1 (the SeqAn/LOGAN substitute): from
+// a shared k-mer seed, a banded antidiagonal dynamic program extends the
+// alignment left and right, pruning cells whose score falls more than x
+// below the running best (Zhang et al.'s x-drop rule). The x-drop can stop
+// an extension early, which is exactly why the string graph stores post(e)
+// (§4.4).
+package align
+
+import (
+	"repro/internal/bidir"
+	"repro/internal/dna"
+)
+
+// Params are the scoring parameters; the paper runs ELBA with x = 15 for the
+// low-error datasets and x = 7 for H. sapiens.
+type Params struct {
+	Match    int32 // score per matching base (> 0)
+	Mismatch int32 // score per mismatching base (< 0)
+	Gap      int32 // score per inserted/deleted base (< 0)
+	XDrop    int32 // give up when score < best - XDrop
+	// Cells, when non-nil, accumulates the number of DP cells visited — the
+	// work counter behind the performance model (package perfmodel).
+	Cells *int64
+}
+
+// DefaultParams uses +1 match, -2 mismatch, -2 gap. (BELLA scores +1/-1/-1,
+// but with linear gaps that scheme has a positive expected score drift on
+// random DNA — the Chvátal–Sankoff constant for 4 letters is ≈0.65 — so an
+// x-drop would never fire; -2 penalties restore the negative drift that
+// makes the x-drop terminate while still crossing isolated errors.)
+func DefaultParams(xdrop int32) Params {
+	return Params{Match: 1, Mismatch: -2, Gap: -2, XDrop: xdrop}
+}
+
+const negInf = int32(-1 << 30)
+
+// extend runs a gapped x-drop extension of s against t starting at (0,0) and
+// moving forward. Cell (i, j) scores the best alignment of s[0:i) with
+// t[0:j); it returns the best score and its half-open extents (si, ti).
+func extend(s, t []byte, p Params) (score, si, ti int32) {
+	ns, nt := int32(len(s)), int32(len(t))
+	if ns == 0 || nt == 0 {
+		return 0, 0, 0
+	}
+	// Antidiagonal DP: cell (i, j) lives on antidiagonal d = i + j; arrays
+	// are indexed by i-lo for the active band [lo, hi] of each antidiagonal.
+	// Only the band of live (un-pruned) cells is visited: the x-drop keeps
+	// it O(XDrop) wide, so a perfect overlap costs O(len · band), not
+	// O(len²).
+	best, bi, bj := int32(0), int32(0), int32(0)
+	var cells int64
+	defer func() {
+		if p.Cells != nil {
+			*p.Cells += cells
+		}
+	}()
+	prev1 := []int32{0} // antidiagonal 0: the single cell (0,0)
+	lo1, hi1 := int32(0), int32(0)
+	prev2 := []int32(nil)
+	lo2, hi2 := int32(0), int32(-1)
+	for d := int32(1); d <= ns+nt; d++ {
+		// Geometric bounds of the antidiagonal...
+		lo := d - nt
+		if lo < 0 {
+			lo = 0
+		}
+		hi := d
+		if hi > ns {
+			hi = ns
+		}
+		// ...intersected with cells reachable from the live bands of the
+		// two previous antidiagonals (moves: i-1 from d-2 and d-1, i from
+		// d-1).
+		reachLo := lo1
+		if lo2 < reachLo {
+			reachLo = lo2
+		}
+		reachHi := hi1 + 1
+		if hi2+1 > reachHi {
+			reachHi = hi2 + 1
+		}
+		if reachLo > lo {
+			lo = reachLo
+		}
+		if reachHi < hi {
+			hi = reachHi
+		}
+		if lo > hi {
+			break
+		}
+		cur := make([]int32, hi-lo+1)
+		cells += int64(hi - lo + 1)
+		alive := false
+		liveLo, liveHi := hi+1, lo-1
+		for i := lo; i <= hi; i++ {
+			j := d - i
+			v := negInf
+			// Diagonal move (match/mismatch) from (i-1, j-1) on d-2.
+			if i > 0 && j > 0 && prev2 != nil {
+				pi := i - 1 - lo2
+				if pi >= 0 && pi < int32(len(prev2)) && prev2[pi] > negInf/2 {
+					sc := p.Mismatch
+					if s[i-1] == t[j-1] {
+						sc = p.Match
+					}
+					if w := prev2[pi] + sc; w > v {
+						v = w
+					}
+				}
+			}
+			// Gap moves from d-1: (i-1, j) and (i, j-1).
+			if i > 0 {
+				pi := i - 1 - lo1
+				if pi >= 0 && pi < int32(len(prev1)) && prev1[pi] > negInf/2 {
+					if w := prev1[pi] + p.Gap; w > v {
+						v = w
+					}
+				}
+			}
+			if j > 0 {
+				pi := i - lo1
+				if pi >= 0 && pi < int32(len(prev1)) && prev1[pi] > negInf/2 {
+					if w := prev1[pi] + p.Gap; w > v {
+						v = w
+					}
+				}
+			}
+			// X-drop prune.
+			if v < best-p.XDrop {
+				v = negInf
+			} else if v > negInf/2 {
+				alive = true
+				if i < liveLo {
+					liveLo = i
+				}
+				if i > liveHi {
+					liveHi = i
+				}
+				if v > best || (v == best && i+j > bi+bj) || (v == best && i+j == bi+bj && i > bi) {
+					best, bi, bj = v, i, j
+				}
+			}
+			cur[i-lo] = v
+		}
+		if !alive {
+			break
+		}
+		// Shrink the stored band to the live cells.
+		prev2, lo2, hi2 = prev1, lo1, hi1
+		prev1, lo1, hi1 = cur[liveLo-lo:liveHi-lo+1], liveLo, liveHi
+	}
+	return best, bi, bj
+}
+
+// reverse returns a reversed copy of b.
+func reverse(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i := range b {
+		out[len(b)-1-i] = b[i]
+	}
+	return out
+}
+
+// Seed is a shared k-mer occurrence: the window starts at PU on u (forward
+// coords) and PV on v (forward coords); RC says the canonical k-mer appears
+// with opposite orientations, i.e. v overlaps u's reverse complement.
+type Seed struct {
+	PU, PV int32
+	RC     bool
+}
+
+// SeedExtend aligns u and v around the seed and returns the alignment in
+// forward coordinates of both reads (a bidir.Aln with U/V ids left zero for
+// the caller to fill).
+func SeedExtend(u, v []byte, k int32, seed Seed, p Params) bidir.Aln {
+	work := v
+	pv := seed.PV
+	if seed.RC {
+		// Align u against revcomp(v); the seed window [PV, PV+k) on v maps
+		// to [LV-PV-k, LV-PV) on revcomp(v).
+		work = dna.RevComp(v)
+		pv = int32(len(v)) - seed.PV - k
+	}
+	// Right extension from the seed end.
+	rs, rExtU, rExtV := extend(u[seed.PU+k:], work[pv+k:], p)
+	// Left extension: reverse the prefixes.
+	ls, lExtU, lExtV := extend(reverse(u[:seed.PU]), reverse(work[:pv]), p)
+	score := rs + ls + k*p.Match
+	bu, eu := seed.PU-lExtU, seed.PU+k+rExtU
+	bw, ew := pv-lExtV, pv+k+rExtV
+	a := bidir.Aln{
+		BU: bu, EU: eu,
+		RC:    seed.RC,
+		Score: score,
+		LU:    int32(len(u)), LV: int32(len(v)),
+	}
+	if seed.RC {
+		// Map [bw, ew) on revcomp(v) back to forward coordinates.
+		a.BV, a.EV = int32(len(v))-ew, int32(len(v))-bw
+	} else {
+		a.BV, a.EV = bw, ew
+	}
+	return a
+}
+
+// Best runs SeedExtend for every seed and keeps the highest-scoring
+// alignment (ties: the first seed), BELLA's "up to two seeds" policy.
+func Best(u, v []byte, k int32, seeds []Seed, p Params) bidir.Aln {
+	var best bidir.Aln
+	bestScore := negInf
+	for _, s := range seeds {
+		a := SeedExtend(u, v, k, s, p)
+		if a.Score > bestScore {
+			best, bestScore = a, a.Score
+		}
+	}
+	return best
+}

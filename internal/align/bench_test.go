@@ -1,0 +1,53 @@
+package align
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/readsim"
+)
+
+func BenchmarkExtendPerfectOverlap(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			g := readsim.Genome(readsim.GenomeConfig{Length: n, Seed: 1})
+			p := DefaultParams(15)
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				extend(g, g, p)
+			}
+		})
+	}
+}
+
+func BenchmarkExtendWithErrors(b *testing.B) {
+	g := readsim.Genome(readsim.GenomeConfig{Length: 8000, Seed: 2})
+	reads := readsim.Simulate(g, readsim.ReadConfig{Depth: 0.999, MeanLen: 7500, ErrorRate: 0.05, Seed: 3, ForwardOnly: true})
+	if len(reads) == 0 {
+		b.Skip("no reads")
+	}
+	r := reads[0]
+	p := DefaultParams(40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		extend(g[r.Pos:], r.Seq, p)
+	}
+}
+
+func BenchmarkSeedExtendRC(b *testing.B) {
+	g := readsim.Genome(readsim.GenomeConfig{Length: 6000, Seed: 4})
+	u := g[:4000]
+	v := g[2000:]
+	// rc seed in the middle of the overlap
+	k := int32(17)
+	seed := Seed{PU: 3000, PV: int32(len(v)) - (3000 - 2000) - k, RC: true}
+	vr := make([]byte, len(v))
+	for i := range v {
+		vr[len(v)-1-i] = map[byte]byte{'A': 'T', 'C': 'G', 'G': 'C', 'T': 'A'}[v[i]]
+	}
+	p := DefaultParams(15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SeedExtend(u, vr, k, seed, p)
+	}
+}

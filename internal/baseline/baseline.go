@@ -1,0 +1,257 @@
+// Package baseline provides the shared-memory comparator assemblers for the
+// paper's Tables 3 and 4. The closed-source/complex comparators (Hifiasm,
+// HiCanu, miniasm, Canu) are substituted by same-class algorithms on our own
+// substrate (DESIGN.md §2):
+//
+//   - BestOverlap: a multithreaded greedy best-overlap-graph assembler in
+//     the spirit of Canu's Bogart and Miller et al. — the longest dovetail
+//     per read end, mutual-best filtering, then non-branching path
+//     extraction.
+//   - The "serial ELBA" comparator (miniasm-flavoured OLC) is simply the
+//     pipeline run at P = 1 and lives in the pipeline package.
+//
+// Everything here is plain shared memory: a k-mer inverted index instead of
+// SpGEMM, a worker pool instead of a process grid.
+package baseline
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/align"
+	"repro/internal/bidir"
+	"repro/internal/core"
+	"repro/internal/kmer"
+	"repro/internal/spmat"
+)
+
+// Config mirrors the pipeline's overlap parameters plus a thread count.
+type Config struct {
+	K            int
+	ReliableLow  int32
+	ReliableHigh int32
+	Align        align.Params
+	MinOverlap   int32
+	MinScoreFrac float64
+	MaxOverhang  int32
+	Threads      int // worker pool size; 0 = GOMAXPROCS
+}
+
+// Result is the baseline assembly outcome.
+type Result struct {
+	Contigs      []core.Contig
+	Overlaps     int     // surviving dovetail overlaps
+	Contained    int     // reads removed by containment
+	ContainedIDs []int32 // the removed reads (sorted)
+	Candidates   int     // aligned candidate pairs
+}
+
+// pairKey packs an (i < j) read pair.
+type pairKey int64
+
+func mkPair(i, j int32) pairKey {
+	if i > j {
+		i, j = j, i
+	}
+	return pairKey(int64(i)<<32 | int64(uint32(j)))
+}
+
+// BestOverlapAssemble runs the full shared-memory baseline.
+func BestOverlapAssemble(reads [][]byte, cfg Config) *Result {
+	res := &Result{}
+	// 1. Reliable k-mers via the serial counter.
+	counts := kmer.CountSerial(reads, cfg.K)
+	reliable := map[kmer.Kmer]bool{}
+	for _, km := range kmer.SelectReliable(counts, cfg.ReliableLow, cfg.ReliableHigh) {
+		reliable[km] = true
+	}
+	// 2. Inverted index → candidate pairs with up to 2 seeds.
+	type occ struct {
+		read int32
+		pos  int32
+		rc   bool
+	}
+	index := map[kmer.Kmer][]occ{}
+	for r, seq := range reads {
+		for _, kp := range kmer.Extract(seq, cfg.K) {
+			if reliable[kp.Kmer] {
+				index[kp.Kmer] = append(index[kp.Kmer], occ{int32(r), kp.Pos, kp.RC})
+			}
+		}
+	}
+	type cand struct {
+		i, j  int32
+		seeds []align.Seed
+	}
+	candOf := map[pairKey]*cand{}
+	for _, occs := range index {
+		for a := 0; a < len(occs); a++ {
+			for b := a + 1; b < len(occs); b++ {
+				oi, oj := occs[a], occs[b]
+				if oi.read == oj.read {
+					continue
+				}
+				if oi.read > oj.read {
+					oi, oj = oj, oi
+				}
+				key := mkPair(oi.read, oj.read)
+				c, ok := candOf[key]
+				if !ok {
+					c = &cand{i: oi.read, j: oj.read}
+					candOf[key] = c
+				}
+				if len(c.seeds) < 2 {
+					c.seeds = append(c.seeds, align.Seed{PU: oi.pos, PV: oj.pos, RC: oi.rc != oj.rc})
+				}
+			}
+		}
+	}
+	cands := make([]*cand, 0, len(candOf))
+	for _, c := range candOf {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].i != cands[b].i {
+			return cands[a].i < cands[b].i
+		}
+		return cands[a].j < cands[b].j
+	})
+	res.Candidates = len(cands)
+
+	// 3. Parallel alignment + classification.
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	type verdict struct {
+		aln       bidir.Aln
+		keep      bool
+		contained int32 // read id to drop, or -1
+	}
+	verdicts := make([]verdict, len(cands))
+	var wg sync.WaitGroup
+	chunk := (len(cands) + threads - 1) / threads
+	cls := bidir.Params{MaxOverhang: cfg.MaxOverhang}
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for x := lo; x < hi; x++ {
+				c := cands[x]
+				a := align.Best(reads[c.i], reads[c.j], int32(cfg.K), c.seeds, cfg.Align)
+				a.U, a.V = c.i, c.j
+				v := verdict{aln: a, contained: -1}
+				alnLen := a.EU - a.BU
+				if a.EV-a.BV < alnLen {
+					alnLen = a.EV - a.BV
+				}
+				if alnLen >= cfg.MinOverlap && float64(a.Score) >= cfg.MinScoreFrac*float64(alnLen) {
+					switch _, kind := bidir.Classify(a, cls); kind {
+					case bidir.Dovetail:
+						v.keep = true
+					case bidir.ContainsV:
+						v.contained = c.j
+					case bidir.ContainedU:
+						v.contained = c.i
+					}
+				}
+				verdicts[x] = v
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	dead := map[int32]bool{}
+	for _, v := range verdicts {
+		if v.contained >= 0 && !dead[v.contained] {
+			dead[v.contained] = true
+			res.ContainedIDs = append(res.ContainedIDs, v.contained)
+		}
+	}
+	sort.Slice(res.ContainedIDs, func(i, j int) bool { return res.ContainedIDs[i] < res.ContainedIDs[j] })
+	res.Contained = len(res.ContainedIDs)
+
+	// 4. Best overlap per read end (Miller et al.): for each read end keep
+	// the longest surviving dovetail.
+	type bestEdge struct {
+		aln   bidir.Aln
+		edge  bidir.Edge
+		ovLen int32
+		to    int32
+		valid bool
+	}
+	// ends[read][end]: end 0 = prefix, 1 = suffix.
+	ends := make([][2]bestEdge, len(reads))
+	consider := func(u, v int32, e bidir.Edge, a bidir.Aln, ovLen int32) {
+		end := e.SrcBit() // the end of u the overlap occupies
+		b := &ends[u][end]
+		if !b.valid || ovLen > b.ovLen || (ovLen == b.ovLen && v < b.to) {
+			*b = bestEdge{aln: a, edge: e, ovLen: ovLen, to: v, valid: true}
+		}
+	}
+	for _, v := range verdicts {
+		if !v.keep || dead[v.aln.U] || dead[v.aln.V] {
+			continue
+		}
+		e, kind := bidir.Classify(v.aln, cls)
+		if kind != bidir.Dovetail {
+			continue
+		}
+		m, _ := bidir.Classify(v.aln.Mirror(), cls)
+		ovLen := v.aln.EU - v.aln.BU
+		consider(v.aln.U, v.aln.V, e, v.aln, ovLen)
+		consider(v.aln.V, v.aln.U, m, v.aln.Mirror(), ovLen)
+	}
+
+	// 5. Mutual-best filtering: the edge u→v survives only if v's matching
+	// end also elected u.
+	type dedge struct {
+		u, v int32
+		e    bidir.Edge
+	}
+	var edges []dedge
+	for u := range ends {
+		for end := 0; end < 2; end++ {
+			b := ends[u][end]
+			if !b.valid {
+				continue
+			}
+			back := ends[b.to][b.edge.DstBit()]
+			if back.valid && back.to == int32(u) {
+				edges = append(edges, dedge{u: int32(u), v: b.to, e: b.edge})
+			}
+		}
+	}
+	res.Overlaps = len(edges) / 2
+
+	// 6. Non-branching path extraction: mutual-best edges give each read end
+	// degree ≤ 1; reuse the paper's local assembly walker on the whole graph.
+	var ts []spmat.Triple[bidir.Edge]
+	for _, d := range edges {
+		ts = append(ts, spmat.Triple[bidir.Edge]{Row: d.v, Col: d.u, Val: d.e})
+	}
+	n := int32(len(reads))
+	coo := spmat.NewCOO(n, n, ts, func(a, b bidir.Edge) bidir.Edge { return a })
+	globals := make([]int32, n)
+	for i := range globals {
+		globals[i] = int32(i)
+	}
+	lg := &core.LocalGraph{Globals: globals, CSC: coo.ToCSC()}
+	seqs := map[int32][]byte{}
+	for i, r := range reads {
+		seqs[int32(i)] = r
+	}
+	contigs := core.LocalAssembly(lg, seqs)
+	core.SortContigs(contigs)
+	res.Contigs = contigs
+	return res
+}

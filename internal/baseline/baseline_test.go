@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/dna"
+	"repro/internal/quality"
+	"repro/internal/readsim"
+)
+
+func testConfig() Config {
+	return Config{
+		K:            21,
+		ReliableLow:  2,
+		ReliableHigh: 100,
+		Align:        align.DefaultParams(25),
+		MinOverlap:   100,
+		MinScoreFrac: 0.5,
+		MaxOverhang:  60,
+		Threads:      4,
+	}
+}
+
+func TestBestOverlapErrorFreeRoundTrip(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeConfig{Length: 25000, Seed: 81})
+	reads := readsim.Seqs(readsim.Simulate(genome, readsim.ReadConfig{Depth: 12, MeanLen: 2000, Seed: 82}))
+	res := BestOverlapAssemble(reads, testConfig())
+	if len(res.Contigs) == 0 {
+		t.Fatal("no contigs")
+	}
+	fw, rc := string(genome), string(dna.RevComp(genome))
+	for i, c := range res.Contigs {
+		if !strings.Contains(fw, string(c.Seq)) && !strings.Contains(rc, string(c.Seq)) {
+			t.Fatalf("contig %d (%d bases) not a genome substring", i, len(c.Seq))
+		}
+	}
+	if len(res.Contigs[0].Seq) < len(genome)/2 {
+		t.Fatalf("longest contig %d of %d", len(res.Contigs[0].Seq), len(genome))
+	}
+	if res.Candidates == 0 || res.Overlaps == 0 {
+		t.Fatalf("counters: %+v", res)
+	}
+}
+
+func TestBestOverlapDeterministicAcrossThreads(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeConfig{Length: 15000, Seed: 83})
+	reads := readsim.Seqs(readsim.Simulate(genome, readsim.ReadConfig{Depth: 10, MeanLen: 1500, Seed: 84}))
+	cfg := testConfig()
+	cfg.Threads = 1
+	a := BestOverlapAssemble(reads, cfg)
+	cfg.Threads = 8
+	b := BestOverlapAssemble(reads, cfg)
+	if len(a.Contigs) != len(b.Contigs) {
+		t.Fatalf("%d vs %d contigs", len(a.Contigs), len(b.Contigs))
+	}
+	for i := range a.Contigs {
+		if string(a.Contigs[i].Seq) != string(b.Contigs[i].Seq) {
+			t.Fatalf("contig %d differs between thread counts", i)
+		}
+	}
+}
+
+func TestBestOverlapQualityReasonable(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeConfig{Length: 30000, Seed: 85})
+	reads := readsim.Seqs(readsim.Simulate(genome, readsim.ReadConfig{Depth: 15, MeanLen: 2200, Seed: 86}))
+	res := BestOverlapAssemble(reads, testConfig())
+	seqs := make([][]byte, len(res.Contigs))
+	for i, c := range res.Contigs {
+		seqs[i] = c.Seq
+	}
+	rep := quality.Evaluate(genome, seqs)
+	if rep.Completeness < 60 {
+		t.Fatalf("completeness %.1f", rep.Completeness)
+	}
+	if rep.Misassemblies > len(res.Contigs)/4+1 {
+		t.Fatalf("misassemblies %d of %d contigs", rep.Misassemblies, len(res.Contigs))
+	}
+}
+
+func TestBestOverlapContainedRemoved(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeConfig{Length: 10000, Seed: 87})
+	var reads [][]byte
+	for pos := 0; pos+2000 <= len(genome); pos += 700 {
+		reads = append(reads, genome[pos:pos+2000])
+	}
+	reads = append(reads, genome[500:1200]) // strictly inside read 0
+	res := BestOverlapAssemble(reads, testConfig())
+	if res.Contained == 0 {
+		t.Fatal("containment not detected")
+	}
+	for _, c := range res.Contigs {
+		for _, r := range c.Reads {
+			if int(r) == len(reads)-1 {
+				t.Fatal("contained read used in a contig")
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package bidir defines the bidirected string-graph edge semantics of §2 and
+// §4.4: overlap classification into direction bits, overhang (suffix)
+// lengths, the pre/post concatenation coordinates, edge mirroring, and the
+// valid-walk composition rule used by transitive reduction.
+//
+// Conventions (documented in DESIGN.md §5):
+//
+//   - An alignment between reads u and v is stored with half-open
+//     coordinates on each read's FORWARD strand; RC says whether v matched
+//     as its reverse complement.
+//   - A directed edge u→v carries Dir = su<<1 | sv, where su (resp. sv) is 1
+//     when the overlap occupies the suffix of u (resp. v) in forward
+//     coordinates. Same-strand overlaps have su≠sv; opposite-strand have
+//     su=sv.
+//   - Walking u→v, u is traversed forward iff su=1 (the walk leaves u
+//     through its suffix) and v is traversed forward iff sv=0 (the walk
+//     enters v through its prefix).
+//   - Suf is the number of bases of v beyond the overlap when walking u→v —
+//     the edge weight of §2 ("overhang or suffix length").
+//   - Pre is the inclusive index on u of the last base before the overlap in
+//     walk order; Post is the inclusive index on v of the first overlap base
+//     in walk order. These are exactly the pre(e)/post(e) of §4.4 and
+//     reproduce the paper's Figure 3 values (see tests).
+package bidir
+
+// Aln is a pairwise alignment between reads U and V in forward coordinates.
+type Aln struct {
+	U, V   int32 // global read ids (the deterministic mirror tie-break)
+	BU, EU int32 // aligned range on u, half-open, forward coords
+	BV, EV int32 // aligned range on v, half-open, forward coords
+	RC     bool  // v matched as reverse complement
+	Score  int32
+	LU, LV int32 // read lengths
+}
+
+// Mirror swaps the roles of U and V: the alignment seen from v's side.
+func (a Aln) Mirror() Aln {
+	return Aln{
+		U: a.V, V: a.U,
+		BU: a.BV, EU: a.EV,
+		BV: a.BU, EV: a.EU,
+		RC:    a.RC,
+		Score: a.Score,
+		LU:    a.LV, LV: a.LU,
+	}
+}
+
+// Kind classifies an alignment.
+type Kind uint8
+
+const (
+	// Dovetail is a proper suffix/prefix overlap: the edge survives.
+	Dovetail Kind = iota
+	// ContainsV: v is fully aligned within u — v is the redundant vertex of
+	// §2 and must be removed from the graph.
+	ContainsV
+	// ContainedU: u is fully aligned within v — u must be removed.
+	ContainedU
+	// Internal: the alignment stops in the middle of both reads (a
+	// repeat-induced or low-quality match); the edge is dropped.
+	Internal
+)
+
+// Edge is the nonzero payload of the string matrix S: a directed u→v edge.
+type Edge struct {
+	Dir  uint8 // su<<1 | sv
+	Suf  int32 // overhang of v beyond the overlap, walking u→v
+	Pre  int32 // pre_u(e), inclusive index on u (may be -1 or LU)
+	Post int32 // post_v(e), inclusive index on v
+}
+
+// SrcBit returns su: 1 when the overlap occupies u's suffix.
+func (e Edge) SrcBit() uint8 { return e.Dir >> 1 }
+
+// DstBit returns sv: 1 when the overlap occupies v's suffix.
+func (e Edge) DstBit() uint8 { return e.Dir & 1 }
+
+// SrcForward reports whether u is traversed forward when walking u→v.
+func (e Edge) SrcForward() bool { return e.SrcBit() == 1 }
+
+// DstForward reports whether v is traversed forward when walking u→v.
+func (e Edge) DstForward() bool { return e.DstBit() == 0 }
+
+// ComposeDirs combines the directions of edges u→v and v→w into the
+// direction of the implied walk u→w, if the walk is valid: the walk must
+// leave v through the end opposite to the one it entered, i.e. the v-bit of
+// the second edge must differ from the v-bit of the first.
+func ComposeDirs(d1, d2 uint8) (uint8, bool) {
+	if (d1&1)^(d2>>1) == 0 {
+		return 0, false
+	}
+	return (d1 & 2) | (d2 & 1), true
+}
+
+// Params controls overlap classification.
+type Params struct {
+	// MaxOverhang tolerates this many unaligned bases on the overlap side of
+	// each read (x-drop alignments can stop a little early — the reason
+	// post(e) exists, §4.4).
+	MaxOverhang int32
+}
+
+// Classify turns an alignment into a directed edge u→v, following the
+// overhang-comparison scheme of Li's miniasm (Algorithm 5) adapted to the
+// paper's bidirected-edge encoding:
+//
+//   - Orient v's unaligned overhangs along the walk (reverse-complement
+//     swaps v's left and right).
+//   - If the combined inner overhang exceeds MaxOverhang, the match is
+//     Internal (repeat-induced): dropped.
+//   - If one read's overhangs are dominated on both sides, it is contained.
+//   - Otherwise exactly one read extends left and the other right, which
+//     determines the direction bits with no ties (exact symmetric overlaps
+//     fall into the containment branch and break by read id).
+func Classify(a Aln, p Params) (Edge, Kind) {
+	leftU, rightU := a.BU, a.LU-a.EU
+	// v's overhangs in walk orientation.
+	vLeft, vRight := a.BV, a.LV-a.EV
+	if a.RC {
+		vLeft, vRight = vRight, vLeft
+	}
+	inner := min32(leftU, vLeft) + min32(rightU, vRight)
+	if inner > p.MaxOverhang {
+		return Edge{}, Internal
+	}
+	switch {
+	case leftU == vLeft && rightU == vRight:
+		// Perfectly symmetric (typically near-identical reads): the larger
+		// id is contained, so exactly one read survives deterministically
+		// and the mirrored classification agrees.
+		if a.U < a.V {
+			return Edge{}, ContainsV
+		}
+		return Edge{}, ContainedU
+	case leftU <= vLeft && rightU <= vRight:
+		return Edge{}, ContainedU
+	case leftU >= vLeft && rightU >= vRight:
+		return Edge{}, ContainsV
+	}
+	var su, sv int32
+	if leftU > vLeft {
+		su = 1 // u extends left of the overlap: the walk leaves its suffix
+	}
+	// Strand parity fixes sv (§2: same strand su≠sv, opposite su=sv).
+	if a.RC {
+		sv = su
+	} else {
+		sv = 1 - su
+	}
+	e := Edge{Dir: uint8(su<<1 | sv)}
+	if sv == 0 {
+		e.Suf = a.LV - a.EV
+		e.Post = a.BV
+	} else {
+		e.Suf = a.BV
+		e.Post = a.EV - 1
+	}
+	if su == 1 {
+		e.Pre = a.BU - 1
+	} else {
+		e.Pre = a.EU
+	}
+	return e, Dovetail
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,272 @@
+package bidir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Figure 3 of the paper, first edge: l0 = AGAACT overlaps l1 = AACTGAAG with
+// l0[2:5] ~ l1[0:3] (inclusive): pre(e) = 1, post(e) = 0.
+func TestClassifyFigure3FirstEdge(t *testing.T) {
+	a := Aln{U: 0, V: 1, BU: 2, EU: 6, BV: 0, EV: 4, RC: false, LU: 6, LV: 8}
+	e, kind := Classify(a, Params{MaxOverhang: 0})
+	if kind != Dovetail {
+		t.Fatalf("kind = %v", kind)
+	}
+	if e.Dir != 2 { // su=1 (suffix of l0), sv=0 (prefix of l1)
+		t.Fatalf("dir = %d, want 2", e.Dir)
+	}
+	if e.Pre != 1 || e.Post != 0 {
+		t.Fatalf("pre=%d post=%d, want 1,0", e.Pre, e.Post)
+	}
+	if e.Suf != 4 { // GAAG extends beyond the overlap
+		t.Fatalf("suf = %d, want 4", e.Suf)
+	}
+	if !e.SrcForward() || !e.DstForward() {
+		t.Fatal("both reads traversed forward in Figure 3")
+	}
+}
+
+// Figure 3, second edge with the x-drop-truncated alignment: l1 = AACTGAAG,
+// l2 = TGAAGAA, alignment l1[5:7] ~ l2[2:4] (inclusive): the paper explains
+// pre(e) = 4 and post(e) = 2 even though the alignment stopped early.
+func TestClassifyFigure3SecondEdgeXDropTruncated(t *testing.T) {
+	a := Aln{U: 1, V: 2, BU: 5, EU: 8, BV: 2, EV: 5, RC: false, LU: 8, LV: 7}
+	e, kind := Classify(a, Params{MaxOverhang: 2})
+	if kind != Dovetail {
+		t.Fatalf("kind = %v", kind)
+	}
+	if e.Dir != 2 {
+		t.Fatalf("dir = %d, want 2", e.Dir)
+	}
+	if e.Pre != 4 || e.Post != 2 {
+		t.Fatalf("pre=%d post=%d, want 4,2 (paper §4.4)", e.Pre, e.Post)
+	}
+}
+
+// Figure 3's full (non-truncated) second overlap: l1[3:7] ~ l2[0:4].
+func TestClassifyFigure3SecondEdgeFull(t *testing.T) {
+	a := Aln{U: 1, V: 2, BU: 3, EU: 8, BV: 0, EV: 5, RC: false, LU: 8, LV: 7}
+	e, kind := Classify(a, Params{MaxOverhang: 0})
+	if kind != Dovetail {
+		t.Fatalf("kind = %v", kind)
+	}
+	if e.Pre != 2 || e.Post != 0 || e.Suf != 2 {
+		t.Fatalf("pre=%d post=%d suf=%d, want 2,0,2", e.Pre, e.Post, e.Suf)
+	}
+}
+
+// Reverse-complement case from §4.4: l0 = AGAACT against the read
+// w = CTTCAGTT (the reverse complement of l1). w's forward segment [4,8)
+// (AGTT) reverse-complements to AACT, matching l0's suffix.
+func TestClassifyReverseComplement(t *testing.T) {
+	a := Aln{U: 0, V: 9, BU: 2, EU: 6, BV: 4, EV: 8, RC: true, LU: 6, LV: 8}
+	e, kind := Classify(a, Params{MaxOverhang: 0})
+	if kind != Dovetail {
+		t.Fatalf("kind = %v", kind)
+	}
+	if e.Dir != 3 { // su=1, sv=1: suffix-suffix, opposite strands
+		t.Fatalf("dir = %d, want 3", e.Dir)
+	}
+	if e.Pre != 1 {
+		t.Fatalf("pre = %d, want 1", e.Pre)
+	}
+	// Entering w through its suffix: first overlap base in walk order is the
+	// highest forward index of the overlap, EV-1 = 7.
+	if e.Post != 7 {
+		t.Fatalf("post = %d, want 7", e.Post)
+	}
+	// Walking on, w contributes its bases before the overlap: BV = 4.
+	if e.Suf != 4 {
+		t.Fatalf("suf = %d, want 4", e.Suf)
+	}
+	if !e.SrcForward() || e.DstForward() {
+		t.Fatal("u forward, v reverse expected")
+	}
+}
+
+func TestClassifyContainment(t *testing.T) {
+	// v fully inside u.
+	a := Aln{U: 0, V: 1, BU: 100, EU: 150, BV: 0, EV: 50, RC: false, LU: 400, LV: 50}
+	if _, kind := Classify(a, Params{MaxOverhang: 5}); kind != ContainsV {
+		t.Fatalf("kind = %v, want ContainsV", kind)
+	}
+	// u fully inside v.
+	b := Aln{U: 0, V: 1, BU: 0, EU: 50, BV: 100, EV: 150, RC: false, LU: 50, LV: 400}
+	if _, kind := Classify(b, Params{MaxOverhang: 5}); kind != ContainedU {
+		t.Fatalf("kind = %v, want ContainedU", kind)
+	}
+	// Near-identical reads: larger id loses, deterministically.
+	c := Aln{U: 3, V: 7, BU: 0, EU: 100, BV: 0, EV: 100, RC: false, LU: 100, LV: 100}
+	if _, kind := Classify(c, Params{MaxOverhang: 5}); kind != ContainsV {
+		t.Fatalf("kind = %v, want ContainsV (id 7 contained)", kind)
+	}
+	if _, kind := Classify(c.Mirror(), Params{MaxOverhang: 5}); kind != ContainedU {
+		t.Fatal("mirror of identical-read containment must contain the other side")
+	}
+}
+
+func TestClassifyInternalMatch(t *testing.T) {
+	// A match in the middle of both long reads: repeat-induced, not a
+	// dovetail.
+	a := Aln{U: 0, V: 1, BU: 500, EU: 700, BV: 400, EV: 600, RC: false, LU: 2000, LV: 2000}
+	if _, kind := Classify(a, Params{MaxOverhang: 50}); kind != Internal {
+		t.Fatalf("kind = %v, want Internal", kind)
+	}
+}
+
+func TestComposeDirs(t *testing.T) {
+	// Walking u→v with dir (su,sv) must continue through v's opposite end:
+	// validity and the composed direction follow directly from the rule.
+	for d1 := uint8(0); d1 < 4; d1++ {
+		for d2 := uint8(0); d2 < 4; d2++ {
+			enterBit := d1 & 1       // end of v used by edge 1
+			exitBit := (d2 >> 1) & 1 // end of v used by edge 2
+			got, ok := ComposeDirs(d1, d2)
+			wantOK := exitBit != enterBit
+			if ok != wantOK {
+				t.Fatalf("ComposeDirs(%d,%d) ok=%v want %v", d1, d2, ok, wantOK)
+			}
+			if ok {
+				want := (d1 & 2) | (d2 & 1)
+				if got != want {
+					t.Fatalf("ComposeDirs(%d,%d) = %d want %d", d1, d2, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestComposeSameStrandChain(t *testing.T) {
+	// A chain of same-strand forward overlaps composes to a same-strand
+	// forward overlap: (1,0)∘(1,0) = (1,0).
+	d, ok := ComposeDirs(2, 2)
+	if !ok || d != 2 {
+		t.Fatalf("got %d,%v", d, ok)
+	}
+	// Strand flip then flip back: (1,1)∘(0,0) = (1,0).
+	d, ok = ComposeDirs(3, 0)
+	if !ok || d != 2 {
+		t.Fatalf("flip-flip: got %d,%v", d, ok)
+	}
+}
+
+// randomDovetailAln builds a random valid dovetail alignment.
+func randomDovetailAln(rng *rand.Rand) Aln {
+	lu := int32(rng.Intn(500) + 100)
+	lv := int32(rng.Intn(500) + 100)
+	ov := int32(rng.Intn(80) + 10) // overlap length
+	if ov > lu {
+		ov = lu
+	}
+	if ov > lv {
+		ov = lv
+	}
+	rc := rng.Intn(2) == 1
+	uSuffix := rng.Intn(2) == 1
+	var a Aln
+	a.U, a.V = int32(rng.Intn(100)), int32(rng.Intn(100)+100)
+	a.LU, a.LV = lu, lv
+	a.RC = rc
+	a.Score = ov
+	if uSuffix {
+		a.BU, a.EU = lu-ov, lu
+	} else {
+		a.BU, a.EU = 0, ov
+	}
+	// v side: same strand wants the opposite end; rc wants the same end.
+	vSuffix := !uSuffix
+	if rc {
+		vSuffix = uSuffix
+	}
+	if vSuffix {
+		a.BV, a.EV = lv-ov, lv
+	} else {
+		a.BV, a.EV = 0, ov
+	}
+	return a
+}
+
+// TestClassifyMirrorConsistency: classifying the mirrored alignment must
+// yield the mirrored edge: bits swapped, pre/post roles exchanged.
+func TestClassifyMirrorConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomDovetailAln(rng)
+		p := Params{MaxOverhang: 0}
+		e1, k1 := Classify(a, p)
+		e2, k2 := Classify(a.Mirror(), p)
+		if k1 != Dovetail || k2 != Dovetail {
+			return false
+		}
+		// Bits must swap.
+		if e1.SrcBit() != e2.DstBit() || e1.DstBit() != e2.SrcBit() {
+			return false
+		}
+		// The walk directions must be opposite traversals of the same chain:
+		// going u→v forward through u means going v→u backward through u.
+		return e1.SrcForward() == !e2.DstForward() && e1.DstForward() == !e2.SrcForward()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClassifySymmetricOverlapIsDeterministicContainment: exactly symmetric
+// overhangs cannot pick a direction; the larger read id is declared
+// contained, and the mirror agrees on which read dies.
+func TestClassifySymmetricOverlapIsDeterministicContainment(t *testing.T) {
+	p := Params{MaxOverhang: 4}
+	for _, rc := range []bool{false, true} {
+		a := Aln{U: 1, V: 2, BU: 2, EU: 8, BV: 2, EV: 8, RC: rc, LU: 10, LV: 10}
+		_, k1 := Classify(a, p)
+		_, k2 := Classify(a.Mirror(), p)
+		if k1 != ContainsV { // read 2 contained
+			t.Fatalf("rc=%v: kind %v, want ContainsV", rc, k1)
+		}
+		if k2 != ContainedU { // mirror: source read is 2, still the one contained
+			t.Fatalf("rc=%v: mirror kind %v, want ContainedU", rc, k2)
+		}
+	}
+}
+
+// TestClassifyStrandParity: same-strand edges must have su≠sv, opposite
+// strand su=sv (§2's three bidirected edge types).
+func TestClassifyStrandParity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomDovetailAln(rng)
+		e, kind := Classify(a, Params{MaxOverhang: 0})
+		if kind != Dovetail {
+			return false
+		}
+		if a.RC {
+			return e.SrcBit() == e.DstBit()
+		}
+		return e.SrcBit() != e.DstBit()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSufMatchesExtension: the suffix weight must equal the number of bases v
+// contributes beyond the overlap.
+func TestSufMatchesExtension(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomDovetailAln(rng)
+		e, kind := Classify(a, Params{MaxOverhang: 0})
+		if kind != Dovetail {
+			return false
+		}
+		if e.DstForward() {
+			return e.Suf == a.LV-a.EV
+		}
+		return e.Suf == a.BV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

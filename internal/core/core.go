@@ -1,0 +1,542 @@
+// Package core implements the paper's primary contribution: the distributed
+// contig generation of Algorithm 2.
+//
+//	L    ← BranchRemoval(S)          (§4.2: mask vertices with degree ≥ 3)
+//	v    ← ConnectedComponent(L)     (§4.2: LACC over the linear components)
+//	p    ← GreedyPartitioning(v, P)  (§4.3: LPT multiway number partitioning)
+//	P    ← InducedSubgraph(L, p)     (§4.3: Figure 2 communication + all-to-all)
+//	cset ← LocalAssembly(P, reads)   (§4.4: per-rank CSC linear walks)
+//
+// Every step is a collective over the √P × √P grid; after the induced
+// subgraph and read-sequence communication, local assembly runs with no
+// further communication — the localization property the paper credits for
+// ExtractContig never exceeding 5% of total runtime.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bidir"
+	"repro/internal/dna"
+	"repro/internal/fasta"
+	"repro/internal/lacc"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/spmat"
+	"repro/internal/trace"
+)
+
+// Contig is one assembled chain of reads.
+type Contig struct {
+	Seq      []byte
+	Reads    []int32 // global read ids in walk order
+	Circular bool    // true if the chain closed on itself (no root vertices)
+}
+
+// Result is the outcome of contig generation on one rank.
+type Result struct {
+	// Contigs assembled locally on this rank (the paper's cset is the union
+	// over ranks).
+	Contigs []Contig
+	// Global statistics (replicated on every rank).
+	NumContigs     int64 // components with ≥ 2 reads
+	BranchVertices int64 // vertices masked by branch removal
+	AssignedReads  int64 // reads redistributed for local assembly
+	MaxLoad        int64 // largest per-rank read load after LPT
+	MinLoad        int64 // smallest per-rank read load after LPT
+}
+
+// ContigGeneration runs Algorithm 2 on the string matrix s. Sub-stage
+// timings land in tm under CG:* names (the paper's contig-phase breakdown:
+// the induced subgraph step dominates with 65–85% of the phase).
+// packSeqs enables the 2-bit sequence-communication encoding (§7 future
+// work); false matches the paper's raw char-buffer protocol.
+func ContigGeneration(s *spmat.Dist[bidir.Edge], store *fasta.DistStore, tm *trace.Timers, packSeqs bool) *Result {
+	g := s.G
+	res := &Result{}
+
+	// --- BranchRemoval (Algorithm 2 line 2) ---
+	var l *spmat.Dist[bidir.Edge]
+	var deg *spmat.DistVec[int32]
+	tm.Stage("CG:BranchRemoval", g.Comm, func() {
+		l, deg, res.BranchVertices = BranchRemoval(s)
+	})
+	tm.AddWork("CG:BranchRemoval", int64(s.Local.Nnz()))
+
+	// --- ConnectedComponent (line 3) ---
+	var labels *spmat.DistVec[int32]
+	tm.Stage("CG:ConnectedComponent", g.Comm, func() {
+		labels = lacc.Components(l)
+	})
+	tm.AddWork("CG:ConnectedComponent", int64(l.Local.Nnz()))
+
+	// --- GreedyPartitioning (line 4) ---
+	var assign *spmat.DistVec[int32]
+	tm.Stage("CG:Partitioning", g.Comm, func() {
+		assign = PartitionContigs(labels, deg, res)
+	})
+	tm.AddWork("CG:Partitioning", int64(len(assign.Local)))
+
+	// --- InducedSubgraph (line 5) ---
+	var local *LocalGraph
+	tm.Stage("CG:InducedSubgraph", g.Comm, func() {
+		local = InducedSubgraph(l, assign)
+	})
+	tm.AddWork("CG:InducedSubgraph", int64(len(local.CSC.IR)))
+
+	// --- Read sequence communication (§4.3) ---
+	var seqs map[int32][]byte
+	tm.Stage("CG:SequenceComm", g.Comm, func() {
+		seqs = CommunicateSequences(store, assign, packSeqs)
+	})
+	var seqBytes int64
+	for _, sq := range seqs {
+		seqBytes += int64(len(sq))
+	}
+	tm.AddWork("CG:SequenceComm", seqBytes)
+
+	// --- LocalAssembly (line 6, §4.4) ---
+	tm.Stage("CG:LocalAssembly", g.Comm, func() {
+		res.Contigs = LocalAssembly(local, seqs)
+	})
+	var asmBases int64
+	for _, c := range res.Contigs {
+		asmBases += int64(len(c.Seq))
+	}
+	tm.AddWork("CG:LocalAssembly", asmBases)
+	loads := mpi.Allgather(g.Comm, int64(len(local.Globals)))
+	res.MaxLoad, res.MinLoad = loads[0], loads[0]
+	for _, ld := range loads {
+		if ld > res.MaxLoad {
+			res.MaxLoad = ld
+		}
+		if ld < res.MinLoad {
+			res.MinLoad = ld
+		}
+	}
+	return res
+}
+
+// BranchRemoval computes vertex degrees with a row-dimension summation
+// reduction, extracts the branch vector b of vertices with degree ≥ 3, and
+// clears their rows and columns without re-indexing the matrix (§4.2). It
+// returns the linear-chain matrix L, the post-masking degree vector, and the
+// global branch count.
+func BranchRemoval(s *spmat.Dist[bidir.Edge]) (*spmat.Dist[bidir.Edge], *spmat.DistVec[int32], int64) {
+	deg := s.RowDegrees()
+	var branchLocal []int32
+	for i, d := range deg.Local {
+		if d >= 3 {
+			branchLocal = append(branchLocal, deg.Lo+int32(i))
+		}
+	}
+	// The branch vector is replicated so every rank can mask its block.
+	branch, _ := mpi.AllgathervFlat(s.G.Comm, branchLocal)
+	sort.Slice(branch, func(i, j int) bool { return branch[i] < branch[j] })
+	l := s.Clone()
+	l.MaskRowsCols(branch)
+	deg2 := l.RowDegrees()
+	return l, deg2, int64(len(branch))
+}
+
+// PartitionContigs estimates contig sizes (vertices per component), gathers
+// them on rank 0, runs LPT, and broadcasts the contig→processor assignment;
+// the result is the distributed vector v of §4.3 mapping each vertex to its
+// owner processor (or -1 for vertices in no contig: branch-masked, isolated,
+// or in components of fewer than 2 reads).
+func PartitionContigs(labels *spmat.DistVec[int32], deg *spmat.DistVec[int32], res *Result) *spmat.DistVec[int32] {
+	g := labels.G
+	p := g.Comm.Size()
+
+	// Local size estimate per component label, counting only vertices that
+	// survived masking (degree ≥ 1).
+	localSize := map[int32]int64{}
+	for i, lab := range labels.Local {
+		if deg.Local[i] >= 1 {
+			localSize[lab]++
+		}
+	}
+	// Sparse reduce-scatter: each label's counts are summed on the rank
+	// owning the label's index (labels are vertex ids, so ownership follows
+	// the vector distribution).
+	type lc struct {
+		Label int32
+		Count int64
+	}
+	send := make([][]lc, p)
+	for lab, cnt := range localSize {
+		o := labels.Owner(lab)
+		send[o] = append(send[o], lc{Label: lab, Count: cnt})
+	}
+	for r := range send {
+		sort.Slice(send[r], func(i, j int) bool { return send[r][i].Label < send[r][j].Label })
+	}
+	parts := mpi.Alltoallv(g.Comm, send)
+	sizeOf := map[int32]int64{}
+	for _, part := range parts {
+		for _, e := range part {
+			sizeOf[e.Label] += e.Count
+		}
+	}
+	// Contigs are components with at least 2 reads (§4.4).
+	var mine []lc
+	for lab, sz := range sizeOf {
+		if sz >= 2 {
+			mine = append(mine, lc{Label: lab, Count: sz})
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool { return mine[i].Label < mine[j].Label })
+
+	// Gather contig sizes on a single processor and run LPT there (§4.3:
+	// "we collect the global information about contig lengths in a single
+	// processor ... to avoid the unnecessary communication of small
+	// messages").
+	gathered := mpi.Gatherv(g.Comm, 0, mine)
+	type asg struct {
+		Label int32
+		Proc  int32
+	}
+	var table []asg
+	if g.Comm.Rank() == 0 {
+		var all []lc
+		for _, part := range gathered {
+			all = append(all, part...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Label < all[j].Label })
+		sizes := make([]int64, len(all))
+		for i, e := range all {
+			sizes[i] = e.Count
+		}
+		procOf, _ := partition.LPT(sizes, p)
+		table = make([]asg, len(all))
+		for i, e := range all {
+			table[i] = asg{Label: e.Label, Proc: procOf[i]}
+		}
+	}
+	table = mpi.Bcast(g.Comm, 0, table)
+	res.NumContigs = mpi.Bcast(g.Comm, 0, []int64{int64(len(table))})[0]
+
+	procOf := make(map[int32]int32, len(table))
+	for _, e := range table {
+		procOf[e.Label] = e.Proc
+	}
+	// Build the assignment vector block.
+	assign := spmat.NewDistVec[int32](g, labels.N)
+	var assigned int64
+	for i := range assign.Local {
+		assign.Local[i] = -1
+		if deg.Local[i] >= 1 {
+			if proc, ok := procOf[labels.Local[i]]; ok {
+				assign.Local[i] = proc
+				assigned++
+			}
+		}
+	}
+	res.AssignedReads = mpi.Allreduce(g.Comm, assigned, func(a, b int64) int64 { return a + b })
+	return assign
+}
+
+// LocalGraph is the re-indexed induced subgraph a rank assembles locally:
+// a CSC whose column j holds the outgoing edges of local vertex j, plus the
+// map back to global read ids (§4.3: "while we re-index the local matrix to
+// fit its new, smaller size, we also keep a map of the original global
+// vertex indices").
+type LocalGraph struct {
+	Globals []int32 // local index → global read id (ascending)
+	CSC     spmat.CSC[bidir.Edge]
+}
+
+// InducedSubgraph redistributes the edges of l so each rank receives exactly
+// the edges of the contigs assigned to it (§4.3, Figure 2): the assignment
+// vector entries for local rows arrive via an Allgatherv on the row
+// communicator; entries for local columns via the point-to-point exchange
+// with the transposed rank; then a custom all-to-all routes each triple
+// (u, v, L(u,v)) with v[u] = v[v] = d to processor d.
+func InducedSubgraph(l *spmat.Dist[bidir.Edge], assign *spmat.DistVec[int32]) *LocalGraph {
+	g := l.G
+	p := g.Comm.Size()
+	rowAsg, colAsg := assign.RowColGather()
+	send := make([][]spmat.Triple[bidir.Edge], p)
+	for _, t := range l.Local.Ts {
+		du := rowAsg[t.Row-l.RowLo]
+		dw := colAsg[t.Col-l.ColLo]
+		if du < 0 || du != dw {
+			continue
+		}
+		send[du] = append(send[du], t)
+	}
+	parts := mpi.Alltoallv(g.Comm, send)
+
+	// Re-index: collect the vertex set, sort ascending for determinism.
+	vset := map[int32]struct{}{}
+	var edges []spmat.Triple[bidir.Edge]
+	for _, part := range parts {
+		for _, t := range part {
+			vset[t.Row] = struct{}{}
+			vset[t.Col] = struct{}{}
+			edges = append(edges, t)
+		}
+	}
+	globals := make([]int32, 0, len(vset))
+	for v := range vset {
+		globals = append(globals, v)
+	}
+	sort.Slice(globals, func(i, j int) bool { return globals[i] < globals[j] })
+	localIdx := make(map[int32]int32, len(globals))
+	for i, v := range globals {
+		localIdx[v] = int32(i)
+	}
+	// Local triples with column = SOURCE vertex so the CSC walk reads
+	// outgoing edges: edge (u → w, e) is stored at (row lw, col lu).
+	ts := make([]spmat.Triple[bidir.Edge], len(edges))
+	for i, t := range edges {
+		ts[i] = spmat.Triple[bidir.Edge]{Row: localIdx[t.Col], Col: localIdx[t.Row], Val: t.Val}
+	}
+	n := int32(len(globals))
+	coo := spmat.NewCOO(n, n, ts, nil)
+	// The distributed stages store blocks in DCSC (hypersparse); local
+	// assembly converts to plain CSC for O(1) column indexing (§4.4).
+	dcsc := coo.ToCSC().ToDCSC()
+	return &LocalGraph{Globals: globals, CSC: dcsc.ToCSC()}
+}
+
+// CommunicateSequences routes every assigned read's bytes to its owner
+// processor (§4.3 "Read Sequence Communication"): reads are packed into
+// per-destination char buffers and exchanged with an all-to-all that chunks
+// each message to respect the MPI 2³¹−1 count limit. With packed=true the
+// buffers travel 2-bit-encoded (quarter the volume), falling back to raw
+// bytes if any local read has a non-ACGT base.
+func CommunicateSequences(store *fasta.DistStore, assign *spmat.DistVec[int32], packed bool) map[int32][]byte {
+	g := assign.G
+	p := g.Comm.Size()
+	ids := make([][]int32, p)
+	raw := make([][][]byte, p)
+	for i, proc := range assign.Local {
+		if proc < 0 {
+			continue
+		}
+		gid := assign.Lo + int32(i)
+		ids[proc] = append(ids[proc], gid)
+		raw[proc] = append(raw[proc], store.Get(int(gid)))
+	}
+	gotIDs := mpi.Alltoallv(g.Comm, ids)
+	out := map[int32][]byte{}
+
+	if packed {
+		// All ranks must agree on the encoding: fall back to raw everywhere
+		// if any rank holds a non-ACGT read.
+		okLocal := true
+		words := make([][]uint64, p)
+		for r := 0; r < p && okLocal; r++ {
+			words[r], okLocal = dna.PackAll(raw[r])
+		}
+		if mpi.Allreduce(g.Comm, okLocal, func(a, b bool) bool { return a && b }) {
+			gotWords := mpi.AlltoallvChunked(g.Comm, words)
+			for r := 0; r < p; r++ {
+				lens := make([]int, len(gotIDs[r]))
+				for i, gid := range gotIDs[r] {
+					lens[i] = store.Len(int(gid))
+				}
+				for i, seq := range dna.UnpackAll(gotWords[r], lens) {
+					out[gotIDs[r][i]] = seq
+				}
+			}
+			return out
+		}
+	}
+	bufs := make([][]byte, p)
+	for r := 0; r < p; r++ {
+		for _, seq := range raw[r] {
+			bufs[r] = append(bufs[r], seq...)
+		}
+	}
+	gotBufs := mpi.AlltoallvChunked(g.Comm, bufs)
+	for r := 0; r < p; r++ {
+		off := 0
+		for _, gid := range gotIDs[r] {
+			ln := store.Len(int(gid))
+			out[gid] = gotBufs[r][off : off+ln]
+			off += ln
+		}
+	}
+	return out
+}
+
+// LocalAssembly walks every linear chain of the local graph and concatenates
+// the read subsequences into contigs (§4.4): scan for unvisited root
+// vertices (degree 1), walk to the opposite root marking vertices visited,
+// and join l_r[α:pre(e₀)] ⊕ l_c₁[post(e₀):pre(e₁)] ⊕ … with descending
+// slices meaning reverse complement. Cycles left by root walks (circular
+// chains) are walked from their smallest vertex. No communication happens
+// here — the contigs' reads are all local by construction.
+func LocalAssembly(lg *LocalGraph, seqs map[int32][]byte) []Contig {
+	n := lg.CSC.NC
+	visited := make([]bool, n)
+	var contigs []Contig
+
+	// Root-to-root walks.
+	for v := int32(0); v < n; v++ {
+		if !visited[v] && lg.CSC.ColDegree(v) == 1 {
+			contigs = append(contigs, walk(lg, seqs, v, visited, false)...)
+		}
+	}
+	// Remaining unvisited vertices with edges form cycles.
+	for v := int32(0); v < n; v++ {
+		if !visited[v] && lg.CSC.ColDegree(v) > 0 {
+			contigs = append(contigs, walk(lg, seqs, v, visited, true)...)
+		}
+	}
+	return contigs
+}
+
+// step is one traversal move: the edge cur→next.
+type step struct {
+	vertex int32 // next (local index)
+	edge   bidir.Edge
+}
+
+// walk traverses the chain starting at root, segments it at bidirected
+// validity violations, and assembles each segment.
+func walk(lg *LocalGraph, seqs map[int32][]byte, root int32, visited []bool, circular bool) []Contig {
+	csc := lg.CSC
+	visited[root] = true
+	chain := []step{{vertex: root}}
+	cur := root
+	for {
+		// Pick the unvisited neighbor; for the first step of a cycle walk
+		// both neighbors are unvisited — take the smaller global id.
+		next := int32(-1)
+		var e bidir.Edge
+		for ptr := csc.JC[cur]; ptr < csc.JC[cur+1]; ptr++ {
+			cand := csc.IR[ptr]
+			if visited[cand] {
+				continue
+			}
+			if next == -1 || lg.Globals[cand] < lg.Globals[next] {
+				next = cand
+				e = csc.V[ptr]
+			}
+		}
+		if next == -1 {
+			break
+		}
+		visited[next] = true
+		chain = append(chain, step{vertex: next, edge: e})
+		cur = next
+	}
+	// Valid-walk violations (a vertex entered and exited through the same
+	// end, possible with noisy alignments) are cut by assembleSegments.
+	return assembleSegments(lg, seqs, chain, circular)
+}
+
+// assembleSegments splits the chain at valid-walk violations and builds a
+// contig from every segment with ≥ 2 reads.
+func assembleSegments(lg *LocalGraph, seqs map[int32][]byte, chain []step, circular bool) []Contig {
+	var out []Contig
+	segStart := 0
+	for i := 2; i < len(chain); i++ {
+		// Edge i-1 enters chain[i-1].vertex; edge i leaves it.
+		if chain[i].edge.SrcBit() == chain[i-1].edge.DstBit() {
+			if c, ok := assembleChain(lg, seqs, chain[segStart:i], circular && segStart == 0 && i == len(chain)); ok {
+				out = append(out, c)
+			}
+			segStart = i - 1 // the cut vertex starts the next segment
+		}
+	}
+	if c, ok := assembleChain(lg, seqs, chain[segStart:], circular && segStart == 0); ok {
+		out = append(out, c)
+	}
+	return out
+}
+
+// assembleChain concatenates one valid chain into a contig.
+func assembleChain(lg *LocalGraph, seqs map[int32][]byte, chain []step, circular bool) (Contig, bool) {
+	q := len(chain)
+	if q < 2 {
+		return Contig{}, false
+	}
+	reads := make([]int32, q)
+	for i, st := range chain {
+		reads[i] = lg.Globals[st.vertex]
+	}
+	var seq []byte
+	for i, st := range chain {
+		gid := lg.Globals[st.vertex]
+		l, ok := seqs[gid]
+		if !ok {
+			panic(fmt.Sprintf("core: read %d missing from local sequence store", gid))
+		}
+		L := int32(len(l))
+		var fwd bool
+		if i == 0 {
+			fwd = chain[1].edge.SrcForward()
+		} else {
+			fwd = chain[i].edge.DstForward()
+		}
+		// Inclusive slice bounds on the read in walk order.
+		var from, to int32 // from..to in walk direction
+		if i == 0 {
+			if fwd {
+				from, to = 0, chain[1].edge.Pre
+			} else {
+				from, to = L-1, chain[1].edge.Pre
+			}
+		} else if i < q-1 {
+			// Middle read: from the first overlap base with the previous
+			// read to the last base before the overlap with the next;
+			// walk order (ascending/descending) is implied by fwd.
+			from, to = chain[i].edge.Post, chain[i+1].edge.Pre
+		} else {
+			if fwd {
+				from, to = chain[i].edge.Post, L-1
+			} else {
+				from, to = chain[i].edge.Post, 0
+			}
+		}
+		seq = appendPiece(seq, l, from, to, fwd)
+	}
+	return Contig{Seq: seq, Reads: reads, Circular: circular}, true
+}
+
+// appendPiece appends the inclusive walk-ordered slice l[from..to]: forward
+// slices ascend; reverse slices descend and are complemented (the paper's
+// l[j:i] notation).
+func appendPiece(dst, l []byte, from, to int32, fwd bool) []byte {
+	if fwd {
+		if from < 0 {
+			from = 0
+		}
+		if to >= int32(len(l)) {
+			to = int32(len(l)) - 1
+		}
+		for i := from; i <= to; i++ {
+			dst = append(dst, l[i])
+		}
+		return dst
+	}
+	if from >= int32(len(l)) {
+		from = int32(len(l)) - 1
+	}
+	if to < 0 {
+		to = 0
+	}
+	for i := from; i >= to; i-- {
+		dst = append(dst, complement(l[i]))
+	}
+	return dst
+}
+
+func complement(b byte) byte {
+	switch b {
+	case 'A', 'a':
+		return 'T'
+	case 'C', 'c':
+		return 'G'
+	case 'G', 'g':
+		return 'C'
+	case 'T', 't':
+		return 'A'
+	}
+	return 'N'
+}

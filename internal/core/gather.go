@@ -1,0 +1,47 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// flatContig is the wire form of a contig for gathering.
+type flatContig struct {
+	Seq      []byte
+	Reads    []int32
+	Circular bool
+}
+
+// GatherContigs collects every rank's contigs at root (nil elsewhere),
+// sorted deterministically by (length desc, sequence) so the result is
+// independent of the processor count (collective).
+func GatherContigs(c *mpi.Comm, contigs []Contig) []Contig {
+	mine := make([]flatContig, len(contigs))
+	for i, ct := range contigs {
+		mine[i] = flatContig{Seq: ct.Seq, Reads: ct.Reads, Circular: ct.Circular}
+	}
+	parts := mpi.Gatherv(c, 0, mine)
+	if c.Rank() != 0 {
+		return nil
+	}
+	var all []Contig
+	for _, part := range parts {
+		for _, fc := range part {
+			all = append(all, Contig{Seq: fc.Seq, Reads: fc.Reads, Circular: fc.Circular})
+		}
+	}
+	SortContigs(all)
+	return all
+}
+
+// SortContigs orders contigs by (length desc, sequence asc) — the canonical
+// order used for determinism checks and N50-style reporting.
+func SortContigs(cs []Contig) {
+	sort.Slice(cs, func(i, j int) bool {
+		if len(cs[i].Seq) != len(cs[j].Seq) {
+			return len(cs[i].Seq) > len(cs[j].Seq)
+		}
+		return string(cs[i].Seq) < string(cs[j].Seq)
+	})
+}

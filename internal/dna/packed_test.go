@@ -1,0 +1,94 @@
+package dna
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randSeq(rng, int(n%500))
+		p, ok := Pack(s)
+		if !ok {
+			return false
+		}
+		return bytes.Equal(p.Unpack(), s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackRejectsNonBases(t *testing.T) {
+	if _, ok := Pack([]byte("ACGNT")); ok {
+		t.Fatal("N must not pack")
+	}
+	if p, ok := Pack(nil); !ok || p.N != 0 {
+		t.Fatal("empty must pack")
+	}
+}
+
+func TestPackedAt(t *testing.T) {
+	s := []byte("ACGTACGTACGTACGTACGTACGTACGTACGTACG") // 35 bases, crosses a word
+	p, ok := Pack(s)
+	if !ok {
+		t.Fatal("pack failed")
+	}
+	for i := range s {
+		if p.At(i) != s[i] {
+			t.Fatalf("At(%d) = %c, want %c", i, p.At(i), s[i])
+		}
+	}
+}
+
+func TestPackedAtPanicsOutOfRange(t *testing.T) {
+	p, _ := Pack([]byte("ACGT"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.At(4)
+}
+
+func TestPackAllUnpackAll(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10)
+		seqs := make([][]byte, n)
+		lens := make([]int, n)
+		for i := range seqs {
+			seqs[i] = randSeq(rng, rng.Intn(150))
+			lens[i] = len(seqs[i])
+		}
+		words, ok := PackAll(seqs)
+		if !ok {
+			return false
+		}
+		if len(words) != PackedWords(lens) {
+			return false
+		}
+		back := UnpackAll(words, lens)
+		for i := range seqs {
+			if !bytes.Equal(back[i], seqs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackCompressionRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randSeq(rng, 3200)
+	p, _ := Pack(s)
+	if got := len(p.Bits) * 8; got != 800 {
+		t.Fatalf("3200 bases use %d bytes, want 800", got)
+	}
+}

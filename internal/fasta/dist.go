@@ -1,0 +1,194 @@
+package fasta
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+// DistStore is the block-distributed read store: world rank r owns the
+// contiguous read-id range grid.BlockRange(n, P, r). Read lengths are
+// replicated everywhere (they are a few bytes per read and every pipeline
+// stage needs them); the sequences themselves live only on their owner.
+type DistStore struct {
+	Comm *mpi.Comm
+	N    int      // total number of reads
+	Lo   int      // first read id owned by this rank
+	Hi   int      // one past the last read id owned
+	Seqs [][]byte // Seqs[i] is read Lo+i
+	Lens []int32  // global, replicated: Lens[g] = len of read g
+}
+
+// FromGlobal builds the store when every rank can deterministically produce
+// the full read set (e.g. a seeded simulator): each rank keeps only its
+// block. No communication.
+func FromGlobal(c *mpi.Comm, all [][]byte) *DistStore {
+	n := len(all)
+	lo, hi := grid.BlockRange(n, c.Size(), c.Rank())
+	seqs := make([][]byte, hi-lo)
+	for i := range seqs {
+		seqs[i] = all[lo+i]
+	}
+	lens := make([]int32, n)
+	for g, s := range all {
+		lens[g] = int32(len(s))
+	}
+	return &DistStore{Comm: c, N: n, Lo: lo, Hi: hi, Seqs: seqs, Lens: lens}
+}
+
+// Scatter distributes reads held by root across all ranks (the parallel
+// FastaReader entry point). Non-root ranks pass nil.
+func Scatter(c *mpi.Comm, root int, all [][]byte) *DistStore {
+	var n int
+	if c.Rank() == root {
+		n = len(all)
+	}
+	n = int(mpi.Bcast(c, root, []int64{int64(n)})[0])
+	var parts [][][]byte // flattened per-rank below
+	_ = parts
+	// Flatten sequences into one byte buffer + offsets per destination so the
+	// traffic counters see real volume.
+	var myBuf []byte
+	var myLens []int32
+	if c.Rank() == root {
+		bufParts := make([][]byte, c.Size())
+		lenParts := make([][]int32, c.Size())
+		for r := 0; r < c.Size(); r++ {
+			lo, hi := grid.BlockRange(n, c.Size(), r)
+			for g := lo; g < hi; g++ {
+				bufParts[r] = append(bufParts[r], all[g]...)
+				lenParts[r] = append(lenParts[r], int32(len(all[g])))
+			}
+		}
+		myBuf = mpi.Scatterv(c, root, bufParts)
+		myLens = mpi.Scatterv(c, root, lenParts)
+	} else {
+		myBuf = mpi.Scatterv[byte](c, root, nil)
+		myLens = mpi.Scatterv[int32](c, root, nil)
+	}
+	lo, hi := grid.BlockRange(n, c.Size(), c.Rank())
+	seqs := make([][]byte, hi-lo)
+	off := 0
+	for i, l := range myLens {
+		seqs[i] = myBuf[off : off+int(l)]
+		off += int(l)
+	}
+	// Replicate lengths.
+	lens := make([]int32, 0, n)
+	flat, _ := mpi.AllgathervFlat(c, myLens)
+	lens = append(lens, flat...)
+	return &DistStore{Comm: c, N: n, Lo: lo, Hi: hi, Seqs: seqs, Lens: lens}
+}
+
+// Owns reports whether this rank owns read g.
+func (s *DistStore) Owns(g int) bool { return g >= s.Lo && g < s.Hi }
+
+// Get returns the sequence of a locally owned read.
+func (s *DistStore) Get(g int) []byte {
+	if !s.Owns(g) {
+		panic(fmt.Sprintf("fasta: rank %d asked locally for read %d outside [%d,%d)", s.Comm.Rank(), g, s.Lo, s.Hi))
+	}
+	return s.Seqs[g-s.Lo]
+}
+
+// Owner returns the rank owning read g.
+func (s *DistStore) Owner(g int) int { return grid.BlockOwner(s.N, s.Comm.Size(), g) }
+
+// Fetch retrieves the sequences of arbitrary global read ids (collective:
+// every rank must call it, possibly with an empty request). Duplicate ids are
+// allowed. The result maps each requested id to its sequence.
+//
+// Implementation: request ids go to their owners with one Alltoallv; owners
+// answer with a second Alltoallv whose byte payload is chunk-limited like all
+// sequence traffic.
+func (s *DistStore) Fetch(ids []int) map[int][]byte {
+	p := s.Comm.Size()
+	// Deduplicate and route requests.
+	uniq := make([]int, 0, len(ids))
+	seen := make(map[int]struct{}, len(ids))
+	for _, g := range ids {
+		if _, ok := seen[g]; ok {
+			continue
+		}
+		seen[g] = struct{}{}
+		uniq = append(uniq, g)
+	}
+	sort.Ints(uniq)
+	req := make([][]int64, p)
+	for _, g := range uniq {
+		o := s.Owner(g)
+		req[o] = append(req[o], int64(g))
+	}
+	got := mpi.Alltoallv(s.Comm, req)
+	// Serve: for every requester, concatenated bytes + lengths.
+	respBuf := make([][]byte, p)
+	for r := 0; r < p; r++ {
+		for _, g64 := range got[r] {
+			respBuf[r] = append(respBuf[r], s.Get(int(g64))...)
+		}
+	}
+	back := mpi.AlltoallvChunked(s.Comm, respBuf)
+	out := make(map[int][]byte, len(uniq))
+	for r := 0; r < p; r++ {
+		off := 0
+		for _, g64 := range req[r] {
+			g := int(g64)
+			l := int(s.Lens[g])
+			out[g] = back[r][off : off+l]
+			off += l
+		}
+	}
+	return out
+}
+
+// Len returns the length of any read (lengths are replicated).
+func (s *DistStore) Len(g int) int { return int(s.Lens[g]) }
+
+// RowColSequences implements diBELLA's sequence exchange for the alignment
+// stage: every rank obtains the sequences of all reads in its matrix ROW
+// range and COLUMN range. Because reads are block-distributed in world-rank
+// order, the reads of grid row i live exactly on the ranks of grid row i, so
+// an Allgatherv on the row communicator yields the row-range sequences; the
+// column-range sequences then come from the transposed rank, the same
+// pattern as the induced-subgraph assignment exchange (Figure 2).
+//
+// Returned slices are indexed from the row/column range start of an n×n
+// matrix with n = s.N. Collective.
+func (s *DistStore) RowColSequences(g *grid.Grid) (rowSeqs, colSeqs [][]byte) {
+	// Flatten local reads into one buffer so traffic counters see volume.
+	var flat []byte
+	for _, seq := range s.Seqs {
+		flat = append(flat, seq...)
+	}
+	rowFlat, _ := mpi.AllgathervFlat(g.RowComm, flat)
+	rowLo, rowHi := g.MyRowRange(s.N)
+	rowSeqs = unflatten(rowFlat, s.Lens[rowLo:rowHi])
+
+	if g.Row == g.Col {
+		colSeqs = rowSeqs
+		return rowSeqs, colSeqs
+	}
+	partner := g.TransposedRank()
+	const tag = 0x5e9 // arbitrary private tag for this exchange pattern
+	mpi.SendChunked(g.Comm, partner, tag, rowFlat)
+	colFlat := mpi.RecvChunked[byte](g.Comm, partner, tag)
+	colLo, colHi := g.MyColRange(s.N)
+	colSeqs = unflatten(colFlat, s.Lens[colLo:colHi])
+	return rowSeqs, colSeqs
+}
+
+// unflatten splits a concatenated buffer back into per-read slices.
+func unflatten(flat []byte, lens []int32) [][]byte {
+	out := make([][]byte, len(lens))
+	off := 0
+	for i, l := range lens {
+		out[i] = flat[off : off+int(l)]
+		off += int(l)
+	}
+	if off != len(flat) {
+		panic(fmt.Sprintf("fasta: sequence buffer has %d bytes, lengths demand %d", len(flat), off))
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package kmer
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fasta"
+	"repro/internal/mpi"
+	"repro/internal/readsim"
+)
+
+func BenchmarkExtract(b *testing.B) {
+	g := readsim.Genome(readsim.GenomeConfig{Length: 100000, Seed: 1})
+	for _, k := range []int{17, 31} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.SetBytes(int64(len(g)))
+			for i := 0; i < b.N; i++ {
+				Extract(g, k)
+			}
+		})
+	}
+}
+
+func BenchmarkCountSerial(b *testing.B) {
+	g := readsim.Genome(readsim.GenomeConfig{Length: 50000, Seed: 2})
+	reads := readsim.Seqs(readsim.Simulate(g, readsim.ReadConfig{Depth: 10, MeanLen: 3000, Seed: 3}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountSerial(reads, 31)
+	}
+}
+
+func BenchmarkCountAndBuildDistributed(b *testing.B) {
+	g := readsim.Genome(readsim.GenomeConfig{Length: 50000, Seed: 4})
+	reads := readsim.Seqs(readsim.Simulate(g, readsim.ReadConfig{Depth: 10, MeanLen: 3000, Seed: 5}))
+	for _, p := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			err := mpi.Run(p, func(c *mpi.Comm) {
+				store := fasta.FromGlobal(c, reads)
+				for i := 0; i < b.N; i++ {
+					CountAndBuild(store, 31, 2, 100)
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

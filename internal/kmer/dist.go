@@ -1,0 +1,110 @@
+package kmer
+
+import (
+	"sort"
+
+	"repro/internal/fasta"
+	"repro/internal/mpi"
+)
+
+// ATriple is one nonzero of the |reads| × |k-mers| matrix A: read Row
+// contains reliable k-mer column Col at Val.Pos / Val.RC.
+type ATriple struct {
+	Row int32 // global read id
+	Col int32 // reliable k-mer column id
+	Val Occur
+}
+
+// Result is the outcome of the distributed counting stage on one rank.
+type Result struct {
+	K           int
+	NumCols     int       // global number of reliable k-mer columns
+	Triples     []ATriple // triples for the reads owned by this rank
+	Occurrences int64     // k-mer occurrences this rank extracted (work units)
+}
+
+// CountAndBuild is the distributed k-mer counter (Algorithm 1 lines 3–4).
+//
+// Protocol (all collectives on the full communicator):
+//  1. Every rank extracts canonical k-mers from its reads and routes one
+//     record per (read, k-mer) occurrence to the k-mer's hash owner
+//     (Alltoallv #1).
+//  2. Owners count occurrences, select reliable k-mers in [low, high], sort
+//     them, and assign globally consecutive column ids via Exscan.
+//  3. Owners answer every received occurrence with its column id or -1
+//     (Alltoallv #2, reply shape mirrors the request shape).
+//  4. Ranks assemble local A-matrix triples from the replies.
+func CountAndBuild(store *fasta.DistStore, k int, low, high int32) *Result {
+	c := store.Comm
+	p := c.Size()
+
+	// 1. Extract and route.
+	type occRec struct {
+		Read int32
+		Pos  int32
+		RC   bool
+	}
+	sendKmers := make([][]uint64, p)
+	sendMeta := make([][]occRec, p) // stays local, parallel to sendKmers
+	for g := store.Lo; g < store.Hi; g++ {
+		for _, kp := range Extract(store.Get(g), k) {
+			o := Owner(kp.Kmer, p)
+			sendKmers[o] = append(sendKmers[o], uint64(kp.Kmer))
+			sendMeta[o] = append(sendMeta[o], occRec{Read: int32(g), Pos: kp.Pos, RC: kp.RC})
+		}
+	}
+	recvKmers := mpi.Alltoallv(c, sendKmers)
+
+	// 2. Count and select on owners.
+	counts := make(map[Kmer]int32)
+	for _, part := range recvKmers {
+		for _, km := range part {
+			counts[Kmer(km)]++
+		}
+	}
+	reliable := SelectReliable(counts, low, high)
+	nLocal := len(reliable)
+	offset := mpi.Exscan(c, nLocal, func(a, b int) int { return a + b })
+	total := mpi.Allreduce(c, nLocal, func(a, b int) int { return a + b })
+	colOf := make(map[Kmer]int32, nLocal)
+	for i, km := range reliable {
+		colOf[km] = int32(offset + i)
+	}
+
+	// 3. Reply with column ids, mirroring the request shape.
+	reply := make([][]int32, p)
+	for r := 0; r < p; r++ {
+		reply[r] = make([]int32, len(recvKmers[r]))
+		for i, km := range recvKmers[r] {
+			if col, ok := colOf[Kmer(km)]; ok {
+				reply[r][i] = col
+			} else {
+				reply[r][i] = -1
+			}
+		}
+	}
+	cols := mpi.Alltoallv(c, reply)
+
+	// 4. Assemble triples.
+	var triples []ATriple
+	for r := 0; r < p; r++ {
+		for i, col := range cols[r] {
+			if col < 0 {
+				continue
+			}
+			m := sendMeta[r][i]
+			triples = append(triples, ATriple{Row: m.Read, Col: col, Val: Occur{Pos: m.Pos, RC: m.RC}})
+		}
+	}
+	sort.Slice(triples, func(i, j int) bool {
+		if triples[i].Row != triples[j].Row {
+			return triples[i].Row < triples[j].Row
+		}
+		return triples[i].Col < triples[j].Col
+	})
+	var occ int64
+	for r := 0; r < p; r++ {
+		occ += int64(len(sendKmers[r]))
+	}
+	return &Result{K: k, NumCols: total, Triples: triples, Occurrences: occ}
+}

@@ -1,0 +1,149 @@
+// Package kmer implements 2-bit k-mer encoding (k ≤ 31), canonical forms,
+// and the distributed k-mer counting / reliable-k-mer selection stage that
+// produces the |reads| × |k-mers| matrix A of Algorithm 1 (lines 3–4).
+package kmer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dna"
+)
+
+// MaxK is the largest k that fits 2 bits per base in a uint64.
+const MaxK = 31
+
+// Kmer is a 2-bit packed k-mer; bases are packed most-significant-first so
+// integer order equals lexicographic order.
+type Kmer uint64
+
+// Decode expands a packed k-mer back to ASCII (mostly for tests/debugging).
+func Decode(km Kmer, k int) []byte {
+	out := make([]byte, k)
+	for i := k - 1; i >= 0; i-- {
+		out[i] = dna.Base(byte(km & 3))
+		km >>= 2
+	}
+	return out
+}
+
+// Encode packs seq[0:k]; panics if a non-base is present.
+func Encode(seq []byte, k int) Kmer {
+	if k > MaxK || k <= 0 {
+		panic(fmt.Sprintf("kmer: k=%d out of range (1..%d)", k, MaxK))
+	}
+	var km Kmer
+	for i := 0; i < k; i++ {
+		c := dna.Code(seq[i])
+		if c == 0xFF {
+			panic(fmt.Sprintf("kmer: non-base %q at %d", seq[i], i))
+		}
+		km = km<<2 | Kmer(c)
+	}
+	return km
+}
+
+// RevComp returns the reverse complement of a packed k-mer.
+func RevComp(km Kmer, k int) Kmer {
+	var rc Kmer
+	for i := 0; i < k; i++ {
+		rc = rc<<2 | Kmer(3-(km&3))
+		km >>= 2
+	}
+	return rc
+}
+
+// Occur is one occurrence of a canonical k-mer in a read: the start position
+// of the k-mer window on the read's forward strand and whether the canonical
+// form is the reverse complement of the window.
+type Occur struct {
+	Pos int32
+	RC  bool
+}
+
+// KPos is a canonical k-mer occurrence during extraction.
+type KPos struct {
+	Kmer Kmer
+	Pos  int32
+	RC   bool
+}
+
+// Extract lists the canonical k-mers of seq with a rolling encoder,
+// deduplicated so that each canonical k-mer appears at most once per read
+// (first occurrence wins — a deterministic choice).
+func Extract(seq []byte, k int) []KPos {
+	if k <= 0 || k > MaxK {
+		panic(fmt.Sprintf("kmer: k=%d out of range (1..%d)", k, MaxK))
+	}
+	if len(seq) < k {
+		return nil
+	}
+	mask := Kmer(1)<<(2*uint(k)) - 1
+	shift := 2 * uint(k-1)
+	var fwd, rc Kmer
+	out := make([]KPos, 0, len(seq)-k+1)
+	seen := make(map[Kmer]struct{}, len(seq)-k+1)
+	valid := 0
+	for i := 0; i < len(seq); i++ {
+		c := dna.Code(seq[i])
+		if c == 0xFF {
+			valid = 0
+			fwd, rc = 0, 0
+			continue
+		}
+		fwd = (fwd<<2 | Kmer(c)) & mask
+		rc = rc>>2 | Kmer(3-c)<<shift
+		valid++
+		if valid < k {
+			continue
+		}
+		canon, isRC := fwd, false
+		if rc < fwd {
+			canon, isRC = rc, true
+		}
+		if _, dup := seen[canon]; dup {
+			continue
+		}
+		seen[canon] = struct{}{}
+		out = append(out, KPos{Kmer: canon, Pos: int32(i - k + 1), RC: isRC})
+	}
+	return out
+}
+
+// hash mixes a k-mer for owner selection (splitmix64 finalizer).
+func hash(km Kmer) uint64 {
+	x := uint64(km) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Owner returns the rank responsible for counting km.
+func Owner(km Kmer, p int) int { return int(hash(km) % uint64(p)) }
+
+// CountSerial counts, for each canonical k-mer, in how many reads it occurs.
+// Shared-memory reference used by the baselines and by tests of the
+// distributed counter.
+func CountSerial(reads [][]byte, k int) map[Kmer]int32 {
+	counts := make(map[Kmer]int32)
+	for _, seq := range reads {
+		for _, kp := range Extract(seq, k) {
+			counts[kp.Kmer]++
+		}
+	}
+	return counts
+}
+
+// SelectReliable returns the sorted canonical k-mers whose read-count lies in
+// [low, high]: k-mers seen once are likely sequencing errors, k-mers seen far
+// more often than the depth are repeats that would densify C = A·Aᵀ.
+func SelectReliable(counts map[Kmer]int32, low, high int32) []Kmer {
+	out := make([]Kmer, 0, len(counts))
+	for km, c := range counts {
+		if c >= low && c <= high {
+			out = append(out, km)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

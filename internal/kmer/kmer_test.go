@@ -1,0 +1,275 @@
+package kmer
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dna"
+	"repro/internal/fasta"
+	"repro/internal/mpi"
+	"repro/internal/readsim"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = dna.Bases[rng.Intn(4)]
+	}
+	return s
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64, kk uint8) bool {
+		k := int(kk%MaxK) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := randSeq(rng, k)
+		return bytes.Equal(Decode(Encode(s, k), k), s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeOrderIsLexicographic(t *testing.T) {
+	f := func(seed int64, kk uint8) bool {
+		k := int(kk%MaxK) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randSeq(rng, k), randSeq(rng, k)
+		return (Encode(a, k) < Encode(b, k)) == (bytes.Compare(a, b) < 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevCompMatchesASCII(t *testing.T) {
+	f := func(seed int64, kk uint8) bool {
+		k := int(kk%MaxK) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := randSeq(rng, k)
+		return RevComp(Encode(s, k), k) == Encode(dna.RevComp(s), k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevCompInvolution(t *testing.T) {
+	f := func(km uint64, kk uint8) bool {
+		k := int(kk%MaxK) + 1
+		mask := Kmer(1)<<(2*uint(k)) - 1
+		v := Kmer(km) & mask
+		return RevComp(RevComp(v, k), k) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(12) + 3
+		s := randSeq(rng, rng.Intn(120)+k)
+		got := Extract(s, k)
+		// Naive reference.
+		type ref struct {
+			km  Kmer
+			pos int32
+			rc  bool
+		}
+		var want []ref
+		seen := map[Kmer]bool{}
+		for i := 0; i+k <= len(s); i++ {
+			fwd := Encode(s[i:i+k], k)
+			rc := RevComp(fwd, k)
+			canon, isRC := fwd, false
+			if rc < fwd {
+				canon, isRC = rc, true
+			}
+			if seen[canon] {
+				continue
+			}
+			seen[canon] = true
+			want = append(want, ref{canon, int32(i), isRC})
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Kmer != want[i].km || got[i].Pos != want[i].pos || got[i].RC != want[i].rc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractCanonicalStrandSymmetry(t *testing.T) {
+	// A read and its reverse complement must yield the same canonical k-mer
+	// set — the property that makes overlap detection strand-blind.
+	rng := rand.New(rand.NewSource(4))
+	s := randSeq(rng, 200)
+	k := 15
+	a := Extract(s, k)
+	b := Extract(dna.RevComp(s), k)
+	setA := map[Kmer]bool{}
+	for _, kp := range a {
+		setA[kp.Kmer] = true
+	}
+	setB := map[Kmer]bool{}
+	for _, kp := range b {
+		setB[kp.Kmer] = true
+	}
+	if !reflect.DeepEqual(setA, setB) {
+		t.Fatal("canonical k-mer sets differ between strands")
+	}
+}
+
+func TestExtractSkipsShortAndInvalid(t *testing.T) {
+	if got := Extract([]byte("ACG"), 5); got != nil {
+		t.Fatal("short read must have no k-mers")
+	}
+	// An N resets the window: ACGTNACGT with k=4 has windows ACGT (pos 0)
+	// and ACGT (pos 5) — deduped to one occurrence.
+	got := Extract([]byte("ACGTNACGT"), 4)
+	if len(got) != 1 || got[0].Pos != 0 {
+		t.Fatalf("invalid-base handling wrong: %+v", got)
+	}
+}
+
+func TestSelectReliableBounds(t *testing.T) {
+	counts := map[Kmer]int32{1: 1, 2: 2, 3: 5, 4: 9, 5: 2}
+	got := SelectReliable(counts, 2, 5)
+	want := []Kmer{2, 3, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestCountSerialSimple(t *testing.T) {
+	reads := [][]byte{[]byte("ACGTAC"), []byte("ACGTTT"), dna.RevComp([]byte("ACGTAC"))}
+	counts := CountSerial(reads, 4)
+	acgt := Encode([]byte("ACGT"), 4)
+	rc := RevComp(acgt, 4)
+	canon := acgt
+	if rc < acgt {
+		canon = rc
+	}
+	if counts[canon] != 3 {
+		t.Fatalf("ACGT canonical count = %d, want 3", counts[canon])
+	}
+}
+
+func TestDistributedMatchesSerial(t *testing.T) {
+	g := readsim.Genome(readsim.GenomeConfig{Length: 8000, Seed: 21})
+	reads := readsim.Seqs(readsim.Simulate(g, readsim.ReadConfig{Depth: 8, MeanLen: 600, Seed: 22}))
+	k, low, high := 15, int32(2), int32(60)
+
+	// Serial reference.
+	counts := CountSerial(reads, k)
+	reliable := SelectReliable(counts, low, high)
+	nRef := len(reliable)
+
+	type key struct {
+		row int32
+		pos int32
+		rc  bool
+	}
+	for _, p := range []int{1, 4, 9} {
+		var got []ATriple
+		err := mpi.Run(p, func(c *mpi.Comm) {
+			store := fasta.FromGlobal(c, reads)
+			res := CountAndBuild(store, k, low, high)
+			if res.NumCols != nRef {
+				panic("reliable column count differs from serial")
+			}
+			all, _ := mpi.AllgathervFlat(c, res.Triples)
+			if c.Rank() == 0 {
+				got = all
+			}
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		// Reference triples: every (read, reliable kmer) occurrence.
+		colOf := map[Kmer]int32{}
+		for i, km := range reliable {
+			colOf[km] = int32(i)
+		}
+		var wantKeys []key
+		for r, seq := range reads {
+			for _, kp := range Extract(seq, k) {
+				if _, ok := colOf[kp.Kmer]; ok {
+					wantKeys = append(wantKeys, key{int32(r), kp.Pos, kp.RC})
+				}
+			}
+		}
+		if len(got) != len(wantKeys) {
+			t.Fatalf("P=%d: %d triples, want %d", p, len(got), len(wantKeys))
+		}
+		gotKeys := make([]key, len(got))
+		for i, tr := range got {
+			gotKeys[i] = key{tr.Row, tr.Val.Pos, tr.Val.RC}
+		}
+		less := func(a, b key) bool {
+			if a.row != b.row {
+				return a.row < b.row
+			}
+			if a.pos != b.pos {
+				return a.pos < b.pos
+			}
+			return !a.rc && b.rc
+		}
+		sort.Slice(gotKeys, func(i, j int) bool { return less(gotKeys[i], gotKeys[j]) })
+		sort.Slice(wantKeys, func(i, j int) bool { return less(wantKeys[i], wantKeys[j]) })
+		if !reflect.DeepEqual(gotKeys, wantKeys) {
+			t.Fatalf("P=%d: triple sets differ", p)
+		}
+	}
+}
+
+func TestDistributedColumnIdsConsistent(t *testing.T) {
+	// The same k-mer must get the same column id no matter which rank asks:
+	// check that (kmer → col) is a function by grouping triples of identical
+	// (pos-independent) k-mers. We reconstruct k-mers from reads.
+	g := readsim.Genome(readsim.GenomeConfig{Length: 4000, Seed: 31})
+	reads := readsim.Seqs(readsim.Simulate(g, readsim.ReadConfig{Depth: 6, MeanLen: 400, Seed: 32}))
+	k := 13
+	err := mpi.Run(4, func(c *mpi.Comm) {
+		store := fasta.FromGlobal(c, reads)
+		res := CountAndBuild(store, k, 2, 1000)
+		type pair struct {
+			km  uint64
+			col int32
+		}
+		var local []pair
+		for _, tr := range res.Triples {
+			seq := store.Get(int(tr.Row))
+			fwd := Encode(seq[tr.Val.Pos:int(tr.Val.Pos)+k], k)
+			canon := fwd
+			if rc := RevComp(fwd, k); rc < fwd {
+				canon = rc
+			}
+			local = append(local, pair{uint64(canon), tr.Col})
+		}
+		all, _ := mpi.AllgathervFlat(c, local)
+		colOf := map[uint64]int32{}
+		for _, pr := range all {
+			if prev, ok := colOf[pr.km]; ok && prev != pr.col {
+				panic("same k-mer mapped to different columns")
+			}
+			colOf[pr.km] = pr.col
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

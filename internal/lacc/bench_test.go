@@ -1,0 +1,59 @@
+package lacc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bidir"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/spmat"
+)
+
+// benchChains builds the contig workload shape: many short linear chains.
+func benchChains(n, chainLen int) []spmat.Triple[bidir.Edge] {
+	var ts []spmat.Triple[bidir.Edge]
+	for start := 0; start+chainLen <= n; start += chainLen {
+		for k := 0; k < chainLen-1; k++ {
+			u, v := int32(start+k), int32(start+k+1)
+			ts = append(ts, spmat.Triple[bidir.Edge]{Row: u, Col: v},
+				spmat.Triple[bidir.Edge]{Row: v, Col: u})
+		}
+	}
+	return ts
+}
+
+func BenchmarkComponents(b *testing.B) {
+	n := 4000
+	ts := benchChains(n, 25)
+	for _, p := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			err := mpi.Run(p, func(c *mpi.Comm) {
+				g := grid.New(c)
+				l := spmat.FromGlobalTriples(g, int32(n), int32(n), ts, nil)
+				for i := 0; i < b.N; i++ {
+					Components(l)
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkComponentsLongChain(b *testing.B) {
+	// One chain spanning all vertices: maximum pointer-jumping depth.
+	n := 4000
+	ts := benchChains(n, n)
+	err := mpi.Run(4, func(c *mpi.Comm) {
+		g := grid.New(c)
+		l := spmat.FromGlobalTriples(g, int32(n), int32(n), ts, nil)
+		for i := 0; i < b.N; i++ {
+			Components(l)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkSendRecv(b *testing.B) {
+	for _, size := range []int{64, 4096, 1 << 20} {
+		b.Run(fmt.Sprintf("bytes=%d", size), func(b *testing.B) {
+			payload := make([]byte, size)
+			b.SetBytes(int64(size))
+			err := Run(2, func(c *Comm) {
+				for i := 0; i < b.N; i++ {
+					if c.Rank() == 0 {
+						Send(c, 1, 0, payload)
+					} else {
+						Recv[byte](c, 0, 0)
+					}
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkAllgatherv(b *testing.B) {
+	for _, p := range []int{4, 16} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			err := Run(p, func(c *Comm) {
+				local := make([]int64, 1024)
+				for i := 0; i < b.N; i++ {
+					Allgatherv(c, local)
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkAlltoallv(b *testing.B) {
+	for _, p := range []int{4, 16} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			err := Run(p, func(c *Comm) {
+				send := make([][]int64, p)
+				for r := range send {
+					send[r] = make([]int64, 256)
+				}
+				for i := 0; i < b.N; i++ {
+					Alltoallv(c, send)
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	for _, p := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			err := Run(p, func(c *Comm) {
+				for i := 0; i < b.N; i++ {
+					Barrier(c)
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

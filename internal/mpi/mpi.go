@@ -1,0 +1,413 @@
+// Package mpi implements a simulated distributed-memory message-passing
+// runtime with MPI-like semantics.
+//
+// The ELBA paper targets MPI on thousands of ranks. Go has no MPI ecosystem,
+// so this package substitutes a faithful in-process simulation: every rank is
+// a goroutine with a private heap, point-to-point messages copy their payload
+// through per-rank mailboxes, and the usual collectives (Barrier, Bcast,
+// Gather(v), Allgather(v), Alltoall(v), Reduce, Allreduce, ReduceScatter,
+// Exscan) are built on top of point-to-point exchange exactly as a small MPI
+// implementation would. Communicators can be Split into sub-communicators
+// (used for the row/column communicators of the 2D process grid).
+//
+// Because payloads are copied on send, a rank can never observe another
+// rank's memory: algorithmic errors (reading a vector entry the rank does not
+// own) fail in tests the same way they would on real distributed hardware.
+//
+// The runtime also keeps per-rank traffic counters so experiments can report
+// machine-independent communication volumes.
+package mpi
+
+import (
+	"fmt"
+	"hash/maphash"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// DefaultRecvTimeout bounds how long a Recv waits before the runtime declares
+// a deadlock. Simulated runs are local, so a multi-minute wait always means a
+// mismatched send/receive pattern; panicking with context beats hanging.
+var DefaultRecvTimeout = 120 * time.Second
+
+// MaxMessageBytes mirrors the MPI count limit of 2^31-1 that the paper's
+// sequence-communication step must work around. Sends larger than this panic,
+// forcing callers to chunk exactly as ELBA does. Tests lower it to exercise
+// the chunking path at small scale.
+var MaxMessageBytes = int64(1<<31 - 1)
+
+// World owns the mailboxes and counters for one simulated machine.
+type World struct {
+	size        int
+	mailboxes   []*mailbox
+	stats       []RankStats
+	recvTimeout time.Duration
+}
+
+// RankStats counts traffic originated by one rank.
+type RankStats struct {
+	MsgsSent  int64
+	BytesSent int64
+	_         [6]int64 // pad to a cache line to avoid false sharing
+}
+
+// NewWorld creates a world with p ranks.
+func NewWorld(p int) *World {
+	if p <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d must be positive", p))
+	}
+	w := &World{
+		size:        p,
+		mailboxes:   make([]*mailbox, p),
+		stats:       make([]RankStats, p),
+		recvTimeout: DefaultRecvTimeout,
+	}
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// SetRecvTimeout overrides the deadlock watchdog for this world.
+func (w *World) SetRecvTimeout(d time.Duration) { w.recvTimeout = d }
+
+// Stats returns a snapshot of per-rank traffic counters.
+func (w *World) Stats() []RankStats {
+	out := make([]RankStats, w.size)
+	for i := range out {
+		out[i].MsgsSent = atomic.LoadInt64(&w.stats[i].MsgsSent)
+		out[i].BytesSent = atomic.LoadInt64(&w.stats[i].BytesSent)
+	}
+	return out
+}
+
+// TotalBytes returns the total bytes sent by all ranks so far.
+func (w *World) TotalBytes() int64 {
+	var t int64
+	for i := range w.stats {
+		t += atomic.LoadInt64(&w.stats[i].BytesSent)
+	}
+	return t
+}
+
+// Comm returns the world communicator for the given rank. Each rank goroutine
+// must use its own Comm; Comms are not shared between goroutines.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.size))
+	}
+	group := make([]int, w.size)
+	for i := range group {
+		group[i] = i
+	}
+	return &Comm{world: w, ctx: 1, rank: rank, group: group}
+}
+
+// RankError reports a panic raised inside one rank of a Run.
+type RankError struct {
+	Rank  int
+	Value any
+	Stack string
+}
+
+func (e *RankError) Error() string {
+	return fmt.Sprintf("mpi: rank %d panicked: %v\n%s", e.Rank, e.Value, e.Stack)
+}
+
+// Run executes fn on p simulated ranks and waits for all of them. Panics in
+// rank goroutines are recovered and returned as errors (first one wins).
+func Run(p int, fn func(*Comm)) error {
+	w := NewWorld(p)
+	return w.Run(fn)
+}
+
+// Run executes fn on every rank of the world and waits for completion.
+func (w *World) Run(fn func(*Comm)) error {
+	errs := make(chan *RankError, w.size)
+	done := make(chan struct{})
+	var pending atomic.Int64
+	pending.Store(int64(w.size))
+	for r := 0; r < w.size; r++ {
+		c := w.Comm(r)
+		go func(rank int, c *Comm) {
+			defer func() {
+				if v := recover(); v != nil {
+					errs <- &RankError{Rank: rank, Value: v, Stack: string(debug.Stack())}
+				}
+				if pending.Add(-1) == 0 {
+					close(done)
+				}
+			}()
+			fn(c)
+		}(r, c)
+	}
+	<-done
+	select {
+	case e := <-errs:
+		return e
+	default:
+		return nil
+	}
+}
+
+// message is a single point-to-point transmission.
+type message struct {
+	ctx     uint64 // communicator context id
+	src     int    // communicator rank of the sender
+	tag     int64
+	payload any
+	bytes   int64
+}
+
+// mailbox is the single-consumer queue of messages addressed to one rank.
+// Only the owning rank goroutine consumes; any rank may push.
+type mailbox struct {
+	mu    chan struct{} // binary semaphore guarding queue
+	queue []message
+	sig   chan struct{}
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{mu: make(chan struct{}, 1), sig: make(chan struct{}, 1)}
+	m.mu <- struct{}{}
+	return m
+}
+
+func (m *mailbox) push(msg message) {
+	<-m.mu
+	m.queue = append(m.queue, msg)
+	m.mu <- struct{}{}
+	select {
+	case m.sig <- struct{}{}:
+	default:
+	}
+}
+
+// take removes and returns the first message matching (ctx, src, tag),
+// preserving FIFO order among matching messages.
+func (m *mailbox) take(ctx uint64, src int, tag int64) (message, bool) {
+	<-m.mu
+	defer func() { m.mu <- struct{}{} }()
+	for i, msg := range m.queue {
+		if msg.ctx == ctx && msg.src == src && msg.tag == tag {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return msg, true
+		}
+	}
+	return message{}, false
+}
+
+// pendingDump formats queued messages for deadlock diagnostics.
+func (m *mailbox) pendingDump() string {
+	<-m.mu
+	defer func() { m.mu <- struct{}{} }()
+	s := ""
+	for i, msg := range m.queue {
+		if i == 8 {
+			s += fmt.Sprintf(" …(%d more)", len(m.queue)-8)
+			break
+		}
+		s += fmt.Sprintf(" (ctx=%d src=%d tag=%d)", msg.ctx, msg.src, msg.tag)
+	}
+	return s
+}
+
+// Comm is a communicator: a group of ranks with a private context id so
+// concurrent collectives on different communicators never interfere.
+type Comm struct {
+	world *World
+	ctx   uint64
+	rank  int   // rank within this communicator
+	group []int // world rank of each communicator rank
+	seq   uint64
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// World returns the underlying world (shared state; read-only use).
+func (c *Comm) World() *World { return c.world }
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(rank int) int { return c.group[rank] }
+
+// BytesSent returns the bytes this rank has sent so far (any communicator).
+func (c *Comm) BytesSent() int64 {
+	return atomic.LoadInt64(&c.world.stats[c.group[c.rank]].BytesSent)
+}
+
+// MsgsSent returns the messages this rank has sent so far.
+func (c *Comm) MsgsSent() int64 {
+	return atomic.LoadInt64(&c.world.stats[c.group[c.rank]].MsgsSent)
+}
+
+// nextSeq reserves a fresh operation sequence number. SPMD programs call
+// collectives in the same order on every rank, so sequence numbers line up
+// across the communicator without coordination (the MPI matching rule).
+func (c *Comm) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+// sendRaw transmits payload to dst (communicator rank) under (ctx, tag).
+// The payload must already be an owned copy.
+func (c *Comm) sendRaw(dst int, tag int64, payload any, bytes int64) {
+	if bytes > MaxMessageBytes {
+		panic(fmt.Sprintf("mpi: message of %d bytes exceeds MaxMessageBytes=%d (chunk the send as ELBA does)", bytes, MaxMessageBytes))
+	}
+	wdst := c.group[dst]
+	wsrc := c.group[c.rank]
+	atomic.AddInt64(&c.world.stats[wsrc].MsgsSent, 1)
+	atomic.AddInt64(&c.world.stats[wsrc].BytesSent, bytes)
+	c.world.mailboxes[wdst].push(message{ctx: c.ctx, src: c.rank, tag: tag, payload: payload, bytes: bytes})
+}
+
+// recvRaw blocks until a message from src (communicator rank) with tag
+// arrives, subject to the world deadlock watchdog.
+func (c *Comm) recvRaw(src int, tag int64) any {
+	box := c.world.mailboxes[c.group[c.rank]]
+	deadline := time.Now().Add(c.world.recvTimeout)
+	for {
+		if msg, ok := box.take(c.ctx, src, tag); ok {
+			return msg.payload
+		}
+		var timer *time.Timer
+		var expire <-chan time.Time
+		if c.world.recvTimeout > 0 {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				panic(fmt.Sprintf("mpi: rank %d (world %d) deadlocked waiting for ctx=%d src=%d tag=%d; pending:%s",
+					c.rank, c.group[c.rank], c.ctx, src, tag, box.pendingDump()))
+			}
+			timer = time.NewTimer(remain)
+			expire = timer.C
+		}
+		select {
+		case <-box.sig:
+			if timer != nil {
+				timer.Stop()
+			}
+		case <-expire:
+			// Loop re-checks the queue, then panics via the deadline branch.
+		}
+	}
+}
+
+// Split partitions the communicator by color; ranks passing the same color
+// form a new communicator ordered by (key, old rank). It must be called by
+// every rank of c (a collective), like MPI_Comm_split.
+func (c *Comm) Split(color, key int) *Comm {
+	type ck struct{ Color, Key, Rank int }
+	all := Allgather(c, ck{Color: color, Key: key, Rank: c.rank})
+	var members []ck
+	for _, e := range all {
+		if e.Color == color {
+			members = append(members, e)
+		}
+	}
+	// Insertion sort by (key, rank): deterministic on every rank.
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0 && (members[j-1].Key > members[j].Key ||
+			(members[j-1].Key == members[j].Key && members[j-1].Rank > members[j].Rank)); j-- {
+			members[j-1], members[j] = members[j], members[j-1]
+		}
+	}
+	group := make([]int, len(members))
+	newRank := -1
+	for i, m := range members {
+		group[i] = c.group[m.Rank]
+		if m.Rank == c.rank {
+			newRank = i
+		}
+	}
+	// A context id all members derive identically: hash of parent context,
+	// split sequence number and color.
+	var h maphash.Hash
+	h.SetSeed(fixedSeed)
+	writeUint64(&h, c.ctx)
+	writeUint64(&h, c.seq)
+	writeUint64(&h, uint64(int64(color)))
+	ctx := h.Sum64() | 1 // never zero
+	return &Comm{world: c.world, ctx: ctx, rank: newRank, group: group}
+}
+
+// fixedSeed makes Split context ids identical across all ranks of a world.
+var fixedSeed = maphash.MakeSeed()
+
+func writeUint64(h *maphash.Hash, v uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
+// sizeOf returns the in-memory size of T's top-level representation; used
+// only for traffic accounting (nested slices count as headers).
+func sizeOf[T any]() int64 {
+	var z T
+	return int64(unsafe.Sizeof(z))
+}
+
+// Send transmits a copy of data to dst under tag. Buffered semantics: it
+// never blocks on the receiver.
+func Send[T any](c *Comm, dst int, tag int64, data []T) {
+	cp := make([]T, len(data))
+	copy(cp, data)
+	c.sendRaw(dst, tag, cp, int64(len(cp))*sizeOf[T]())
+}
+
+// Recv blocks until the matching Send arrives and returns its payload.
+func Recv[T any](c *Comm, src int, tag int64) []T {
+	return c.recvRaw(src, tag).([]T)
+}
+
+// SendOne transmits a single value.
+func SendOne[T any](c *Comm, dst int, tag int64, v T) {
+	c.sendRaw(dst, tag, v, sizeOf[T]())
+}
+
+// RecvOne receives a single value.
+func RecvOne[T any](c *Comm, src int, tag int64) T {
+	return c.recvRaw(src, tag).(T)
+}
+
+// SendChunked splits data into MaxMessageBytes-sized chunks, mirroring how
+// ELBA works around the MPI 2^31-1 count limit for read-sequence buffers.
+// The element count is sent first so the receiver can size its buffer.
+func SendChunked[T any](c *Comm, dst int, tag int64, data []T) {
+	esz := sizeOf[T]()
+	if esz == 0 {
+		esz = 1
+	}
+	maxElems := int(MaxMessageBytes / esz)
+	if maxElems < 1 {
+		maxElems = 1
+	}
+	SendOne(c, dst, tag, int64(len(data)))
+	for off := 0; off < len(data); off += maxElems {
+		end := off + maxElems
+		if end > len(data) {
+			end = len(data)
+		}
+		Send(c, dst, tag, data[off:end])
+	}
+}
+
+// RecvChunked receives a buffer sent with SendChunked.
+func RecvChunked[T any](c *Comm, src int, tag int64) []T {
+	n := RecvOne[int64](c, src, tag)
+	out := make([]T, 0, n)
+	for int64(len(out)) < n {
+		out = append(out, Recv[T](c, src, tag)...)
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+// Package overlap implements the overlap-detection and alignment stages of
+// Algorithm 1 (lines 3–9): building the |reads| × |k-mers| matrix A,
+// computing the candidate matrix C = A·Aᵀ with a seed-collecting semiring
+// via distributed SUMMA SpGEMM, running x-drop alignment on every candidate
+// pair, and pruning low-quality alignments and contained reads to obtain the
+// overlap matrix R.
+package overlap
+
+import (
+	"sort"
+
+	"repro/internal/align"
+	"repro/internal/bidir"
+	"repro/internal/fasta"
+	"repro/internal/grid"
+	"repro/internal/kmer"
+	"repro/internal/mpi"
+	"repro/internal/spmat"
+	"repro/internal/trace"
+)
+
+// Seeds is the nonzero payload of the candidate matrix C: up to two shared
+// k-mer seeds per read pair (BELLA's policy). The two lexicographically
+// smallest distinct seeds are kept, which makes the semiring addition
+// associative and commutative — required for SUMMA's stage-order-independent
+// accumulation.
+type Seeds struct {
+	N int32
+	S [2]align.Seed
+}
+
+func seedLess(a, b align.Seed) bool {
+	if a.PU != b.PU {
+		return a.PU < b.PU
+	}
+	if a.PV != b.PV {
+		return a.PV < b.PV
+	}
+	return !a.RC && b.RC
+}
+
+// addSeed inserts s keeping the two smallest distinct seeds.
+func (c Seeds) addSeed(s align.Seed) Seeds {
+	for i := int32(0); i < c.N; i++ {
+		if c.S[i] == s {
+			return c
+		}
+	}
+	switch {
+	case c.N == 0:
+		c.S[0] = s
+		c.N = 1
+	case c.N == 1:
+		if seedLess(s, c.S[0]) {
+			c.S[0], c.S[1] = s, c.S[0]
+		} else {
+			c.S[1] = s
+		}
+		c.N = 2
+	default:
+		if seedLess(s, c.S[0]) {
+			c.S[1] = c.S[0]
+			c.S[0] = s
+		} else if seedLess(s, c.S[1]) {
+			c.S[1] = s
+		}
+	}
+	return c
+}
+
+// merge combines two seed sets (the semiring Add).
+func (c Seeds) merge(d Seeds) Seeds {
+	for i := int32(0); i < d.N; i++ {
+		c = c.addSeed(d.S[i])
+	}
+	return c
+}
+
+// seedSemiring builds C = A·Aᵀ: multiplying occurrence A(i,k) with
+// Aᵀ(k,j) yields a shared-seed candidate for pair (i,j).
+var seedSemiring = spmat.Semiring[kmer.Occur, kmer.Occur, Seeds]{
+	Mul: func(a, b kmer.Occur) (Seeds, bool) {
+		var s Seeds
+		return s.addSeed(align.Seed{PU: a.Pos, PV: b.Pos, RC: a.RC != b.RC}), true
+	},
+	Add: func(a, b Seeds) Seeds { return a.merge(b) },
+}
+
+// Config parameterizes overlap detection.
+type Config struct {
+	K            int   // k-mer length (paper: 31 low-error, 17 H. sapiens)
+	ReliableLow  int32 // minimum read-count for a reliable k-mer
+	ReliableHigh int32 // maximum read-count (repeat guard)
+	Align        align.Params
+	MinOverlap   int32   // minimum aligned length on both reads
+	MinScoreFrac float64 // score must be ≥ frac × aligned length
+	MaxOverhang  int32   // dovetail tolerance (x-drop early stop slack)
+}
+
+// Result carries the stage outputs and counters.
+type Result struct {
+	NumReads  int
+	NumKmers  int
+	A         *spmat.Dist[kmer.Occur]
+	R         *spmat.Dist[bidir.Aln] // symmetric overlap matrix
+	Contained []int32                // reads removed as contained (global, replicated)
+	// Counters (global, replicated); each candidate pair is counted once
+	// (the checkerboard keeps one direction per pair).
+	CandidatePairs int64 // aligned read pairs
+	KeptOverlaps   int64 // pairs surviving as dovetails
+}
+
+// Run executes k-mer counting, overlap detection and alignment. Stage timing
+// lands in tm under the paper's breakdown names (CountKmer, DetectOverlap,
+// Alignment).
+func Run(g *grid.Grid, store *fasta.DistStore, cfg Config, tm *trace.Timers) *Result {
+	res := &Result{NumReads: store.N}
+
+	// CountKmer: distributed counting and reliable-k-mer selection.
+	var kres *kmer.Result
+	tm.Stage("CountKmer", g.Comm, func() {
+		kres = kmer.CountAndBuild(store, cfg.K, cfg.ReliableLow, cfg.ReliableHigh)
+	})
+	res.NumKmers = kres.NumCols
+	tm.AddWork("CountKmer", kres.Occurrences)
+
+	// DetectOverlap: A, Aᵀ, C = A·Aᵀ. C is symmetric and each pair must be
+	// aligned exactly once; keeping only the upper triangle would idle the
+	// lower-triangle ranks of the grid, so the surviving direction of each
+	// pair is chosen checkerboard-style — (min,max) when i+j is even,
+	// (max,min) when odd — which splits the alignment work evenly across
+	// both triangles. The mirror entry is reconstructed after alignment.
+	var c *spmat.Dist[Seeds]
+	var products int64
+	tm.Stage("DetectOverlap", g.Comm, func() {
+		ts := make([]spmat.Triple[kmer.Occur], len(kres.Triples))
+		for i, t := range kres.Triples {
+			ts[i] = spmat.Triple[kmer.Occur]{Row: t.Row, Col: t.Col, Val: t.Val}
+		}
+		res.A = spmat.NewDist(g, int32(store.N), int32(kres.NumCols), ts, nil)
+		at := spmat.Transpose(res.A, nil)
+		c = spmat.SpGEMMCounted(res.A, at, seedSemiring, &products)
+		c.Apply(func(r, cc int32, v Seeds) (Seeds, bool) {
+			if r == cc {
+				return v, false
+			}
+			if (r+cc)%2 == 0 {
+				return v, r < cc
+			}
+			return v, r > cc
+		})
+		res.CandidatePairs = c.Nnz()
+	})
+	tm.AddWork("DetectOverlap", products)
+
+	// Alignment: x-drop per candidate, classification, containment pruning,
+	// symmetrization.
+	var cells int64
+	cfg.Align.Cells = &cells
+	tm.Stage("Alignment", g.Comm, func() {
+		res.R = alignAndPrune(g, store, c, cfg, res)
+	})
+	tm.AddWork("Alignment", cells)
+	return res
+}
+
+// alignAndPrune aligns every surviving candidate (one direction per pair),
+// prunes, removes contained reads, and returns the symmetric overlap matrix.
+func alignAndPrune(g *grid.Grid, store *fasta.DistStore, c *spmat.Dist[Seeds], cfg Config, res *Result) *spmat.Dist[bidir.Aln] {
+	// diBELLA's sequence exchange: row-range sequences via the row
+	// communicator, column-range sequences via the transposed rank.
+	rowSeqs, colSeqs := store.RowColSequences(g)
+
+	cls := bidir.Params{MaxOverhang: cfg.MaxOverhang}
+	var upper []spmat.Triple[bidir.Aln]
+	var contained []int32
+	for _, t := range c.Local.Ts {
+		u, v := rowSeqs[t.Row-c.RowLo], colSeqs[t.Col-c.ColLo]
+		a := align.Best(u, v, int32(cfg.K), t.Val.S[:t.Val.N], cfg.Align)
+		a.U, a.V = t.Row, t.Col
+		// Quality gates first: length and score density.
+		alnLen := min32(a.EU-a.BU, a.EV-a.BV)
+		if alnLen < cfg.MinOverlap {
+			continue
+		}
+		if float64(a.Score) < cfg.MinScoreFrac*float64(alnLen) {
+			continue
+		}
+		switch _, kind := bidir.Classify(a, cls); kind {
+		case bidir.Dovetail:
+			upper = append(upper, spmat.Triple[bidir.Aln]{Row: t.Row, Col: t.Col, Val: a})
+		case bidir.ContainsV:
+			contained = append(contained, t.Col)
+		case bidir.ContainedU:
+			contained = append(contained, t.Row)
+		case bidir.Internal:
+			// repeat-induced or low-quality: drop
+		}
+	}
+	// Replicate the contained-read set (Prune(R, IsContainedRead())).
+	flat, _ := mpi.AllgathervFlat(g.Comm, contained)
+	sort.Slice(flat, func(i, j int) bool { return flat[i] < flat[j] })
+	flat = dedup(flat)
+	res.Contained = flat
+
+	rHalf := spmat.NewDist(g, int32(store.N), int32(store.N), upper, nil)
+	rHalf.MaskRowsCols(flat)
+	res.KeptOverlaps = rHalf.Nnz()
+	// Symmetrize: R = half + mirror(half)ᵀ (each pair has exactly one
+	// stored direction, so the merge cannot collide).
+	rMirror := spmat.Transpose(rHalf, bidir.Aln.Mirror)
+	return spmat.Add(rHalf, rMirror, nil)
+}
+
+// ToStringGraph classifies every directed overlap into its bidirected edge —
+// the value conversion from R to the string matrix domain. Classification
+// cannot fail here: containment and internal matches were pruned.
+func ToStringGraph(r *spmat.Dist[bidir.Aln], maxOverhang int32) *spmat.Dist[bidir.Edge] {
+	p := bidir.Params{MaxOverhang: maxOverhang}
+	out := spmat.FromGlobalTriples[bidir.Edge](r.G, r.NR, r.NC, nil, nil)
+	ts := make([]spmat.Triple[bidir.Edge], 0, r.Local.Nnz())
+	for _, t := range r.Local.Ts {
+		e, kind := bidir.Classify(t.Val, p)
+		if kind != bidir.Dovetail {
+			panic("overlap: non-dovetail alignment survived pruning")
+		}
+		ts = append(ts, spmat.Triple[bidir.Edge]{Row: t.Row, Col: t.Col, Val: e})
+	}
+	out.Local = spmat.NewCOO(r.NR, r.NC, ts, nil)
+	return out
+}
+
+func dedup(xs []int32) []int32 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || xs[i-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,278 @@
+package overlap
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/bidir"
+	"repro/internal/fasta"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/readsim"
+	"repro/internal/spmat"
+	"repro/internal/trace"
+)
+
+func testConfig(k int, xdrop int32) Config {
+	return Config{
+		K:            k,
+		ReliableLow:  2,
+		ReliableHigh: 80,
+		Align:        align.DefaultParams(xdrop),
+		MinOverlap:   100,
+		MinScoreFrac: 0.5,
+		MaxOverhang:  60,
+	}
+}
+
+// trueOverlap returns the genomic overlap length of two simulated reads.
+func trueOverlap(a, b readsim.Read) int {
+	lo := max(a.Pos, b.Pos)
+	hi := min(a.End, b.End)
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func TestSeedsMergeKeepsTwoSmallestDistinct(t *testing.T) {
+	s1 := align.Seed{PU: 10, PV: 5}
+	s2 := align.Seed{PU: 3, PV: 7}
+	s3 := align.Seed{PU: 20, PV: 1}
+	var a Seeds
+	a = a.addSeed(s1)
+	a = a.addSeed(s1) // duplicate ignored
+	if a.N != 1 {
+		t.Fatalf("N=%d", a.N)
+	}
+	a = a.addSeed(s3)
+	a = a.addSeed(s2)
+	if a.N != 2 || a.S[0] != s2 || a.S[1] != s1 {
+		t.Fatalf("got %+v", a)
+	}
+	// Merge must be order-insensitive (semiring Add commutativity).
+	var b Seeds
+	b = b.addSeed(s2)
+	var c1 Seeds
+	c1 = c1.addSeed(s1)
+	c1 = c1.addSeed(s3)
+	m1 := c1.merge(b)
+	m2 := b.merge(c1)
+	if m1 != m2 {
+		t.Fatalf("merge not commutative: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestRunErrorFreeFindsTrueOverlapsOnly(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeConfig{Length: 40000, Seed: 17})
+	reads := readsim.Simulate(genome, readsim.ReadConfig{Depth: 12, MeanLen: 2500, Seed: 18})
+	seqs := readsim.Seqs(reads)
+	cfg := testConfig(21, 25)
+
+	for _, p := range []int{1, 4} {
+		p := p
+		t.Run(fmt.Sprintf("P=%d", p), func(t *testing.T) {
+			var edges []spmat.Triple[bidir.Aln]
+			var contained []int32
+			err := mpi.Run(p, func(c *mpi.Comm) {
+				g := grid.New(c)
+				store := fasta.FromGlobal(c, seqs)
+				res := Run(g, store, cfg, trace.New())
+				all := res.R.GatherTriples(0)
+				if c.Rank() == 0 {
+					edges = all
+					contained = res.Contained
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(edges) == 0 {
+				t.Fatal("no overlaps found")
+			}
+			// Soundness: every edge connects truly overlapping reads.
+			for _, e := range edges {
+				ov := trueOverlap(reads[e.Row], reads[e.Col])
+				if ov < 50 {
+					t.Fatalf("edge (%d,%d) between non-overlapping reads (true ov %d)", e.Row, e.Col, ov)
+				}
+			}
+			// Symmetry.
+			set := map[[2]int32]bool{}
+			for _, e := range edges {
+				set[[2]int32{e.Row, e.Col}] = true
+			}
+			for _, e := range edges {
+				if !set[[2]int32{e.Col, e.Row}] {
+					t.Fatalf("edge (%d,%d) has no mirror", e.Row, e.Col)
+				}
+			}
+			// Completeness: most substantial true dovetail overlaps between
+			// surviving reads are found.
+			dead := map[int32]bool{}
+			for _, id := range contained {
+				dead[id] = true
+			}
+			found, missed := 0, 0
+			for i := range reads {
+				for j := i + 1; j < len(reads); j++ {
+					if dead[int32(i)] || dead[int32(j)] {
+						continue
+					}
+					ov := trueOverlap(reads[i], reads[j])
+					// Require a solid dovetail: long overlap but neither
+					// contains the other.
+					cont := (reads[i].Pos <= reads[j].Pos && reads[i].End >= reads[j].End) ||
+						(reads[j].Pos <= reads[i].Pos && reads[j].End >= reads[i].End)
+					if ov < 500 || cont {
+						continue
+					}
+					if set[[2]int32{int32(i), int32(j)}] {
+						found++
+					} else {
+						missed++
+					}
+				}
+			}
+			if found == 0 || missed > found/5 {
+				t.Fatalf("found %d, missed %d true overlaps", found, missed)
+			}
+		})
+	}
+}
+
+func TestRunDeterministicAcrossP(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeConfig{Length: 15000, Seed: 23})
+	reads := readsim.Seqs(readsim.Simulate(genome, readsim.ReadConfig{Depth: 8, MeanLen: 1500, Seed: 24}))
+	cfg := testConfig(17, 20)
+	var results [][]spmat.Triple[bidir.Aln]
+	for _, p := range []int{1, 4, 9} {
+		var edges []spmat.Triple[bidir.Aln]
+		err := mpi.Run(p, func(c *mpi.Comm) {
+			g := grid.New(c)
+			store := fasta.FromGlobal(c, reads)
+			res := Run(g, store, cfg, trace.New())
+			all := res.R.GatherTriples(0)
+			if c.Rank() == 0 {
+				edges = all
+			}
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		results = append(results, edges)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("overlap graph differs between P=1 and run %d", i)
+		}
+	}
+}
+
+func TestRunWithErrorsStillFindsOverlaps(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeConfig{Length: 30000, Seed: 29})
+	reads := readsim.Simulate(genome, readsim.ReadConfig{Depth: 10, MeanLen: 2500, ErrorRate: 0.03, Seed: 30})
+	seqs := readsim.Seqs(reads)
+	cfg := testConfig(17, 30)
+	cfg.MinScoreFrac = 0.3
+	var nEdges int64
+	var bad int
+	err := mpi.Run(4, func(c *mpi.Comm) {
+		g := grid.New(c)
+		store := fasta.FromGlobal(c, seqs)
+		res := Run(g, store, cfg, trace.New())
+		all := res.R.GatherTriples(0)
+		if c.Rank() == 0 {
+			nEdges = int64(len(all))
+			for _, e := range all {
+				if trueOverlap(reads[e.Row], reads[e.Col]) < 50 {
+					bad++
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nEdges < 10 {
+		t.Fatalf("only %d edges at 3%% error", nEdges)
+	}
+	if bad > 0 {
+		t.Fatalf("%d spurious edges", bad)
+	}
+}
+
+func TestContainedReadsAreRemoved(t *testing.T) {
+	// Construct a scenario with a guaranteed containment: one short read
+	// inside a long one.
+	genome := readsim.Genome(readsim.GenomeConfig{Length: 12000, Seed: 31})
+	var seqs [][]byte
+	// Tile the genome with long reads.
+	step, rl := 800, 2400
+	for pos := 0; pos+rl <= len(genome); pos += step {
+		seqs = append(seqs, genome[pos:pos+rl])
+	}
+	// Append a short read strictly inside read 0.
+	containedID := int32(len(seqs))
+	seqs = append(seqs, genome[600:1400])
+	cfg := testConfig(21, 20)
+	err := mpi.Run(4, func(c *mpi.Comm) {
+		g := grid.New(c)
+		store := fasta.FromGlobal(c, seqs)
+		res := Run(g, store, cfg, trace.New())
+		isContained := false
+		for _, id := range res.Contained {
+			if id == containedID {
+				isContained = true
+			}
+		}
+		if !isContained {
+			panic("short embedded read not detected as contained")
+		}
+		for _, t := range res.R.Local.Ts {
+			if t.Row == containedID || t.Col == containedID {
+				panic("contained read still has edges")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToStringGraphClassifiesAll(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeConfig{Length: 20000, Seed: 37})
+	reads := readsim.Seqs(readsim.Simulate(genome, readsim.ReadConfig{Depth: 10, MeanLen: 2000, Seed: 38}))
+	cfg := testConfig(21, 20)
+	err := mpi.Run(4, func(c *mpi.Comm) {
+		g := grid.New(c)
+		store := fasta.FromGlobal(c, reads)
+		res := Run(g, store, cfg, trace.New())
+		s := ToStringGraph(res.R, cfg.MaxOverhang)
+		if s.Nnz() != res.R.Nnz() {
+			panic("string graph lost edges")
+		}
+		// Directed values must be mirror-consistent: gather and check.
+		all := s.GatherTriples(0)
+		if g.Comm.Rank() == 0 {
+			vals := map[[2]int32]bidir.Edge{}
+			for _, t := range all {
+				vals[[2]int32{t.Row, t.Col}] = t.Val
+			}
+			for _, t := range all {
+				m, ok := vals[[2]int32{t.Col, t.Row}]
+				if !ok {
+					panic("missing mirror")
+				}
+				if t.Val.SrcBit() != m.DstBit() || t.Val.DstBit() != m.SrcBit() {
+					panic("mirror direction bits inconsistent")
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package overlap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/align"
+)
+
+// randSeeds builds a random seed set through addSeed (so it is canonical).
+func randSeeds(rng *rand.Rand) Seeds {
+	var s Seeds
+	for k := rng.Intn(4); k > 0; k-- {
+		s = s.addSeed(align.Seed{
+			PU: int32(rng.Intn(50)),
+			PV: int32(rng.Intn(50)),
+			RC: rng.Intn(2) == 1,
+		})
+	}
+	return s
+}
+
+// TestSeedsMergeCommutative: SUMMA accumulates partial products in a stage
+// order that depends on the grid, so the semiring Add must be commutative.
+func TestSeedsMergeCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randSeeds(rng), randSeeds(rng)
+		return a.merge(b) == b.merge(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeedsMergeAssociative: likewise for associativity.
+func TestSeedsMergeAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randSeeds(rng), randSeeds(rng), randSeeds(rng)
+		return a.merge(b).merge(c) == a.merge(b.merge(c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeedsMergeIdempotent: merging a set with itself changes nothing.
+func TestSeedsMergeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeeds(rng)
+		return a.merge(a) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeedsKeepSmallest: the canonical set holds the two lexicographically
+// smallest distinct seeds ever inserted.
+func TestSeedsKeepSmallest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 1
+		var all []align.Seed
+		var s Seeds
+		for k := 0; k < n; k++ {
+			sd := align.Seed{PU: int32(rng.Intn(30)), PV: int32(rng.Intn(30)), RC: rng.Intn(2) == 1}
+			all = append(all, sd)
+			s = s.addSeed(sd)
+		}
+		// Reference: sort distinct seeds, take two smallest.
+		distinct := map[align.Seed]bool{}
+		for _, sd := range all {
+			distinct[sd] = true
+		}
+		var best []align.Seed
+		for sd := range distinct {
+			best = append(best, sd)
+		}
+		for i := 0; i < len(best); i++ {
+			for j := i + 1; j < len(best); j++ {
+				if seedLess(best[j], best[i]) {
+					best[i], best[j] = best[j], best[i]
+				}
+			}
+		}
+		want := int32(2)
+		if int32(len(best)) < want {
+			want = int32(len(best))
+		}
+		if s.N != want {
+			return false
+		}
+		for i := int32(0); i < want; i++ {
+			if s.S[i] != best[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchSizes(n int) []int64 {
+	rng := rand.New(rand.NewSource(9))
+	sizes := make([]int64, n)
+	for i := range sizes {
+		sizes[i] = int64(rng.Intn(5000) + 2)
+	}
+	return sizes
+}
+
+func BenchmarkLPT(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		sizes := benchSizes(n)
+		b.Run(fmt.Sprintf("n=%d/P=1024", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				LPT(sizes, 1024)
+			}
+		})
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	sizes := benchSizes(100000)
+	b.Run("n=100000/P=1024", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Greedy(sizes, 1024)
+		}
+	})
+}

@@ -1,0 +1,144 @@
+// Package partition implements the multiway number partitioning of §4.3:
+// assigning contigs (weighted by estimated size) to P processes so the
+// local-assembly makespan is minimized. The paper uses Graham's Longest
+// Processing Time (LPT) greedy: sort sizes descending, repeatedly give the
+// next contig to the least-loaded process. LPT guarantees a makespan within
+// (4P−1)/(3P) of optimal; the unsorted greedy variant (kept for the ablation
+// benchmark) only guarantees 2−1/P.
+package partition
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// procHeap is a min-heap of (load, proc); ties break on the lower process
+// id, which keeps the assignment deterministic.
+type procHeap struct {
+	load []int64
+	proc []int32
+}
+
+func (h *procHeap) Len() int { return len(h.load) }
+func (h *procHeap) Less(i, j int) bool {
+	if h.load[i] != h.load[j] {
+		return h.load[i] < h.load[j]
+	}
+	return h.proc[i] < h.proc[j]
+}
+func (h *procHeap) Swap(i, j int) {
+	h.load[i], h.load[j] = h.load[j], h.load[i]
+	h.proc[i], h.proc[j] = h.proc[j], h.proc[i]
+}
+func (h *procHeap) Push(x any) { panic("fixed-size heap") }
+func (h *procHeap) Pop() any   { panic("fixed-size heap") }
+
+// assignGreedy gives each size (in the given order) to the least-loaded
+// process.
+func assignGreedy(order []int32, sizes []int64, p int) ([]int32, []int64) {
+	h := &procHeap{load: make([]int64, p), proc: make([]int32, p)}
+	for i := range h.proc {
+		h.proc[i] = int32(i)
+	}
+	heap.Init(h)
+	assign := make([]int32, len(sizes))
+	for _, idx := range order {
+		assign[idx] = h.proc[0]
+		h.load[0] += sizes[idx]
+		heap.Fix(h, 0)
+	}
+	loads := make([]int64, p)
+	for i := range h.load {
+		loads[h.proc[i]] = h.load[i]
+	}
+	return assign, loads
+}
+
+// LPT partitions sizes into p subsets with the Longest Processing Time
+// rule, returning the subset index of each input and the subset sums.
+// Equal sizes keep their input order (deterministic across runs and ranks).
+func LPT(sizes []int64, p int) (assign []int32, loads []int64) {
+	order := make([]int32, len(sizes))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sizes[order[a]] > sizes[order[b]] })
+	return assignGreedy(order, sizes, p)
+}
+
+// Greedy partitions sizes in their input order (no sort) — the O(n) variant
+// the paper mentions with approximation ratio 2−1/P.
+func Greedy(sizes []int64, p int) (assign []int32, loads []int64) {
+	order := make([]int32, len(sizes))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	return assignGreedy(order, sizes, p)
+}
+
+// Makespan returns the largest subset sum.
+func Makespan(loads []int64) int64 {
+	var m int64
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// LowerBound returns max(ceil(sum/p), max size): no partition can beat it.
+func LowerBound(sizes []int64, p int) int64 {
+	var sum, mx int64
+	for _, s := range sizes {
+		sum += s
+		if s > mx {
+			mx = s
+		}
+	}
+	lb := (sum + int64(p) - 1) / int64(p)
+	if mx > lb {
+		return mx
+	}
+	return lb
+}
+
+// OptimalMakespan solves the partition exactly by branch and bound — only
+// for tests and tiny inputs (exponential).
+func OptimalMakespan(sizes []int64, p int) int64 {
+	if len(sizes) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), sizes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	best := Makespan(func() []int64 { _, l := LPT(sizes, p); return l }())
+	loads := make([]int64, p)
+	lb := LowerBound(sizes, p)
+	var rec func(i int)
+	rec = func(i int) {
+		if best == lb {
+			return
+		}
+		if i == len(sorted) {
+			if m := Makespan(loads); m < best {
+				best = m
+			}
+			return
+		}
+		seen := map[int64]bool{}
+		for j := 0; j < p; j++ {
+			if seen[loads[j]] {
+				continue // symmetric branch
+			}
+			seen[loads[j]] = true
+			if loads[j]+sorted[i] >= best {
+				continue
+			}
+			loads[j] += sorted[i]
+			rec(i + 1)
+			loads[j] -= sorted[i]
+		}
+	}
+	rec(0)
+	return best
+}

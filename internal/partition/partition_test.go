@@ -1,0 +1,162 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLPTSimple(t *testing.T) {
+	// Graham's classic worst case: {5,5,4,4,3,3,3} on 3 machines. LPT yields
+	// makespan 11; the optimum is 9 ({5,4},{5,4},{3,3,3}) — the 11/9 ratio
+	// example behind the (4P−1)/(3P) bound.
+	sizes := []int64{5, 5, 4, 4, 3, 3, 3}
+	assign, loads := LPT(sizes, 3)
+	if len(assign) != len(sizes) {
+		t.Fatal("assign length")
+	}
+	if Makespan(loads) != 11 {
+		t.Fatalf("LPT makespan %d, want 11", Makespan(loads))
+	}
+	if opt := OptimalMakespan(sizes, 3); opt != 9 {
+		t.Fatalf("optimal makespan %d, want 9", opt)
+	}
+	// Loads must account for every size.
+	var sum int64
+	for _, l := range loads {
+		sum += l
+	}
+	if sum != 27 {
+		t.Fatalf("loads sum %d", sum)
+	}
+}
+
+func TestAssignmentConsistentWithLoads(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 1
+		p := rng.Intn(8) + 1
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = int64(rng.Intn(1000) + 1)
+		}
+		assign, loads := LPT(sizes, p)
+		check := make([]int64, p)
+		for i, a := range assign {
+			if a < 0 || int(a) >= p {
+				return false
+			}
+			check[a] += sizes[i]
+		}
+		for i := range loads {
+			if check[i] != loads[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPTApproximationBound(t *testing.T) {
+	// LPT makespan ≤ (4P−1)/(3P) × OPT (Graham 1969).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 1
+		p := rng.Intn(4) + 2
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = int64(rng.Intn(100) + 1)
+		}
+		_, loads := LPT(sizes, p)
+		got := Makespan(loads)
+		opt := OptimalMakespan(sizes, p)
+		// Integer-safe comparison: got*3P ≤ opt*(4P−1).
+		return got*int64(3*p) <= opt*int64(4*p-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyBoundAndLPTUsuallyBetter(t *testing.T) {
+	// The unsorted greedy respects 2−1/P; across many random instances LPT's
+	// makespan must be no worse on average (the ablation claim).
+	rng := rand.New(rand.NewSource(7))
+	var lptTotal, greedyTotal int64
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40) + 5
+		p := rng.Intn(6) + 2
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = int64(rng.Intn(500) + 1)
+		}
+		_, l1 := LPT(sizes, p)
+		_, l2 := Greedy(sizes, p)
+		lptTotal += Makespan(l1)
+		greedyTotal += Makespan(l2)
+		lb := LowerBound(sizes, p)
+		if Makespan(l2)*int64(p) > lb*int64(2*p-1) {
+			t.Fatalf("greedy exceeded 2-1/P bound: %d vs lb %d (p=%d)", Makespan(l2), lb, p)
+		}
+	}
+	if lptTotal > greedyTotal {
+		t.Fatalf("LPT (%d) worse than greedy (%d) in aggregate", lptTotal, greedyTotal)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	sizes := []int64{7, 7, 7, 5, 5, 5, 3, 3}
+	a1, _ := LPT(sizes, 3)
+	for i := 0; i < 10; i++ {
+		a2, _ := LPT(sizes, 3)
+		for j := range a1 {
+			if a1[j] != a2[j] {
+				t.Fatal("LPT not deterministic")
+			}
+		}
+	}
+}
+
+func TestFewerItemsThanProcessors(t *testing.T) {
+	// n < P: the paper notes some processes idle. Loads beyond n must be 0.
+	sizes := []int64{10, 20}
+	assign, loads := LPT(sizes, 5)
+	if Makespan(loads) != 20 {
+		t.Fatal("makespan")
+	}
+	if assign[0] == assign[1] {
+		t.Fatal("two items should land on different processors")
+	}
+	zero := 0
+	for _, l := range loads {
+		if l == 0 {
+			zero++
+		}
+	}
+	if zero != 3 {
+		t.Fatalf("%d idle processors, want 3", zero)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	assign, loads := LPT(nil, 4)
+	if len(assign) != 0 || Makespan(loads) != 0 {
+		t.Fatal("empty input")
+	}
+	assign, loads = LPT([]int64{42}, 1)
+	if assign[0] != 0 || loads[0] != 42 {
+		t.Fatal("single input")
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	if LowerBound([]int64{10, 1, 1}, 3) != 10 {
+		t.Fatal("max-dominated lower bound")
+	}
+	if LowerBound([]int64{4, 4, 4}, 2) != 6 {
+		t.Fatal("sum-dominated lower bound")
+	}
+}

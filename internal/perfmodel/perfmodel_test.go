@@ -1,0 +1,99 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// summary builds a Summary via a 1-rank MergeMax round-trip.
+func summary(t *testing.T, fill func(tm *trace.Timers)) *trace.Summary {
+	t.Helper()
+	var out *trace.Summary
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		tm := trace.New()
+		fill(tm)
+		out = trace.MergeMax(c, tm)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCalibrateAndExactAtBaseline(t *testing.T) {
+	base := summary(t, func(tm *trace.Timers) {
+		tm.Add("comp", 2*time.Second)
+		tm.AddWork("comp", 1000)
+	})
+	cal := Calibrate(base, []string{"comp"})
+	if math.Abs(cal["comp"]-500) > 1e-9 {
+		t.Fatalf("rate %f, want 500 units/s", cal["comp"])
+	}
+	// The model must reproduce the baseline exactly (no comm there).
+	if got := StageTime(base, "comp", cal, Aries()); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("baseline stage time %f, want 2.0", got)
+	}
+}
+
+func TestStageTimeAddsCommTerms(t *testing.T) {
+	sum := summary(t, func(tm *trace.Timers) {
+		tm.Add("s", time.Second)
+		tm.AddWork("s", 100)
+		tm.AddComm("s", 8e9, 1e6) // 1s of bandwidth + 1.5s of latency on Aries
+	})
+	cal := Calibration{"s": 100} // 1s of compute
+	got := StageTime(sum, "s", cal, Aries())
+	want := 1.0 + 1.0 + 1.5
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("got %f want %f", got, want)
+	}
+}
+
+func TestStageTimeFallsBackToMeasured(t *testing.T) {
+	sum := summary(t, func(tm *trace.Timers) {
+		tm.Add("nocounter", 3*time.Second)
+	})
+	got := StageTime(sum, "nocounter", Calibration{}, Aries())
+	if math.Abs(got-3.0) > 1e-9 {
+		t.Fatalf("fallback %f, want 3.0", got)
+	}
+}
+
+func TestTotalSumsStages(t *testing.T) {
+	sum := summary(t, func(tm *trace.Timers) {
+		tm.Add("a", time.Second)
+		tm.AddWork("a", 10)
+		tm.Add("b", time.Second)
+		tm.AddWork("b", 20)
+	})
+	cal := Calibrate(sum, []string{"a", "b"})
+	if got := Total(sum, []string{"a", "b"}, cal, Aries()); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("total %f", got)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	// Perfect scaling: T(4) = T(1)/4 → efficiency 1.
+	if e := Efficiency(1, 8.0, 4, 2.0); math.Abs(e-1.0) > 1e-9 {
+		t.Fatalf("perfect efficiency %f", e)
+	}
+	// No scaling: T(4) = T(1) → 25%.
+	if e := Efficiency(1, 8.0, 4, 8.0); math.Abs(e-0.25) > 1e-9 {
+		t.Fatalf("flat efficiency %f", e)
+	}
+	if Efficiency(1, 1, 0, 0) != 0 {
+		t.Fatal("degenerate efficiency")
+	}
+}
+
+func TestFormatScaling(t *testing.T) {
+	rows := []ScalingRow{{P: 4, Modeled: 1.5, Wall: time.Second, Efficiency: 0.9, CommBytes: 1 << 20}}
+	out := FormatScaling(rows)
+	if len(out) == 0 || out[0] != ' ' {
+		t.Fatalf("format: %q", out)
+	}
+}

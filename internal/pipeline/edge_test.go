@@ -1,0 +1,154 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dna"
+	"repro/internal/readsim"
+)
+
+// TestEmptyAndDegenerateInputs: the pipeline must handle pathological
+// inputs without deadlock or panic.
+func TestEmptyAndDegenerateInputs(t *testing.T) {
+	opt := DefaultOptions(4)
+	opt.K = 15
+	cases := map[string][][]byte{
+		"no reads":      {},
+		"one read":      {[]byte(strings.Repeat("ACGT", 200))},
+		"short reads":   {[]byte("ACG"), []byte("TGCA"), []byte("AC")}, // all < k
+		"two identical": {[]byte(strings.Repeat("ACGTT", 100)), []byte(strings.Repeat("ACGTT", 100))},
+	}
+	for name, reads := range cases {
+		name, reads := name, reads
+		t.Run(name, func(t *testing.T) {
+			out, err := Run(reads, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(out.Contigs) != 0 {
+				// Identical reads collapse by containment; nothing else can
+				// form a ≥2-read contig here.
+				t.Fatalf("%s: unexpected contigs %d", name, len(out.Contigs))
+			}
+		})
+	}
+}
+
+// TestNoOverlapsAtAll: disjoint reads produce an empty contig set.
+func TestNoOverlapsAtAll(t *testing.T) {
+	var reads [][]byte
+	for i := 0; i < 8; i++ {
+		reads = append(reads, readsim.Genome(readsim.GenomeConfig{Length: 800, Seed: int64(100 + i)}))
+	}
+	opt := DefaultOptions(4)
+	opt.K = 21
+	out, err := Run(reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Contigs) != 0 || out.Stats.NumContigs != 0 {
+		t.Fatalf("disjoint reads assembled: %d contigs", len(out.Contigs))
+	}
+}
+
+// TestInvalidKPropagatesAsError: a rank panic (k out of range) must surface
+// as an error, not hang the world.
+func TestInvalidKPropagatesAsError(t *testing.T) {
+	reads := [][]byte{[]byte(strings.Repeat("ACGT", 100))}
+	opt := DefaultOptions(1)
+	opt.K = 99 // > kmer.MaxK
+	if _, err := Run(reads, opt); err == nil {
+		t.Fatal("expected error for k=99")
+	}
+}
+
+// TestRepeatGenomeCreatesBranchesButExactContigs: planted repeats longer
+// than any read force branch vertices; contigs must break there but stay
+// exact substrings of the reference (the §4.2 masking behaviour).
+func TestRepeatGenomeCreatesBranchesButExactContigs(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeConfig{
+		Length: 30000, Seed: 201, RepeatCount: 2, RepeatLen: 4000,
+	})
+	reads := readsim.Seqs(readsim.Simulate(genome, readsim.ReadConfig{
+		Depth: 14, MeanLen: 2000, Seed: 202,
+	}))
+	opt := DefaultOptions(4)
+	opt.K = 21
+	opt.XDrop = 25
+	out, err := Run(reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.BranchVertices == 0 {
+		t.Fatal("4 kbp repeats with 2 kbp reads must create branch vertices")
+	}
+	if len(out.Contigs) == 0 {
+		t.Fatal("no contigs")
+	}
+	fw, rc := string(genome), string(dna.RevComp(genome))
+	for i, c := range out.Contigs {
+		if !strings.Contains(fw, string(c.Seq)) && !strings.Contains(rc, string(c.Seq)) {
+			t.Fatalf("repeat-genome contig %d not an exact substring (%d bases)", i, len(c.Seq))
+		}
+	}
+	t.Logf("repeats: %d branches, %d contigs, longest %d",
+		out.Stats.BranchVertices, len(out.Contigs), len(out.Contigs[0].Seq))
+}
+
+// TestPackSeqCommEquivalentAndSmaller: the §7 packed sequence exchange must
+// not change the contig set and must shrink the sequence-communication
+// traffic roughly 4×.
+func TestPackSeqCommEquivalentAndSmaller(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeConfig{Length: 20000, Seed: 301})
+	reads := readsim.Seqs(readsim.Simulate(genome, readsim.ReadConfig{Depth: 12, MeanLen: 1800, Seed: 302}))
+	opt := DefaultOptions(4)
+	opt.K = 21
+	opt.XDrop = 25
+	plain, err := Run(reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.PackSeqComm = true
+	packed, err := Run(reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Contigs) != len(packed.Contigs) {
+		t.Fatalf("packing changed the contig count: %d vs %d", len(plain.Contigs), len(packed.Contigs))
+	}
+	for i := range plain.Contigs {
+		if string(plain.Contigs[i].Seq) != string(packed.Contigs[i].Seq) {
+			t.Fatalf("packing changed contig %d", i)
+		}
+	}
+	pb := plain.Stats.Timers.Get("CG:SequenceComm").SumBytes
+	qb := packed.Stats.Timers.Get("CG:SequenceComm").SumBytes
+	if qb*3 >= pb {
+		t.Fatalf("packed exchange not smaller: %d vs %d bytes", qb, pb)
+	}
+	t.Logf("sequence comm: raw %d bytes, packed %d bytes", pb, qb)
+}
+
+// TestLoadBalanceReported: LPT must distribute assigned reads across ranks
+// within a sane imbalance bound on a many-contig workload.
+func TestLoadBalanceReported(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeConfig{Length: 40000, Seed: 203})
+	reads := readsim.Seqs(readsim.Simulate(genome, readsim.ReadConfig{
+		Depth: 10, MeanLen: 1200, Seed: 204,
+	}))
+	opt := DefaultOptions(4)
+	opt.K = 21
+	opt.XDrop = 25
+	out, err := Run(reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.AssignedReads == 0 {
+		t.Fatal("no reads assigned")
+	}
+	if out.Stats.MaxLoad < out.Stats.MinLoad {
+		t.Fatal("load accounting broken")
+	}
+	t.Logf("loads: min=%d max=%d contigs=%d", out.Stats.MinLoad, out.Stats.MaxLoad, out.Stats.NumContigs)
+}

@@ -1,0 +1,39 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/readsim"
+)
+
+// TestLargeGridSmoke runs the pipeline at P=64 (8×8 grid) on a small
+// dataset: many more ranks than contigs, deep sub-communicator nesting, and
+// the n < P idle-rank path of §4.3 all at once. Output must match P=1.
+func TestLargeGridSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-rank world in -short mode")
+	}
+	genome := readsim.Genome(readsim.GenomeConfig{Length: 12000, Seed: 401})
+	reads := readsim.Seqs(readsim.Simulate(genome, readsim.ReadConfig{Depth: 10, MeanLen: 1500, Seed: 402}))
+	opt := DefaultOptions(1)
+	opt.K = 21
+	opt.XDrop = 25
+	ref, err := Run(reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.P = 64
+	got, err := Run(reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Contigs) != len(ref.Contigs) {
+		t.Fatalf("P=64: %d contigs vs %d at P=1", len(got.Contigs), len(ref.Contigs))
+	}
+	for i := range ref.Contigs {
+		if !bytes.Equal(ref.Contigs[i].Seq, got.Contigs[i].Seq) {
+			t.Fatalf("P=64 contig %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package pipeline assembles the full ELBA computation of Algorithm 1:
+// FastaReader → KmerCounter → A → C = A·Aᵀ → Alignment → Prune →
+// TransitiveReduction → ContigGeneration, on a simulated distributed-memory
+// machine of P ranks arranged as a √P × √P grid. It reports per-stage
+// timings under the paper's breakdown names (CountKmer, DetectOverlap,
+// Alignment, TrReduction, ExtractContig) plus the contig-phase sub-stages
+// (CG:*) used for the §6.1 induced-subgraph claim.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/fasta"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/overlap"
+	"repro/internal/readsim"
+	"repro/internal/tr"
+	"repro/internal/trace"
+)
+
+// Options parameterizes a pipeline run.
+type Options struct {
+	P            int   // simulated ranks; must be a perfect square
+	K            int   // k-mer length (paper: 31 low-error, 17 high-error)
+	XDrop        int32 // x-drop threshold (paper: 15 low-error, 7 high-error)
+	ReliableLow  int32
+	ReliableHigh int32
+	MinOverlap   int32
+	MinScoreFrac float64
+	MaxOverhang  int32
+	TRFuzz       int32
+	TRMaxIter    int
+	// PackSeqComm sends read sequences 2-bit packed during contig
+	// generation (§7 future work); false matches the paper's protocol.
+	PackSeqComm bool
+}
+
+// DefaultOptions returns the low-error configuration at P ranks.
+func DefaultOptions(p int) Options {
+	return Options{
+		P:            p,
+		K:            31,
+		XDrop:        15,
+		ReliableLow:  2,
+		ReliableHigh: 160,
+		MinOverlap:   100,
+		MinScoreFrac: 0.5,
+		MaxOverhang:  80,
+		TRFuzz:       150,
+		TRMaxIter:    10,
+	}
+}
+
+// PresetOptions tunes the parameters for a Table 2 dataset substitute,
+// mirroring the paper's per-dataset settings (k=31/x=15 for the low-error
+// datasets, k=17 for H. sapiens). The x-drop and score threshold for the
+// 15%-error preset are recalibrated for this aligner's -2 penalties
+// (DESIGN.md §2).
+func PresetOptions(preset readsim.Preset, p int) Options {
+	o := DefaultOptions(p)
+	switch preset {
+	case readsim.HSapiensLike:
+		o.K = 17
+		o.XDrop = 30
+		o.MinScoreFrac = 0.05
+		o.MinOverlap = 60
+		o.MaxOverhang = 300
+		o.TRFuzz = 400
+		o.ReliableHigh = 60
+	case readsim.OSativaLike, readsim.CElegansLike:
+		// paper defaults
+	}
+	return o
+}
+
+// Stats aggregates the run's counters and timings (rank-0 view).
+type Stats struct {
+	P              int
+	NumReads       int
+	NumKmers       int
+	CandidatePairs int64
+	KeptOverlaps   int64
+	ContainedReads int
+	TR             tr.Stats
+	NumContigs     int64
+	BranchVertices int64
+	AssignedReads  int64
+	MaxLoad        int64 // LPT load balance extremes (reads per rank)
+	MinLoad        int64
+	Timers         *trace.Summary // per-stage aggregates across ranks
+	CommBytes      int64          // total bytes moved by all ranks
+	WallTime       time.Duration  // end-to-end wall clock of the mpi run
+}
+
+// Output is the assembly result plus statistics.
+type Output struct {
+	Contigs []core.Contig // gathered and canonically sorted
+	Stats   Stats
+}
+
+// overlapConfig converts Options to the overlap stage config.
+func (o Options) overlapConfig() overlap.Config {
+	return overlap.Config{
+		K:            o.K,
+		ReliableLow:  o.ReliableLow,
+		ReliableHigh: o.ReliableHigh,
+		Align:        align.DefaultParams(o.XDrop),
+		MinOverlap:   o.MinOverlap,
+		MinScoreFrac: o.MinScoreFrac,
+		MaxOverhang:  o.MaxOverhang,
+	}
+}
+
+// Run assembles reads on a fresh simulated world of opt.P ranks.
+func Run(reads [][]byte, opt Options) (*Output, error) {
+	if d := isqrt(opt.P); d*d != opt.P {
+		return nil, fmt.Errorf("pipeline: P=%d is not a perfect square", opt.P)
+	}
+	out := &Output{}
+	var mu sync.Mutex
+	w := mpi.NewWorld(opt.P)
+	start := time.Now()
+	err := w.Run(func(c *mpi.Comm) {
+		g := grid.New(c)
+		store := fasta.FromGlobal(c, reads)
+		tm := trace.New()
+
+		ores := overlap.Run(g, store, opt.overlapConfig(), tm)
+
+		var s = overlap.ToStringGraph(ores.R, opt.MaxOverhang)
+		var trStats tr.Stats
+		tm.Stage("TrReduction", c, func() {
+			trStats = tr.Reduce(s, opt.TRFuzz, opt.TRMaxIter)
+		})
+		tm.AddWork("TrReduction", trStats.Products)
+
+		var cres *core.Result
+		cgTimers := trace.New()
+		tm.Stage("ExtractContig", c, func() {
+			cres = core.ContigGeneration(s, store, cgTimers, opt.PackSeqComm)
+		})
+		// ExtractContig's work units: edges routed plus bases assembled.
+		tm.AddWork("ExtractContig",
+			cgTimers.Entry("CG:InducedSubgraph").Work+cgTimers.Entry("CG:LocalAssembly").Work)
+		// Fold the CG sub-stages into the same timer set under CG:* names
+		// (nested inside ExtractContig, so breakdown callers use MainStages
+		// as the denominator — see Stats accessors).
+		tm.Merge(cgTimers)
+
+		contigs := core.GatherContigs(c, cres.Contigs)
+		merged := trace.MergeMax(c, tm)
+		if c.Rank() == 0 {
+			mu.Lock()
+			defer mu.Unlock()
+			out.Contigs = contigs
+			out.Stats = Stats{
+				P:              opt.P,
+				NumReads:       ores.NumReads,
+				NumKmers:       ores.NumKmers,
+				CandidatePairs: ores.CandidatePairs,
+				KeptOverlaps:   ores.KeptOverlaps,
+				ContainedReads: len(ores.Contained),
+				TR:             trStats,
+				NumContigs:     cres.NumContigs,
+				BranchVertices: cres.BranchVertices,
+				AssignedReads:  cres.AssignedReads,
+				MaxLoad:        cres.MaxLoad,
+				MinLoad:        cres.MinLoad,
+				Timers:         merged,
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Stats.WallTime = time.Since(start)
+	out.Stats.CommBytes = w.TotalBytes()
+	return out, nil
+}
+
+// MainStages are the paper's Figure 5 breakdown categories in pipeline
+// order.
+var MainStages = []string{"CountKmer", "DetectOverlap", "Alignment", "TrReduction", "ExtractContig"}
+
+// ContigStages are the ExtractContig sub-stages (Algorithm 2 steps).
+var ContigStages = []string{
+	"CG:BranchRemoval", "CG:ConnectedComponent", "CG:Partitioning",
+	"CG:InducedSubgraph", "CG:SequenceComm", "CG:LocalAssembly",
+}
+
+// StageTotal sums the five main stages — the denominator for breakdown
+// percentages (CG:* stages are nested inside ExtractContig and excluded).
+func (s *Stats) StageTotal() time.Duration {
+	var t time.Duration
+	for _, n := range MainStages {
+		t += s.Timers.Dur(n)
+	}
+	return t
+}
+
+// ContigPhaseShare returns stage / ExtractContig — used to verify the
+// paper's claim that the induced subgraph step takes 65–85% of contig
+// generation.
+func (s *Stats) ContigPhaseShare(stage string) float64 {
+	total := s.Timers.Dur("ExtractContig")
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Timers.Dur(stage)) / float64(total)
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

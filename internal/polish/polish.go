@@ -1,0 +1,81 @@
+// Package polish implements the paper's stated future work (§7): "use the
+// sparse matrix abstraction to find similarities within the contig set and
+// obtain even longer sequences". Contigs are treated as reads and pushed
+// through the same overlap machinery (k-mer seeding, x-drop alignment,
+// containment removal, mutual-best dovetails, linear walks), greedily
+// merging chains of overlapping contigs into super-contigs.
+//
+// Because assembly-stage contigs already share read ends, adjacent contigs
+// separated only by a masked branch vertex or a dropped overlap often
+// overlap by a near-read-length region — exactly what this pass stitches.
+package polish
+
+import (
+	"repro/internal/align"
+	"repro/internal/baseline"
+	"repro/internal/core"
+)
+
+// Config parameterizes the merge pass.
+type Config struct {
+	K            int     // seed length for contig-contig overlap detection
+	MinOverlap   int32   // minimum contig-contig overlap to merge across
+	MinScoreFrac float64 // alignment score density gate
+	MaxOverhang  int32   // dovetail tolerance
+	XDrop        int32
+	Threads      int
+}
+
+// DefaultConfig suits contigs from the low-error presets.
+func DefaultConfig() Config {
+	return Config{K: 31, MinOverlap: 200, MinScoreFrac: 0.5, MaxOverhang: 120, XDrop: 20, Threads: 0}
+}
+
+// Merge joins overlapping contigs into longer ones. Contigs that do not
+// overlap anything pass through unchanged; contigs contained in another are
+// dropped; merged contigs concatenate the underlying read lists in walk
+// order. The result is canonically sorted.
+func Merge(contigs []core.Contig, cfg Config) []core.Contig {
+	if len(contigs) < 2 {
+		return contigs
+	}
+	seqs := make([][]byte, len(contigs))
+	for i, c := range contigs {
+		seqs[i] = c.Seq
+	}
+	res := baseline.BestOverlapAssemble(seqs, baseline.Config{
+		K:           cfg.K,
+		ReliableLow: 2,
+		// Contig k-mers are near-unique; only true overlaps repeat. Repeats
+		// across many contigs are exactly the junctions we must not merge
+		// blindly, so the high cut stays tight.
+		ReliableHigh: 8,
+		Align:        align.DefaultParams(cfg.XDrop),
+		MinOverlap:   cfg.MinOverlap,
+		MinScoreFrac: cfg.MinScoreFrac,
+		MaxOverhang:  cfg.MaxOverhang,
+		Threads:      cfg.Threads,
+	})
+
+	used := make([]bool, len(contigs))
+	var out []core.Contig
+	for _, merged := range res.Contigs {
+		// merged.Reads are indices into the input contig list.
+		super := core.Contig{Seq: merged.Seq, Circular: merged.Circular}
+		for _, ci := range merged.Reads {
+			used[ci] = true
+			super.Reads = append(super.Reads, contigs[ci].Reads...)
+		}
+		out = append(out, super)
+	}
+	for _, id := range res.ContainedIDs {
+		used[id] = true // contained contigs are redundant: drop
+	}
+	for i, c := range contigs {
+		if !used[i] {
+			out = append(out, c)
+		}
+	}
+	core.SortContigs(out)
+	return out
+}

@@ -1,0 +1,124 @@
+package polish
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dna"
+	"repro/internal/readsim"
+)
+
+func contigOf(seq []byte, reads ...int32) core.Contig {
+	return core.Contig{Seq: seq, Reads: reads}
+}
+
+func TestMergeTwoOverlappingContigs(t *testing.T) {
+	g := readsim.Genome(readsim.GenomeConfig{Length: 12000, Seed: 3})
+	a := contigOf(g[:7000], 0, 1, 2)
+	b := contigOf(g[6000:], 3, 4)
+	out := Merge([]core.Contig{a, b}, DefaultConfig())
+	if len(out) != 1 {
+		t.Fatalf("got %d contigs, want 1", len(out))
+	}
+	if !bytes.Equal(out[0].Seq, g) && !bytes.Equal(out[0].Seq, dna.RevComp(g)) {
+		t.Fatalf("merged contig (%d bases) does not spell the genome (%d)", len(out[0].Seq), len(g))
+	}
+	if len(out[0].Reads) != 5 {
+		t.Fatalf("merged read list %v", out[0].Reads)
+	}
+}
+
+func TestMergeReverseComplementContig(t *testing.T) {
+	g := readsim.Genome(readsim.GenomeConfig{Length: 10000, Seed: 5})
+	a := contigOf(g[:6000], 0)
+	b := contigOf(dna.RevComp(g[5000:]), 1) // stored flipped
+	out := Merge([]core.Contig{a, b}, DefaultConfig())
+	if len(out) != 1 {
+		t.Fatalf("got %d contigs, want 1", len(out))
+	}
+	if !bytes.Equal(out[0].Seq, g) && !bytes.Equal(out[0].Seq, dna.RevComp(g)) {
+		t.Fatal("rc merge wrong")
+	}
+}
+
+func TestMergeKeepsDisjointContigs(t *testing.T) {
+	g1 := readsim.Genome(readsim.GenomeConfig{Length: 6000, Seed: 7})
+	g2 := readsim.Genome(readsim.GenomeConfig{Length: 6000, Seed: 8})
+	out := Merge([]core.Contig{contigOf(g1, 0), contigOf(g2, 1)}, DefaultConfig())
+	if len(out) != 2 {
+		t.Fatalf("disjoint contigs merged: %d", len(out))
+	}
+}
+
+func TestMergeDropsContainedContig(t *testing.T) {
+	g := readsim.Genome(readsim.GenomeConfig{Length: 9000, Seed: 9})
+	big := contigOf(g, 0)
+	small := contigOf(g[3000:5000], 1)
+	out := Merge([]core.Contig{big, small}, DefaultConfig())
+	if len(out) != 1 {
+		t.Fatalf("contained contig survived: %d contigs", len(out))
+	}
+	if len(out[0].Seq) != len(g) {
+		t.Fatal("wrong survivor")
+	}
+}
+
+func TestMergeChainOfThree(t *testing.T) {
+	g := readsim.Genome(readsim.GenomeConfig{Length: 15000, Seed: 11})
+	out := Merge([]core.Contig{
+		contigOf(g[:6000], 0),
+		contigOf(g[5000:11000], 1),
+		contigOf(g[10000:], 2),
+	}, DefaultConfig())
+	if len(out) != 1 {
+		t.Fatalf("got %d contigs, want 1", len(out))
+	}
+	if !bytes.Equal(out[0].Seq, g) && !bytes.Equal(out[0].Seq, dna.RevComp(g)) {
+		t.Fatalf("3-chain merge: %d bases, want %d", len(out[0].Seq), len(g))
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	g := readsim.Genome(readsim.GenomeConfig{Length: 12000, Seed: 13})
+	once := Merge([]core.Contig{contigOf(g[:7000], 0), contigOf(g[6000:], 1)}, DefaultConfig())
+	twice := Merge(once, DefaultConfig())
+	if len(once) != len(twice) {
+		t.Fatalf("merge not idempotent: %d vs %d", len(once), len(twice))
+	}
+	for i := range once {
+		if !bytes.Equal(once[i].Seq, twice[i].Seq) {
+			t.Fatal("re-merge changed a contig")
+		}
+	}
+}
+
+func TestMergeSmallInputs(t *testing.T) {
+	if out := Merge(nil, DefaultConfig()); out != nil {
+		t.Fatal("nil input")
+	}
+	one := []core.Contig{contigOf([]byte(strings.Repeat("ACGT", 100)), 0)}
+	if out := Merge(one, DefaultConfig()); len(out) != 1 {
+		t.Fatal("single contig must pass through")
+	}
+}
+
+// TestMergeImprovesPipelineOutput: the integration story — polish must never
+// reduce completeness and typically reduces the contig count.
+func TestMergeImprovesPipelineOutput(t *testing.T) {
+	g := readsim.Genome(readsim.GenomeConfig{Length: 20000, Seed: 15})
+	// Three overlapping windows as synthetic "assembly output".
+	contigs := []core.Contig{
+		contigOf(g[:8000], 0),
+		contigOf(dna.RevComp(g[7000:15000]), 1),
+		contigOf(g[14000:], 2),
+	}
+	merged := Merge(contigs, DefaultConfig())
+	if len(merged) >= len(contigs) {
+		t.Fatalf("no merging happened: %d -> %d", len(contigs), len(merged))
+	}
+	if len(merged[0].Seq) <= 8000 {
+		t.Fatalf("longest did not grow: %d", len(merged[0].Seq))
+	}
+}

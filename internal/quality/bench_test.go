@@ -1,0 +1,21 @@
+package quality
+
+import (
+	"testing"
+
+	"repro/internal/readsim"
+)
+
+func BenchmarkEvaluate(b *testing.B) {
+	ref := readsim.Genome(readsim.GenomeConfig{Length: 500000, Seed: 3})
+	// A realistic contig set: 20 windows with small gaps.
+	var contigs [][]byte
+	step := len(ref) / 20
+	for pos := 0; pos+step <= len(ref); pos += step {
+		contigs = append(contigs, ref[pos:pos+step-500])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(ref, contigs)
+	}
+}

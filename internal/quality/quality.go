@@ -1,0 +1,258 @@
+// Package quality evaluates assemblies against a known reference — the
+// QUAST substitute for Table 4. It reports the paper's four metrics
+// (completeness, longest contig, contig count, misassembled contigs) plus
+// N50 and the coverage uniformity §6.1 mentions.
+//
+// Contigs are anchored to the reference with unique k-mer seeds and chained
+// by diagonal consistency; a contig whose chained segments map to discordant
+// reference loci (relocation over 1 kbp, QUAST's threshold, or a strand
+// flip) counts as misassembled.
+package quality
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/kmer"
+)
+
+// anchorK is the seed length for mapping contigs onto the reference.
+const anchorK = 31
+
+// RelocationThreshold is QUAST's default misassembly distance (1 kbp).
+const RelocationThreshold = 1000
+
+// minSegmentAnchors is how many consistent anchors a segment needs before
+// it participates in misassembly calls (guards against stray seeds).
+const minSegmentAnchors = 3
+
+// Report holds the Table 4 metrics for one assembly.
+type Report struct {
+	GenomeLen        int
+	NumContigs       int     // size of the contig set
+	TotalLen         int64   // total assembled bases
+	LongestContig    int     // bases
+	N50              int     // bases
+	Completeness     float64 // % of reference covered by ≥1 aligned contig
+	Misassemblies    int     // contigs with discordant segments
+	Unaligned        int     // contigs with no reference anchor
+	CoverageMean     float64 // mean per-base contig coverage of the reference
+	CoverageCV       float64 // coefficient of variation (uniformity; lower=better)
+	DuplicationRatio float64 // aligned bases / covered reference bases
+}
+
+// refIndex maps each unique canonical k-mer of the reference to its
+// position and strand.
+type refIndex struct {
+	pos map[kmer.Kmer]int32 // position of the k-mer window (forward coords)
+	rc  map[kmer.Kmer]bool  // true if the canonical form is the rc window
+}
+
+func indexReference(ref []byte) *refIndex {
+	multi := map[kmer.Kmer]int{}
+	idx := &refIndex{pos: map[kmer.Kmer]int32{}, rc: map[kmer.Kmer]bool{}}
+	for i := 0; i+anchorK <= len(ref); i++ {
+		fwd := kmer.Encode(ref[i:i+anchorK], anchorK)
+		canon, isRC := fwd, false
+		if r := kmer.RevComp(fwd, anchorK); r < fwd {
+			canon, isRC = r, true
+		}
+		multi[canon]++
+		if multi[canon] == 1 {
+			idx.pos[canon] = int32(i)
+			idx.rc[canon] = isRC
+		}
+	}
+	// Drop repeated k-mers: only unique anchors are unambiguous.
+	for km, c := range multi {
+		if c > 1 {
+			delete(idx.pos, km)
+			delete(idx.rc, km)
+		}
+	}
+	return idx
+}
+
+// anchor is one contig→reference seed match.
+type anchor struct {
+	cpos, rpos int32
+	forward    bool // contig strand agrees with reference strand
+}
+
+// segment is a chain of diagonal-consistent anchors.
+type segment struct {
+	refLo, refHi int32 // covered reference range (half-open)
+	anchors      int
+	forward      bool
+}
+
+// mapContig anchors a contig and chains the anchors into segments.
+func mapContig(idx *refIndex, contig []byte) []segment {
+	if len(contig) < anchorK {
+		return nil
+	}
+	var anchors []anchor
+	step := len(contig) / 200
+	if step < 7 {
+		step = 7
+	}
+	for i := 0; i+anchorK <= len(contig); i += step {
+		fwd := kmer.Encode(contig[i:i+anchorK], anchorK)
+		canon, isRC := fwd, false
+		if r := kmer.RevComp(fwd, anchorK); r < fwd {
+			canon, isRC = r, true
+		}
+		rp, ok := idx.pos[canon]
+		if !ok {
+			continue
+		}
+		// Contig window orientation vs reference window orientation.
+		sameStrand := isRC == idx.rc[canon]
+		anchors = append(anchors, anchor{cpos: int32(i), rpos: rp, forward: sameStrand})
+	}
+	if len(anchors) == 0 {
+		return nil
+	}
+	// Chain by diagonal consistency in contig order.
+	var segs []segment
+	var cur *segment
+	var lastDiag int32
+	for _, a := range anchors {
+		diag := a.rpos - a.cpos
+		if !a.forward {
+			diag = a.rpos + a.cpos
+		}
+		if cur != nil && a.forward == cur.forward && abs32(diag-lastDiag) <= RelocationThreshold/2 {
+			if a.rpos < cur.refLo {
+				cur.refLo = a.rpos
+			}
+			if a.rpos+anchorK > cur.refHi {
+				cur.refHi = a.rpos + anchorK
+			}
+			cur.anchors++
+			lastDiag = diag
+			continue
+		}
+		segs = append(segs, segment{})
+		cur = &segs[len(segs)-1]
+		cur.refLo, cur.refHi = a.rpos, a.rpos+anchorK
+		cur.anchors = 1
+		cur.forward = a.forward
+		lastDiag = diag
+	}
+	return segs
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Evaluate computes the report for a contig set against the reference.
+func Evaluate(ref []byte, contigs [][]byte) *Report {
+	rep := &Report{GenomeLen: len(ref), NumContigs: len(contigs)}
+	lens := make([]int, len(contigs))
+	for i, c := range contigs {
+		lens[i] = len(c)
+		rep.TotalLen += int64(len(c))
+		if len(c) > rep.LongestContig {
+			rep.LongestContig = len(c)
+		}
+	}
+	rep.N50 = n50(lens)
+
+	idx := indexReference(ref)
+	coverage := make([]int32, len(ref))
+	var alignedBases int64
+	for _, c := range contigs {
+		segs := mapContig(idx, c)
+		if len(segs) == 0 {
+			rep.Unaligned++
+			continue
+		}
+		// Misassembly: more than one substantial segment with discordant
+		// placement (strand flip or relocation beyond the threshold).
+		var solid []segment
+		for _, s := range segs {
+			if s.anchors >= minSegmentAnchors {
+				solid = append(solid, s)
+			}
+		}
+		mis := false
+		for i := 1; i < len(solid); i++ {
+			if solid[i].forward != solid[i-1].forward {
+				mis = true
+				break
+			}
+			gap := int32(0)
+			if solid[i].refLo > solid[i-1].refHi {
+				gap = solid[i].refLo - solid[i-1].refHi
+			} else if solid[i-1].refLo > solid[i].refHi {
+				gap = solid[i-1].refLo - solid[i].refHi
+			}
+			if gap > RelocationThreshold {
+				mis = true
+				break
+			}
+		}
+		if mis {
+			rep.Misassemblies++
+		}
+		for _, s := range segs {
+			alignedBases += int64(s.refHi - s.refLo)
+			for p := s.refLo; p < s.refHi && p < int32(len(ref)); p++ {
+				if p >= 0 {
+					coverage[p]++
+				}
+			}
+		}
+	}
+	covered := 0
+	var sum, sumSq float64
+	for _, c := range coverage {
+		if c > 0 {
+			covered++
+		}
+		sum += float64(c)
+		sumSq += float64(c) * float64(c)
+	}
+	if len(ref) > 0 {
+		rep.Completeness = 100 * float64(covered) / float64(len(ref))
+		mean := sum / float64(len(ref))
+		rep.CoverageMean = mean
+		if mean > 0 {
+			variance := sumSq/float64(len(ref)) - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			rep.CoverageCV = math.Sqrt(variance) / mean
+		}
+	}
+	if covered > 0 {
+		rep.DuplicationRatio = float64(alignedBases) / float64(covered)
+	}
+	return rep
+}
+
+// n50 is the standard contiguity statistic: the length x such that contigs
+// of length ≥ x cover half the total assembly.
+func n50(lens []int) int {
+	if len(lens) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), lens...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	var total, acc int64
+	for _, l := range sorted {
+		total += int64(l)
+	}
+	for _, l := range sorted {
+		acc += int64(l)
+		if 2*acc >= total {
+			return l
+		}
+	}
+	return sorted[len(sorted)-1]
+}

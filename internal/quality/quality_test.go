@@ -1,0 +1,124 @@
+package quality
+
+import (
+	"testing"
+
+	"repro/internal/dna"
+	"repro/internal/readsim"
+)
+
+func TestPerfectAssembly(t *testing.T) {
+	ref := readsim.Genome(readsim.GenomeConfig{Length: 20000, Seed: 1})
+	rep := Evaluate(ref, [][]byte{ref})
+	if rep.Completeness < 99.5 {
+		t.Fatalf("completeness %.2f", rep.Completeness)
+	}
+	if rep.Misassemblies != 0 || rep.Unaligned != 0 {
+		t.Fatalf("mis=%d unaligned=%d", rep.Misassemblies, rep.Unaligned)
+	}
+	if rep.LongestContig != len(ref) || rep.N50 != len(ref) {
+		t.Fatalf("longest=%d n50=%d", rep.LongestContig, rep.N50)
+	}
+}
+
+func TestReverseComplementContigAligns(t *testing.T) {
+	ref := readsim.Genome(readsim.GenomeConfig{Length: 15000, Seed: 2})
+	rep := Evaluate(ref, [][]byte{dna.RevComp(ref)})
+	if rep.Completeness < 99.5 || rep.Misassemblies != 0 {
+		t.Fatalf("rc contig: completeness %.2f mis %d", rep.Completeness, rep.Misassemblies)
+	}
+}
+
+func TestPartialCoverage(t *testing.T) {
+	ref := readsim.Genome(readsim.GenomeConfig{Length: 20000, Seed: 3})
+	// Two contigs covering half the genome.
+	rep := Evaluate(ref, [][]byte{ref[:5000], ref[10000:15000]})
+	if rep.Completeness < 45 || rep.Completeness > 55 {
+		t.Fatalf("completeness %.2f, want ≈50", rep.Completeness)
+	}
+	if rep.NumContigs != 2 {
+		t.Fatal("contig count")
+	}
+}
+
+func TestMisassemblyDetectedRelocation(t *testing.T) {
+	ref := readsim.Genome(readsim.GenomeConfig{Length: 30000, Seed: 4})
+	// A chimeric contig joining two loci 15 kbp apart.
+	chimera := append(append([]byte(nil), ref[2000:6000]...), ref[21000:25000]...)
+	rep := Evaluate(ref, [][]byte{chimera})
+	if rep.Misassemblies != 1 {
+		t.Fatalf("misassemblies = %d, want 1", rep.Misassemblies)
+	}
+}
+
+func TestMisassemblyDetectedInversion(t *testing.T) {
+	ref := readsim.Genome(readsim.GenomeConfig{Length: 30000, Seed: 5})
+	// A contig whose second half is strand-flipped.
+	inv := append(append([]byte(nil), ref[2000:6000]...), dna.RevComp(ref[6000:10000])...)
+	rep := Evaluate(ref, [][]byte{inv})
+	if rep.Misassemblies != 1 {
+		t.Fatalf("misassemblies = %d, want 1", rep.Misassemblies)
+	}
+}
+
+func TestAdjacentSegmentsNotMisassembled(t *testing.T) {
+	ref := readsim.Genome(readsim.GenomeConfig{Length: 30000, Seed: 6})
+	// A contig with a 300-base novel insertion (below the relocation
+	// threshold) must not count as misassembled.
+	ins := readsim.Genome(readsim.GenomeConfig{Length: 300, Seed: 7})
+	noisy := append(append(append([]byte(nil), ref[2000:8000]...), ins...), ref[8000:14000]...)
+	rep := Evaluate(ref, [][]byte{noisy})
+	if rep.Misassemblies != 0 {
+		t.Fatalf("misassemblies = %d, want 0", rep.Misassemblies)
+	}
+}
+
+func TestUnalignedContig(t *testing.T) {
+	ref := readsim.Genome(readsim.GenomeConfig{Length: 20000, Seed: 8})
+	alien := readsim.Genome(readsim.GenomeConfig{Length: 5000, Seed: 9})
+	rep := Evaluate(ref, [][]byte{alien})
+	if rep.Unaligned != 1 {
+		t.Fatalf("unaligned = %d", rep.Unaligned)
+	}
+	if rep.Completeness > 1 {
+		t.Fatalf("alien contig covered the genome: %.2f", rep.Completeness)
+	}
+}
+
+func TestN50(t *testing.T) {
+	// lengths 10,8,6,4,2: total 30; cumulative 10,18 ≥ 15 → N50 = 8.
+	if got := n50([]int{4, 10, 2, 8, 6}); got != 8 {
+		t.Fatalf("n50 = %d, want 8", got)
+	}
+	if got := n50(nil); got != 0 {
+		t.Fatal("empty n50")
+	}
+	if got := n50([]int{5}); got != 5 {
+		t.Fatal("single n50")
+	}
+}
+
+func TestCoverageUniformity(t *testing.T) {
+	ref := readsim.Genome(readsim.GenomeConfig{Length: 20000, Seed: 10})
+	// Uniform single coverage: CV ≈ 0.
+	rep := Evaluate(ref, [][]byte{ref})
+	if rep.CoverageCV > 0.15 {
+		t.Fatalf("uniform coverage CV %.3f", rep.CoverageCV)
+	}
+	// Double-covering half the genome raises the CV.
+	rep2 := Evaluate(ref, [][]byte{ref, ref[:10000]})
+	if rep2.CoverageCV <= rep.CoverageCV {
+		t.Fatalf("CV did not increase: %.3f vs %.3f", rep2.CoverageCV, rep.CoverageCV)
+	}
+	if rep2.DuplicationRatio <= 1.0 {
+		t.Fatalf("duplication ratio %.2f", rep2.DuplicationRatio)
+	}
+}
+
+func TestShortContigSkipped(t *testing.T) {
+	ref := readsim.Genome(readsim.GenomeConfig{Length: 5000, Seed: 11})
+	rep := Evaluate(ref, [][]byte{ref[:10]}) // shorter than anchor k
+	if rep.Unaligned != 1 {
+		t.Fatalf("short contig should be unaligned, got %d", rep.Unaligned)
+	}
+}

@@ -1,0 +1,91 @@
+package spmat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+func benchTriples(n int32, nnzPerRow int) []Triple[int64] {
+	rng := rand.New(rand.NewSource(3))
+	var ts []Triple[int64]
+	for r := int32(0); r < n; r++ {
+		for k := 0; k < nnzPerRow; k++ {
+			ts = append(ts, Triple[int64]{Row: r, Col: int32(rng.Intn(int(n))), Val: 1})
+		}
+	}
+	return NewCOO(n, n, ts, func(a, b int64) int64 { return a + b }).Ts
+}
+
+func BenchmarkLocalMultiply(b *testing.B) {
+	n := int32(2000)
+	ts := benchTriples(n, 8)
+	a := NewCOO(n, n, append([]Triple[int64](nil), ts...), nil).ToCSC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Multiply(a, a, plusTimes)
+	}
+}
+
+func BenchmarkSpGEMMDistributed(b *testing.B) {
+	n := int32(2000)
+	ts := benchTriples(n, 8)
+	for _, p := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			err := mpi.Run(p, func(c *mpi.Comm) {
+				g := grid.New(c)
+				a := FromGlobalTriples(g, n, n, ts, nil)
+				for i := 0; i < b.N; i++ {
+					SpGEMM(a, a, plusTimes)
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkDistributedTranspose(b *testing.B) {
+	n := int32(4000)
+	ts := benchTriples(n, 8)
+	for _, p := range []int{4, 16} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			err := mpi.Run(p, func(c *mpi.Comm) {
+				g := grid.New(c)
+				a := FromGlobalTriples(g, n, n, ts, nil)
+				for i := 0; i < b.N; i++ {
+					Transpose(a, nil)
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkFormatConversions(b *testing.B) {
+	n := int32(5000)
+	coo := NewCOO(n, n, benchTriples(n, 6), nil)
+	b.Run("COO_to_CSC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			coo.ToCSC()
+		}
+	})
+	csc := coo.ToCSC()
+	b.Run("CSC_to_DCSC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csc.ToDCSC()
+		}
+	})
+	dcsc := csc.ToDCSC()
+	b.Run("DCSC_to_CSC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dcsc.ToCSC()
+		}
+	})
+}

@@ -1,0 +1,418 @@
+package spmat
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+// Dist is a 2D block-distributed sparse matrix: grid rank (i, j) owns the
+// block rows BlockRange(NR, √P, i) × cols BlockRange(NC, √P, j). Local
+// triples keep their global indices.
+type Dist[T any] struct {
+	G                          *grid.Grid
+	NR, NC                     int32
+	RowLo, RowHi, ColLo, ColHi int32
+	Local                      COO[T] // dims NR×NC with global indices restricted to this block
+}
+
+// newDistShell prepares an empty matrix with the block geometry filled in.
+func newDistShell[T any](g *grid.Grid, nr, nc int32) *Dist[T] {
+	rlo, rhi := g.MyRowRange(int(nr))
+	clo, chi := g.MyColRange(int(nc))
+	return &Dist[T]{
+		G: g, NR: nr, NC: nc,
+		RowLo: int32(rlo), RowHi: int32(rhi),
+		ColLo: int32(clo), ColHi: int32(chi),
+		Local: COO[T]{NR: nr, NC: nc},
+	}
+}
+
+// owns reports whether (r, c) belongs to this rank's block.
+func (a *Dist[T]) owns(r, c int32) bool {
+	return r >= a.RowLo && r < a.RowHi && c >= a.ColLo && c < a.ColHi
+}
+
+// NewDist builds a distributed matrix from arbitrarily located triples: each
+// rank contributes any triples it produced; they are routed to their block
+// owner with one Alltoallv and combined there (collective).
+func NewDist[T any](g *grid.Grid, nr, nc int32, mine []Triple[T], combine func(T, T) T) *Dist[T] {
+	a := newDistShell[T](g, nr, nc)
+	p := g.Comm.Size()
+	send := make([][]Triple[T], p)
+	for _, t := range mine {
+		o := g.BlockOwnerRank(int(nr), int(nc), int(t.Row), int(t.Col))
+		send[o] = append(send[o], t)
+	}
+	parts := mpi.Alltoallv(g.Comm, send)
+	var ts []Triple[T]
+	for _, part := range parts {
+		ts = append(ts, part...)
+	}
+	for _, t := range ts {
+		if !a.owns(t.Row, t.Col) {
+			panic(fmt.Sprintf("spmat: routed triple (%d,%d) outside block", t.Row, t.Col))
+		}
+	}
+	a.Local = NewCOO(nr, nc, ts, combine)
+	return a
+}
+
+// FromGlobalTriples builds the matrix when every rank deterministically holds
+// the full triple set (tests): each rank keeps its block, no communication.
+func FromGlobalTriples[T any](g *grid.Grid, nr, nc int32, all []Triple[T], combine func(T, T) T) *Dist[T] {
+	a := newDistShell[T](g, nr, nc)
+	var ts []Triple[T]
+	for _, t := range all {
+		if a.owns(t.Row, t.Col) {
+			ts = append(ts, t)
+		}
+	}
+	a.Local = NewCOO(nr, nc, ts, combine)
+	return a
+}
+
+// Nnz returns the global nonzero count (collective).
+func (a *Dist[T]) Nnz() int64 {
+	return mpi.Allreduce(a.G.Comm, int64(a.Local.Nnz()), func(x, y int64) int64 { return x + y })
+}
+
+// GatherTriples collects the full matrix at root (collective; nil elsewhere).
+func (a *Dist[T]) GatherTriples(root int) []Triple[T] {
+	parts := mpi.Gatherv(a.G.Comm, root, a.Local.Ts)
+	if a.G.Comm.Rank() != root {
+		return nil
+	}
+	var ts []Triple[T]
+	for _, p := range parts {
+		ts = append(ts, p...)
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Col != ts[j].Col {
+			return ts[i].Col < ts[j].Col
+		}
+		return ts[i].Row < ts[j].Row
+	})
+	return ts
+}
+
+// Apply transforms every local nonzero in place; returning false drops the
+// entry (the paper's Prune). Purely local.
+func (a *Dist[T]) Apply(f func(r, c int32, v T) (T, bool)) {
+	out := a.Local.Ts[:0]
+	for _, t := range a.Local.Ts {
+		if v, keep := f(t.Row, t.Col, t.Val); keep {
+			t.Val = v
+			out = append(out, t)
+		}
+	}
+	a.Local.Ts = out
+}
+
+// Clone deep-copies the distributed matrix (local block only; no comm).
+func (a *Dist[T]) Clone() *Dist[T] {
+	b := *a
+	b.Local = a.Local.Clone()
+	return &b
+}
+
+// Transpose returns Aᵀ, mirroring each value with mirror (nil = unchanged).
+// Triples are routed to the transposed block owner (collective). For square
+// matrices on a square grid this is the pairwise exchange with the
+// transposed rank that the paper describes.
+func Transpose[T any](a *Dist[T], mirror func(T) T) *Dist[T] {
+	g := a.G
+	b := newDistShell[T](g, a.NC, a.NR)
+	p := g.Comm.Size()
+	send := make([][]Triple[T], p)
+	for _, t := range a.Local.Ts {
+		v := t.Val
+		if mirror != nil {
+			v = mirror(v)
+		}
+		o := g.BlockOwnerRank(int(a.NC), int(a.NR), int(t.Col), int(t.Row))
+		send[o] = append(send[o], Triple[T]{Row: t.Col, Col: t.Row, Val: v})
+	}
+	parts := mpi.Alltoallv(g.Comm, send)
+	var ts []Triple[T]
+	for _, part := range parts {
+		ts = append(ts, part...)
+	}
+	b.Local = NewCOO(a.NC, a.NR, ts, nil)
+	return b
+}
+
+// Add merges two equally-shaped distributed matrices entry-wise (local op;
+// both operands share block geometry by construction).
+func Add[T any](a, b *Dist[T], combine func(T, T) T) *Dist[T] {
+	if a.NR != b.NR || a.NC != b.NC {
+		panic("spmat: Add shape mismatch")
+	}
+	out := a.Clone()
+	ts := append(out.Local.Ts, b.Local.Ts...)
+	out.Local = NewCOO(a.NR, a.NC, ts, combine)
+	return out
+}
+
+// RowDegrees returns the global row nonzero counts as a block-distributed
+// vector (collective): local per-row counts are summed across the grid row
+// with an allreduce on the row communicator — the "summation reduction over
+// the row dimension" of §4.2 — then each rank keeps its vector block.
+func (a *Dist[T]) RowDegrees() *DistVec[int32] {
+	span := int(a.RowHi - a.RowLo)
+	counts := make([]int32, span)
+	for _, t := range a.Local.Ts {
+		counts[t.Row-a.RowLo]++
+	}
+	full := mpi.AllreduceSlice(a.G.RowComm, counts, func(x, y int32) int32 { return x + y })
+	v := NewDistVec[int32](a.G, int(a.NR))
+	copy(v.Local, full[int(v.Lo)-int(a.RowLo):int(v.Hi)-int(a.RowLo)])
+	return v
+}
+
+// MaskRowsCols removes every nonzero whose row or column appears in ids
+// (which must be identical on all ranks — the branch vector after its
+// allgather). Indices stay valid: the matrix is not re-indexed, exactly as
+// §4.2 prescribes.
+func (a *Dist[T]) MaskRowsCols(ids []int32) {
+	if len(ids) == 0 {
+		return
+	}
+	sorted := make([]int32, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	in := func(x int32) bool {
+		k := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= x })
+		return k < len(sorted) && sorted[k] == x
+	}
+	a.Apply(func(r, c int32, v T) (T, bool) {
+		return v, !in(r) && !in(c)
+	})
+}
+
+// BuildIndex returns a lookup map from packed (row,col) to the value — used
+// for the element-wise compare in transitive reduction, where both operands
+// share the same distribution.
+func (a *Dist[T]) BuildIndex() map[int64]T {
+	m := make(map[int64]T, a.Local.Nnz())
+	for _, t := range a.Local.Ts {
+		m[int64(t.Row)<<32|int64(uint32(t.Col))] = t.Val
+	}
+	return m
+}
+
+// SpGEMM computes A ⊗ B with the SUMMA algorithm: √P stages; in stage s the
+// ranks of grid column s broadcast their A blocks along their grid row, the
+// ranks of grid row s broadcast their B blocks along their grid column, and
+// every rank accumulates the local product (collective).
+func SpGEMM[A, B, C any](a *Dist[A], b *Dist[B], sr Semiring[A, B, C]) *Dist[C] {
+	return SpGEMMCounted(a, b, sr, nil)
+}
+
+// SpGEMMCounted is SpGEMM with a semiring-product work counter for the
+// performance model (products may be nil).
+func SpGEMMCounted[A, B, C any](a *Dist[A], b *Dist[B], sr Semiring[A, B, C], products *int64) *Dist[C] {
+	if a.G != b.G {
+		panic("spmat: SpGEMM operands on different grids")
+	}
+	if a.NC != b.NR {
+		panic(fmt.Sprintf("spmat: SpGEMM inner dims %d != %d", a.NC, b.NR))
+	}
+	g := a.G
+	out := newDistShell[C](g, a.NR, b.NC)
+	acc := make(map[int64]C)
+	for s := 0; s < g.Dim; s++ {
+		// Broadcast A(:, s-block) along grid rows.
+		var ablk []Triple[A]
+		if g.Col == s {
+			ablk = a.Local.Ts
+		}
+		ablk = mpi.Bcast(g.RowComm, s, ablk)
+		// Broadcast B(s-block, :) along grid columns.
+		var bblk []Triple[B]
+		if g.Row == s {
+			bblk = b.Local.Ts
+		}
+		bblk = mpi.Bcast(g.ColComm, s, bblk)
+		// Local product: bucket A by inner index, stream B.
+		kLo, kHi := grid.BlockRange(int(a.NC), g.Dim, s)
+		buckets := make([][]Triple[A], kHi-kLo)
+		for _, t := range ablk {
+			buckets[int(t.Col)-kLo] = append(buckets[int(t.Col)-kLo], t)
+		}
+		for _, bt := range bblk {
+			for _, at := range buckets[int(bt.Row)-kLo] {
+				if products != nil {
+					*products++
+				}
+				cv, ok := sr.Mul(at.Val, bt.Val)
+				if !ok {
+					continue
+				}
+				key := int64(at.Row)<<32 | int64(uint32(bt.Col))
+				if old, exists := acc[key]; exists {
+					acc[key] = sr.Add(old, cv)
+				} else {
+					acc[key] = cv
+				}
+			}
+		}
+	}
+	ts := make([]Triple[C], 0, len(acc))
+	for key, v := range acc {
+		ts = append(ts, Triple[C]{Row: int32(key >> 32), Col: int32(uint32(key)), Val: v})
+	}
+	out.Local = NewCOO(a.NR, b.NC, ts, nil)
+	return out
+}
+
+// DistVec is a dense vector block-distributed across all P ranks in
+// world-rank order; rank r owns BlockRange(N, P, r). With the row-major grid
+// layout, the union of the blocks of grid row i is exactly the matrix row
+// range of grid row i (see package grid) — the property behind the paper's
+// induced-subgraph communication (Figure 2).
+type DistVec[T any] struct {
+	G      *grid.Grid
+	N      int
+	Lo, Hi int32
+	Local  []T
+}
+
+// NewDistVec allocates a zero vector of length n.
+func NewDistVec[T any](g *grid.Grid, n int) *DistVec[T] {
+	lo, hi := g.MyVecRange(n)
+	return &DistVec[T]{G: g, N: n, Lo: int32(lo), Hi: int32(hi), Local: make([]T, hi-lo)}
+}
+
+// VecFromGlobal builds a vector when all ranks hold the full content
+// deterministically (no comm; each keeps its block).
+func VecFromGlobal[T any](g *grid.Grid, full []T) *DistVec[T] {
+	v := NewDistVec[T](g, len(full))
+	copy(v.Local, full[v.Lo:v.Hi])
+	return v
+}
+
+// Owns reports whether index i is in this rank's block.
+func (v *DistVec[T]) Owns(i int32) bool { return i >= v.Lo && i < v.Hi }
+
+// Get returns a locally-owned element.
+func (v *DistVec[T]) Get(i int32) T {
+	if !v.Owns(i) {
+		panic(fmt.Sprintf("spmat: vec index %d outside local block [%d,%d)", i, v.Lo, v.Hi))
+	}
+	return v.Local[i-v.Lo]
+}
+
+// Set updates a locally-owned element.
+func (v *DistVec[T]) Set(i int32, val T) {
+	if !v.Owns(i) {
+		panic(fmt.Sprintf("spmat: vec index %d outside local block [%d,%d)", i, v.Lo, v.Hi))
+	}
+	v.Local[i-v.Lo] = val
+}
+
+// Owner returns the rank owning element i.
+func (v *DistVec[T]) Owner(i int32) int { return v.G.VecOwner(v.N, int(i)) }
+
+// AllgatherFull replicates the vector on every rank (collective).
+func (v *DistVec[T]) AllgatherFull() []T {
+	flat, _ := mpi.AllgathervFlat(v.G.Comm, v.Local)
+	return flat
+}
+
+// RowColGather implements the Figure 2 exchange for a square-matrix-aligned
+// vector: an Allgatherv over the row communicator yields the entries for
+// this rank's row range; a point-to-point exchange with the transposed rank
+// then yields the entries for the column range (diagonal ranks already have
+// them). Returned slices are indexed from RowLo / ColLo of an NxN matrix
+// with N = v.N.
+func (v *DistVec[T]) RowColGather() (rowVals, colVals []T) {
+	g := v.G
+	rowVals, _ = mpi.AllgathervFlat(g.RowComm, v.Local)
+	if g.Row == g.Col {
+		colVals = make([]T, len(rowVals))
+		copy(colVals, rowVals)
+		return rowVals, colVals
+	}
+	partner := g.TransposedRank()
+	const tag = 0x51d // private tag for this exchange pattern
+	mpi.Send(g.Comm, partner, tag, rowVals)
+	colVals = mpi.Recv[T](g.Comm, partner, tag)
+	return rowVals, colVals
+}
+
+// Fetch returns the values at arbitrary global indices, aligned with ids
+// (collective: every rank must call, possibly with no ids). Routed to owners
+// and answered with a mirrored Alltoallv — the pattern LACC uses to chase
+// parent pointers.
+func (v *DistVec[T]) Fetch(ids []int32) []T {
+	p := v.G.Comm.Size()
+	req := make([][]int32, p)
+	backIdx := make([][]int, p) // position in ids for each routed request
+	for pos, id := range ids {
+		o := v.Owner(id)
+		req[o] = append(req[o], id)
+		backIdx[o] = append(backIdx[o], pos)
+	}
+	got := mpi.Alltoallv(v.G.Comm, req)
+	resp := make([][]T, p)
+	for r := 0; r < p; r++ {
+		resp[r] = make([]T, len(got[r]))
+		for i, id := range got[r] {
+			resp[r][i] = v.Get(id)
+		}
+	}
+	back := mpi.Alltoallv(v.G.Comm, resp)
+	out := make([]T, len(ids))
+	for r := 0; r < p; r++ {
+		for i, pos := range backIdx[r] {
+			out[pos] = back[r][i]
+		}
+	}
+	return out
+}
+
+// ScatterMin routes (index, value) proposals to their owners and folds them
+// into the vector with a minimum — the hooking write of connected
+// components (collective).
+func ScatterMin(v *DistVec[int32], idx []int32, vals []int32) {
+	p := v.G.Comm.Size()
+	type prop struct{ I, V int32 }
+	send := make([][]prop, p)
+	for k := range idx {
+		o := v.Owner(idx[k])
+		send[o] = append(send[o], prop{I: idx[k], V: vals[k]})
+	}
+	got := mpi.Alltoallv(v.G.Comm, send)
+	for _, part := range got {
+		for _, pr := range part {
+			if pr.V < v.Get(pr.I) {
+				v.Set(pr.I, pr.V)
+			}
+		}
+	}
+}
+
+// ScatterBoolAnd routes (index, value) proposals to their owners and ANDs
+// them into a bool vector — the star-correction write of connected
+// components (collective).
+func ScatterBoolAnd(v *DistVec[bool], idx []int32, vals []bool) {
+	p := v.G.Comm.Size()
+	type prop struct {
+		I int32
+		V bool
+	}
+	send := make([][]prop, p)
+	for k := range idx {
+		o := v.Owner(idx[k])
+		send[o] = append(send[o], prop{I: idx[k], V: vals[k]})
+	}
+	got := mpi.Alltoallv(v.G.Comm, send)
+	for _, part := range got {
+		for _, pr := range part {
+			v.Set(pr.I, v.Get(pr.I) && pr.V)
+		}
+	}
+}

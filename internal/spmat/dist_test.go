@@ -1,0 +1,350 @@
+package spmat
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+var gridSizes = []int{1, 4, 9, 16}
+
+// runGrid executes fn on a P-rank grid for each test grid size.
+func runGrid(t *testing.T, fn func(g *grid.Grid)) {
+	t.Helper()
+	for _, p := range gridSizes {
+		p := p
+		t.Run(fmt.Sprintf("P=%d", p), func(t *testing.T) {
+			err := mpi.Run(p, func(c *mpi.Comm) {
+				fn(grid.New(c))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func globalTriples(rng *rand.Rand, nr, nc int32, density float64) []Triple[int64] {
+	var ts []Triple[int64]
+	for r := int32(0); r < nr; r++ {
+		for c := int32(0); c < nc; c++ {
+			if rng.Float64() < density {
+				ts = append(ts, Triple[int64]{Row: r, Col: c, Val: int64(rng.Intn(9) + 1)})
+			}
+		}
+	}
+	return ts
+}
+
+func sortTriples(ts []Triple[int64]) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Col != ts[j].Col {
+			return ts[i].Col < ts[j].Col
+		}
+		return ts[i].Row < ts[j].Row
+	})
+}
+
+func TestNewDistRoutesToOwners(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	all := globalTriples(rng, 37, 23, 0.2)
+	runGrid(t, func(g *grid.Grid) {
+		// Scatter triples round-robin over ranks as the "producers".
+		var mine []Triple[int64]
+		for i, tr := range all {
+			if i%g.Comm.Size() == g.Comm.Rank() {
+				mine = append(mine, tr)
+			}
+		}
+		a := NewDist(g, 37, 23, mine, nil)
+		// Every local triple must be inside the block.
+		for _, tr := range a.Local.Ts {
+			if !a.owns(tr.Row, tr.Col) {
+				panic("triple outside block")
+			}
+		}
+		got := a.GatherTriples(0)
+		if g.Comm.Rank() == 0 {
+			want := append([]Triple[int64](nil), all...)
+			sortTriples(want)
+			if !reflect.DeepEqual(got, want) {
+				panic("gathered triples differ from input")
+			}
+		}
+	})
+}
+
+func TestFromGlobalMatchesNewDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	all := globalTriples(rng, 19, 19, 0.25)
+	runGrid(t, func(g *grid.Grid) {
+		a := FromGlobalTriples(g, 19, 19, all, nil)
+		var mine []Triple[int64]
+		if g.Comm.Rank() == 0 {
+			mine = all
+		}
+		b := NewDist(g, 19, 19, mine, nil)
+		if !reflect.DeepEqual(a.Local, b.Local) {
+			panic("FromGlobal and NewDist disagree")
+		}
+	})
+}
+
+func TestNnzGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	all := globalTriples(rng, 31, 17, 0.3)
+	runGrid(t, func(g *grid.Grid) {
+		a := FromGlobalTriples(g, 31, 17, all, nil)
+		if a.Nnz() != int64(len(all)) {
+			panic("global nnz wrong")
+		}
+	})
+}
+
+func TestTransposeInvolutionAndMirror(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	all := globalTriples(rng, 26, 14, 0.3)
+	runGrid(t, func(g *grid.Grid) {
+		a := FromGlobalTriples(g, 26, 14, all, nil)
+		at := Transpose(a, func(v int64) int64 { return -v })
+		if at.NR != 14 || at.NC != 26 {
+			panic("transpose dims wrong")
+		}
+		back := Transpose(at, func(v int64) int64 { return -v })
+		got := back.GatherTriples(0)
+		if g.Comm.Rank() == 0 {
+			want := append([]Triple[int64](nil), all...)
+			sortTriples(want)
+			if !reflect.DeepEqual(got, want) {
+				panic("transpose round-trip failed")
+			}
+		}
+	})
+}
+
+func TestSpGEMMMatchesSerialMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	nr, k, nc := int32(33), int32(29), int32(21)
+	aT := globalTriples(rng, nr, k, 0.2)
+	bT := globalTriples(rng, k, nc, 0.2)
+	// Serial reference.
+	ref := Multiply(NewCOO(nr, k, append([]Triple[int64](nil), aT...), nil).ToCSC(),
+		NewCOO(k, nc, append([]Triple[int64](nil), bT...), nil).ToCSC(), plusTimes)
+	runGrid(t, func(g *grid.Grid) {
+		a := FromGlobalTriples(g, nr, k, aT, nil)
+		b := FromGlobalTriples(g, k, nc, bT, nil)
+		c := SpGEMM(a, b, plusTimes)
+		got := c.GatherTriples(0)
+		if g.Comm.Rank() == 0 {
+			if !reflect.DeepEqual(got, ref.Ts) {
+				panic("SpGEMM differs from serial reference")
+			}
+		}
+	})
+}
+
+func TestSpGEMMSquareAAT(t *testing.T) {
+	// The pipeline's shape: C = A·Aᵀ must be symmetric.
+	rng := rand.New(rand.NewSource(7))
+	nr, k := int32(24), int32(40)
+	aT := globalTriples(rng, nr, k, 0.15)
+	runGrid(t, func(g *grid.Grid) {
+		a := FromGlobalTriples(g, nr, k, aT, nil)
+		at := Transpose(a, nil)
+		c := SpGEMM(a, at, plusTimes)
+		got := c.GatherTriples(0)
+		if g.Comm.Rank() == 0 {
+			m := map[[2]int32]int64{}
+			for _, tr := range got {
+				m[[2]int32{tr.Row, tr.Col}] = tr.Val
+			}
+			for _, tr := range got {
+				if m[[2]int32{tr.Col, tr.Row}] != tr.Val {
+					panic("A·Aᵀ not symmetric")
+				}
+			}
+		}
+	})
+}
+
+func TestApplyPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	all := globalTriples(rng, 20, 20, 0.4)
+	runGrid(t, func(g *grid.Grid) {
+		a := FromGlobalTriples(g, 20, 20, all, nil)
+		a.Apply(func(r, c int32, v int64) (int64, bool) {
+			return v * 10, v%2 == 0 // keep evens, scale by 10
+		})
+		got := a.GatherTriples(0)
+		if g.Comm.Rank() == 0 {
+			var want []Triple[int64]
+			for _, tr := range all {
+				if tr.Val%2 == 0 {
+					want = append(want, Triple[int64]{tr.Row, tr.Col, tr.Val * 10})
+				}
+			}
+			sortTriples(want)
+			if !reflect.DeepEqual(got, want) {
+				panic("apply/prune mismatch")
+			}
+		}
+	})
+}
+
+func TestRowDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := int32(41)
+	all := globalTriples(rng, n, n, 0.15)
+	wantDeg := make([]int32, n)
+	for _, tr := range all {
+		wantDeg[tr.Row]++
+	}
+	runGrid(t, func(g *grid.Grid) {
+		a := FromGlobalTriples(g, n, n, all, nil)
+		deg := a.RowDegrees()
+		full := deg.AllgatherFull()
+		if !reflect.DeepEqual(full, wantDeg) {
+			panic(fmt.Sprintf("degrees %v want %v", full, wantDeg))
+		}
+	})
+}
+
+func TestMaskRowsCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := int32(25)
+	all := globalTriples(rng, n, n, 0.3)
+	mask := []int32{3, 11, 19}
+	runGrid(t, func(g *grid.Grid) {
+		a := FromGlobalTriples(g, n, n, all, nil)
+		a.MaskRowsCols(mask)
+		got := a.GatherTriples(0)
+		if g.Comm.Rank() == 0 {
+			bad := map[int32]bool{3: true, 11: true, 19: true}
+			var want []Triple[int64]
+			for _, tr := range all {
+				if !bad[tr.Row] && !bad[tr.Col] {
+					want = append(want, tr)
+				}
+			}
+			sortTriples(want)
+			if !reflect.DeepEqual(got, want) {
+				panic("mask mismatch")
+			}
+		}
+	})
+}
+
+func TestAddMerges(t *testing.T) {
+	runGrid(t, func(g *grid.Grid) {
+		a := FromGlobalTriples(g, 10, 10, []Triple[int64]{{1, 1, 5}, {2, 3, 7}}, nil)
+		b := FromGlobalTriples(g, 10, 10, []Triple[int64]{{1, 1, 3}, {4, 4, 1}}, nil)
+		c := Add(a, b, func(x, y int64) int64 { return x + y })
+		got := c.GatherTriples(0)
+		if g.Comm.Rank() == 0 {
+			want := []Triple[int64]{{1, 1, 8}, {2, 3, 7}, {4, 4, 1}}
+			sortTriples(want)
+			if !reflect.DeepEqual(got, want) {
+				panic(fmt.Sprintf("add mismatch: %v", got))
+			}
+		}
+	})
+}
+
+func TestBuildIndex(t *testing.T) {
+	runGrid(t, func(g *grid.Grid) {
+		a := FromGlobalTriples(g, 10, 10, []Triple[int64]{{1, 2, 5}, {7, 9, 3}}, nil)
+		idx := a.BuildIndex()
+		for _, tr := range a.Local.Ts {
+			if idx[int64(tr.Row)<<32|int64(uint32(tr.Col))] != tr.Val {
+				panic("index lookup wrong")
+			}
+		}
+	})
+}
+
+func TestDistVecFullAndRowCol(t *testing.T) {
+	n := 35
+	full := make([]int64, n)
+	for i := range full {
+		full[i] = int64(i * i)
+	}
+	runGrid(t, func(g *grid.Grid) {
+		v := VecFromGlobal(g, full)
+		if !reflect.DeepEqual(v.AllgatherFull(), full) {
+			panic("allgather full wrong")
+		}
+		rowVals, colVals := v.RowColGather()
+		rlo, rhi := g.MyRowRange(n)
+		if len(rowVals) != rhi-rlo {
+			panic("row span wrong")
+		}
+		for i, val := range rowVals {
+			if val != full[rlo+i] {
+				panic("row value wrong")
+			}
+		}
+		clo, chi := g.MyColRange(n)
+		if len(colVals) != chi-clo {
+			panic("col span wrong")
+		}
+		for i, val := range colVals {
+			if val != full[clo+i] {
+				panic("col value wrong")
+			}
+		}
+	})
+}
+
+func TestDistVecFetch(t *testing.T) {
+	n := 29
+	full := make([]int32, n)
+	for i := range full {
+		full[i] = int32(i * 3)
+	}
+	runGrid(t, func(g *grid.Grid) {
+		v := VecFromGlobal(g, full)
+		// Every rank fetches a different stride, with duplicates.
+		var ids []int32
+		for i := g.Comm.Rank() % 3; i < n; i += 3 {
+			ids = append(ids, int32(i), int32(i))
+		}
+		got := v.Fetch(ids)
+		for k, id := range ids {
+			if got[k] != full[id] {
+				panic("fetch value wrong")
+			}
+		}
+	})
+}
+
+func TestScatterMin(t *testing.T) {
+	n := 12
+	runGrid(t, func(g *grid.Grid) {
+		full := make([]int32, n)
+		for i := range full {
+			full[i] = 100
+		}
+		v := VecFromGlobal(g, full)
+		// Every rank proposes rank+5 at index (rank mod n): min wins.
+		idx := []int32{int32(g.Comm.Rank() % n)}
+		vals := []int32{int32(g.Comm.Rank() + 5)}
+		ScatterMin(v, idx, vals)
+		out := v.AllgatherFull()
+		for i := 0; i < n; i++ {
+			want := int32(100)
+			for r := 0; r < g.Comm.Size(); r++ {
+				if r%n == i && int32(r+5) < want {
+					want = int32(r + 5)
+				}
+			}
+			if out[i] != want {
+				panic(fmt.Sprintf("scatter-min idx %d: got %d want %d", i, out[i], want))
+			}
+		}
+	})
+}

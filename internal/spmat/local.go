@@ -1,0 +1,218 @@
+// Package spmat is the sparse-matrix substrate standing in for CombBLAS:
+// local COO/CSC/DCSC formats with a semiring abstraction, and distributed
+// 2D block matrices on the √P × √P grid with SUMMA SpGEMM, distributed
+// transpose, element-wise transforms, row-degree reductions and row/column
+// masking — the operations Algorithm 1 and Algorithm 2 are written in.
+//
+// Indices are int32 (the simulated scale never approaches 2^31 rows); values
+// are generic so each pipeline stage can carry its own nonzero payload
+// (k-mer positions, shared seeds, alignments, bidirected edges).
+package spmat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triple is one nonzero. Distributed matrices store triples with global
+// indices; local kernels may re-base them.
+type Triple[T any] struct {
+	Row, Col int32
+	Val      T
+}
+
+// COO is a canonical coordinate-format matrix: triples sorted column-major
+// (Col, then Row), no duplicates.
+type COO[T any] struct {
+	NR, NC int32
+	Ts     []Triple[T]
+}
+
+// NewCOO builds a canonical COO from arbitrary triples, combining duplicates
+// with combine (which must be associative and commutative; nil panics on
+// duplicates).
+func NewCOO[T any](nr, nc int32, ts []Triple[T], combine func(T, T) T) COO[T] {
+	for _, t := range ts {
+		if t.Row < 0 || t.Row >= nr || t.Col < 0 || t.Col >= nc {
+			panic(fmt.Sprintf("spmat: triple (%d,%d) outside %dx%d", t.Row, t.Col, nr, nc))
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Col != ts[j].Col {
+			return ts[i].Col < ts[j].Col
+		}
+		return ts[i].Row < ts[j].Row
+	})
+	out := ts[:0]
+	for _, t := range ts {
+		if n := len(out); n > 0 && out[n-1].Row == t.Row && out[n-1].Col == t.Col {
+			if combine == nil {
+				panic(fmt.Sprintf("spmat: duplicate entry (%d,%d) with no combiner", t.Row, t.Col))
+			}
+			out[n-1].Val = combine(out[n-1].Val, t.Val)
+			continue
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		out = nil // canonical form: empty is nil, so equality is structural
+	}
+	return COO[T]{NR: nr, NC: nc, Ts: out}
+}
+
+// Nnz returns the number of stored nonzeros.
+func (a COO[T]) Nnz() int { return len(a.Ts) }
+
+// Clone deep-copies the triple slice (values are copied by assignment).
+func (a COO[T]) Clone() COO[T] {
+	ts := make([]Triple[T], len(a.Ts))
+	copy(ts, a.Ts)
+	return COO[T]{NR: a.NR, NC: a.NC, Ts: ts}
+}
+
+// CSC is compressed sparse column: JC has NC+1 column pointers into IR/V.
+// The paper's local-assembly stage (§4.4) walks exactly this structure.
+type CSC[T any] struct {
+	NR, NC int32
+	JC     []int32
+	IR     []int32
+	V      []T
+}
+
+// ToCSC converts canonical COO to CSC.
+func (a COO[T]) ToCSC() CSC[T] {
+	jc := make([]int32, a.NC+1)
+	for _, t := range a.Ts {
+		jc[t.Col+1]++
+	}
+	for j := int32(0); j < a.NC; j++ {
+		jc[j+1] += jc[j]
+	}
+	ir := make([]int32, len(a.Ts))
+	v := make([]T, len(a.Ts))
+	for i, t := range a.Ts {
+		ir[i] = t.Row
+		v[i] = t.Val
+	}
+	return CSC[T]{NR: a.NR, NC: a.NC, JC: jc, IR: ir, V: v}
+}
+
+// ToCOO converts CSC back to canonical COO.
+func (a CSC[T]) ToCOO() COO[T] {
+	if len(a.IR) == 0 {
+		return COO[T]{NR: a.NR, NC: a.NC} // canonical empty form is nil
+	}
+	ts := make([]Triple[T], 0, len(a.IR))
+	for j := int32(0); j < a.NC; j++ {
+		for p := a.JC[j]; p < a.JC[j+1]; p++ {
+			ts = append(ts, Triple[T]{Row: a.IR[p], Col: j, Val: a.V[p]})
+		}
+	}
+	return COO[T]{NR: a.NR, NC: a.NC, Ts: ts}
+}
+
+// ColDegree returns the number of nonzeros in column j — the vertex degree
+// when the matrix is a symmetric graph adjacency.
+func (a CSC[T]) ColDegree(j int32) int32 { return a.JC[j+1] - a.JC[j] }
+
+// DCSC is the doubly-compressed format of Buluç & Gilbert that ELBA uses for
+// hypersparse distributed blocks: only non-empty columns are stored. JC lists
+// the non-empty column ids, CP the pointer range of each into IR/V.
+type DCSC[T any] struct {
+	NR, NC int32
+	JC     []int32 // non-empty column ids, ascending
+	CP     []int32 // len(JC)+1 pointers
+	IR     []int32
+	V      []T
+}
+
+// ToDCSC compresses the column dimension.
+func (a CSC[T]) ToDCSC() DCSC[T] {
+	var jc, cp []int32
+	cp = append(cp, 0)
+	for j := int32(0); j < a.NC; j++ {
+		if a.JC[j+1] > a.JC[j] {
+			jc = append(jc, j)
+			cp = append(cp, a.JC[j+1])
+		}
+	}
+	ir := make([]int32, len(a.IR))
+	copy(ir, a.IR)
+	v := make([]T, len(a.V))
+	copy(v, a.V)
+	return DCSC[T]{NR: a.NR, NC: a.NC, JC: jc, CP: cp, IR: ir, V: v}
+}
+
+// ToCSC uncompresses the column pointers — the linear-time conversion §4.4
+// performs before local assembly ("only column pointers need to be
+// uncompressed and the row indices array stays intact").
+func (d DCSC[T]) ToCSC() CSC[T] {
+	jc := make([]int32, d.NC+1)
+	for i, j := range d.JC {
+		jc[j+1] = d.CP[i+1] - d.CP[i]
+	}
+	for j := int32(0); j < d.NC; j++ {
+		jc[j+1] += jc[j]
+	}
+	ir := make([]int32, len(d.IR))
+	copy(ir, d.IR)
+	v := make([]T, len(d.V))
+	copy(v, d.V)
+	return CSC[T]{NR: d.NR, NC: d.NC, JC: jc, IR: ir, V: v}
+}
+
+// Nnz returns the number of stored nonzeros.
+func (d DCSC[T]) Nnz() int { return len(d.IR) }
+
+// Semiring overloads multiplication and addition for SpGEMM, CombBLAS-style.
+// Mul may annihilate a product by returning false (the implicit zero).
+type Semiring[A, B, C any] struct {
+	Mul func(A, B) (C, bool)
+	Add func(C, C) C
+}
+
+// Multiply computes a ⊗ b over the semiring with Gustavson's column
+// algorithm and a sparse (hash) accumulator. a is NR×K, b is K×NC.
+func Multiply[A, B, C any](a CSC[A], b CSC[B], sr Semiring[A, B, C]) COO[C] {
+	if a.NC != b.NR {
+		panic(fmt.Sprintf("spmat: inner dims %d != %d", a.NC, b.NR))
+	}
+	var ts []Triple[C]
+	acc := make(map[int32]C)
+	for j := int32(0); j < b.NC; j++ {
+		clear(acc)
+		for p := b.JC[j]; p < b.JC[j+1]; p++ {
+			k := b.IR[p]
+			bv := b.V[p]
+			for q := a.JC[k]; q < a.JC[k+1]; q++ {
+				cv, ok := sr.Mul(a.V[q], bv)
+				if !ok {
+					continue
+				}
+				if old, exists := acc[a.IR[q]]; exists {
+					acc[a.IR[q]] = sr.Add(old, cv)
+				} else {
+					acc[a.IR[q]] = cv
+				}
+			}
+		}
+		for i, v := range acc {
+			ts = append(ts, Triple[C]{Row: i, Col: j, Val: v})
+		}
+	}
+	return NewCOO(a.NR, b.NC, ts, nil)
+}
+
+// TransposeLocal returns the transpose of a local COO, mirroring values
+// (mirror nil keeps them unchanged).
+func TransposeLocal[T any](a COO[T], mirror func(T) T) COO[T] {
+	ts := make([]Triple[T], len(a.Ts))
+	for i, t := range a.Ts {
+		v := t.Val
+		if mirror != nil {
+			v = mirror(v)
+		}
+		ts[i] = Triple[T]{Row: t.Col, Col: t.Row, Val: v}
+	}
+	return NewCOO(a.NC, a.NR, ts, nil)
+}

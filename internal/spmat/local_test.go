@@ -1,0 +1,193 @@
+package spmat
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// plusTimes is the ordinary (+, ×) semiring on int64.
+var plusTimes = Semiring[int64, int64, int64]{
+	Mul: func(a, b int64) (int64, bool) { return a * b, true },
+	Add: func(a, b int64) int64 { return a + b },
+}
+
+func randCOO(rng *rand.Rand, nr, nc int32, density float64) COO[int64] {
+	var ts []Triple[int64]
+	for r := int32(0); r < nr; r++ {
+		for c := int32(0); c < nc; c++ {
+			if rng.Float64() < density {
+				ts = append(ts, Triple[int64]{Row: r, Col: c, Val: int64(rng.Intn(9) + 1)})
+			}
+		}
+	}
+	return NewCOO(nr, nc, ts, nil)
+}
+
+func toDense(a COO[int64]) [][]int64 {
+	d := make([][]int64, a.NR)
+	for i := range d {
+		d[i] = make([]int64, a.NC)
+	}
+	for _, t := range a.Ts {
+		d[t.Row][t.Col] = t.Val
+	}
+	return d
+}
+
+func denseMul(a, b [][]int64) [][]int64 {
+	nr, k, nc := len(a), len(b), len(b[0])
+	c := make([][]int64, nr)
+	for i := range c {
+		c[i] = make([]int64, nc)
+		for j := 0; j < nc; j++ {
+			var s int64
+			for x := 0; x < k; x++ {
+				s += a[i][x] * b[x][j]
+			}
+			c[i][j] = s
+		}
+	}
+	return c
+}
+
+func TestNewCOOSortsAndCombines(t *testing.T) {
+	ts := []Triple[int64]{
+		{Row: 1, Col: 1, Val: 5},
+		{Row: 0, Col: 1, Val: 2},
+		{Row: 1, Col: 1, Val: 3},
+		{Row: 2, Col: 0, Val: 1},
+	}
+	a := NewCOO(3, 2, ts, func(x, y int64) int64 { return x + y })
+	want := []Triple[int64]{
+		{Row: 2, Col: 0, Val: 1},
+		{Row: 0, Col: 1, Val: 2},
+		{Row: 1, Col: 1, Val: 8},
+	}
+	if !reflect.DeepEqual(a.Ts, want) {
+		t.Fatalf("got %v", a.Ts)
+	}
+}
+
+func TestNewCOOPanicsOnDuplicateWithoutCombiner(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCOO(2, 2, []Triple[int64]{{0, 0, 1}, {0, 0, 2}}, nil)
+}
+
+func TestNewCOOPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCOO(2, 2, []Triple[int64]{{5, 0, 1}}, nil)
+}
+
+func TestCSCRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randCOO(rng, int32(rng.Intn(20)+1), int32(rng.Intn(20)+1), 0.3)
+		back := a.ToCSC().ToCOO()
+		return reflect.DeepEqual(a, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCSCRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// hypersparse: many empty columns
+		a := randCOO(rng, int32(rng.Intn(30)+1), int32(rng.Intn(30)+1), 0.05)
+		csc := a.ToCSC()
+		d := csc.ToDCSC()
+		if d.Nnz() != a.Nnz() {
+			return false
+		}
+		back := d.ToCSC()
+		return reflect.DeepEqual(csc, back) || (a.Nnz() == 0 && back.ToCOO().Nnz() == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCSCOnlyStoresNonEmptyColumns(t *testing.T) {
+	a := NewCOO(4, 100, []Triple[int64]{{0, 3, 1}, {2, 3, 2}, {1, 97, 3}}, nil)
+	d := a.ToCSC().ToDCSC()
+	if len(d.JC) != 2 || d.JC[0] != 3 || d.JC[1] != 97 {
+		t.Fatalf("JC = %v", d.JC)
+	}
+	if len(d.CP) != 3 || d.CP[2] != 3 {
+		t.Fatalf("CP = %v", d.CP)
+	}
+}
+
+func TestColDegree(t *testing.T) {
+	a := NewCOO(4, 3, []Triple[int64]{{0, 0, 1}, {1, 0, 1}, {3, 2, 1}}, nil)
+	csc := a.ToCSC()
+	for j, want := range []int32{2, 0, 1} {
+		if got := csc.ColDegree(int32(j)); got != want {
+			t.Fatalf("deg(%d) = %d, want %d", j, got, want)
+		}
+	}
+}
+
+func TestMultiplyMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nr, k, nc := int32(rng.Intn(15)+1), int32(rng.Intn(15)+1), int32(rng.Intn(15)+1)
+		a := randCOO(rng, nr, k, 0.35)
+		b := randCOO(rng, k, nc, 0.35)
+		got := toDense(COO[int64]{NR: nr, NC: nc, Ts: Multiply(a.ToCSC(), b.ToCSC(), plusTimes).Ts})
+		want := denseMul(toDense(a), toDense(b))
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplyAnnihilation(t *testing.T) {
+	// A semiring whose Mul rejects products with odd results must produce
+	// only entries built from surviving products.
+	sr := Semiring[int64, int64, int64]{
+		Mul: func(a, b int64) (int64, bool) { v := a * b; return v, v%2 == 0 },
+		Add: func(a, b int64) int64 { return a + b },
+	}
+	a := NewCOO(2, 2, []Triple[int64]{{0, 0, 3}, {0, 1, 2}}, nil)
+	b := NewCOO(2, 1, []Triple[int64]{{0, 0, 5}, {1, 0, 7}}, nil)
+	got := Multiply(a.ToCSC(), b.ToCSC(), sr)
+	// products: 3*5=15 (dropped), 2*7=14 (kept)
+	want := []Triple[int64]{{0, 0, 14}}
+	if !reflect.DeepEqual(got.Ts, want) {
+		t.Fatalf("got %v", got.Ts)
+	}
+}
+
+func TestTransposeLocalInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randCOO(rng, int32(rng.Intn(12)+1), int32(rng.Intn(12)+1), 0.3)
+		back := TransposeLocal(TransposeLocal(a, nil), nil)
+		return reflect.DeepEqual(a, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeLocalMirror(t *testing.T) {
+	a := NewCOO(2, 2, []Triple[int64]{{0, 1, 5}}, nil)
+	b := TransposeLocal(a, func(v int64) int64 { return -v })
+	want := []Triple[int64]{{1, 0, -5}}
+	if !reflect.DeepEqual(b.Ts, want) {
+		t.Fatalf("got %v", b.Ts)
+	}
+}

@@ -1,0 +1,30 @@
+package tr
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/spmat"
+)
+
+func BenchmarkReduce(b *testing.B) {
+	// 600 reads with skip edges up to span 4 — the post-alignment shape.
+	n := 600
+	all := chainGraph(n, 100, 20)
+	for _, p := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			err := mpi.Run(p, func(c *mpi.Comm) {
+				g := grid.New(c)
+				for i := 0; i < b.N; i++ {
+					s := spmat.FromGlobalTriples(g, int32(n), int32(n), all, nil)
+					Reduce(s, 0, 10)
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

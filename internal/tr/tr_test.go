@@ -1,0 +1,253 @@
+package tr
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bidir"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/spmat"
+)
+
+// chainGraph builds the overlap graph of n reads of length rl spaced step
+// apart on a forward genome, with every pair closer than rl overlapping —
+// so the graph contains skip edges up to span rl/step that TR must remove.
+func chainGraph(n int, rl, step int32) []spmat.Triple[bidir.Edge] {
+	var ts []spmat.Triple[bidir.Edge]
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			off := int32(j-i) * step
+			if off >= rl {
+				break
+			}
+			a := bidir.Aln{
+				U: int32(i), V: int32(j),
+				BU: off, EU: rl,
+				BV: 0, EV: rl - off,
+				LU: rl, LV: rl,
+			}
+			e, kind := bidir.Classify(a, bidir.Params{MaxOverhang: 0})
+			if kind != bidir.Dovetail {
+				panic("test graph must be dovetails")
+			}
+			m, _ := bidir.Classify(a.Mirror(), bidir.Params{MaxOverhang: 0})
+			ts = append(ts,
+				spmat.Triple[bidir.Edge]{Row: int32(i), Col: int32(j), Val: e},
+				spmat.Triple[bidir.Edge]{Row: int32(j), Col: int32(i), Val: m})
+		}
+	}
+	return ts
+}
+
+func TestReduceChainLeavesOnlyConsecutiveEdges(t *testing.T) {
+	n := 30
+	all := chainGraph(n, 100, 20) // spans up to 4: plenty of skip edges
+	for _, p := range []int{1, 4, 9} {
+		p := p
+		t.Run(fmt.Sprintf("P=%d", p), func(t *testing.T) {
+			err := mpi.Run(p, func(c *mpi.Comm) {
+				g := grid.New(c)
+				s := spmat.FromGlobalTriples(g, int32(n), int32(n), all, nil)
+				st := Reduce(s, 0, 10)
+				got := s.GatherTriples(0)
+				if c.Rank() == 0 {
+					if st.EdgesRemoved == 0 {
+						panic("nothing removed")
+					}
+					for _, tr := range got {
+						d := tr.Row - tr.Col
+						if d != 1 && d != -1 {
+							panic(fmt.Sprintf("non-consecutive edge (%d,%d) survived", tr.Row, tr.Col))
+						}
+					}
+					// The full chain must remain: 2(n-1) directed edges.
+					if len(got) != 2*(n-1) {
+						panic(fmt.Sprintf("%d edges left, want %d", len(got), 2*(n-1)))
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReduceKeepsSymmetry(t *testing.T) {
+	n := 24
+	all := chainGraph(n, 90, 15)
+	err := mpi.Run(4, func(c *mpi.Comm) {
+		g := grid.New(c)
+		s := spmat.FromGlobalTriples(g, int32(n), int32(n), all, nil)
+		Reduce(s, 5, 10)
+		got := s.GatherTriples(0)
+		if c.Rank() == 0 {
+			set := map[[2]int32]bool{}
+			for _, tr := range got {
+				set[[2]int32{tr.Row, tr.Col}] = true
+			}
+			for _, tr := range got {
+				if !set[[2]int32{tr.Col, tr.Row}] {
+					panic(fmt.Sprintf("asymmetric edge (%d,%d)", tr.Row, tr.Col))
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceAlreadyReducedIsNoop(t *testing.T) {
+	n := 12
+	// Only consecutive edges: nothing to remove.
+	var all []spmat.Triple[bidir.Edge]
+	for _, tr := range chainGraph(n, 100, 60) { // span 1 only
+		all = append(all, tr)
+	}
+	err := mpi.Run(4, func(c *mpi.Comm) {
+		g := grid.New(c)
+		s := spmat.FromGlobalTriples(g, int32(n), int32(n), all, nil)
+		st := Reduce(s, 0, 10)
+		if st.EdgesRemoved != 0 {
+			panic("removed edges from an already-reduced chain")
+		}
+		if st.Iterations != 1 {
+			panic("should converge in one iteration")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceFuzzTolerance(t *testing.T) {
+	// Perturb one skip edge's Suf by 3: with fuzz≥3 it is still removed.
+	n := 3
+	rl, step := int32(100), int32(30)
+	all := chainGraph(n, rl, step)
+	for i := range all {
+		if all[i].Row == 0 && all[i].Col == 2 {
+			all[i].Val.Suf -= 3 // path length (60) now exceeds edge+0
+		}
+	}
+	run := func(fuzz int32) (left int) {
+		err := mpi.Run(1, func(c *mpi.Comm) {
+			g := grid.New(c)
+			s := spmat.FromGlobalTriples(g, int32(n), int32(n), all, nil)
+			Reduce(s, fuzz, 10)
+			left = s.Local.Nnz()
+		})
+		if err != nil {
+			panic(err)
+		}
+		return left
+	}
+	// With fuzz 3 the perturbed skip edge is removed: 4 directed edges left.
+	if got := run(3); got != 4 {
+		t.Fatalf("fuzz=3: %d edges left, want 4", got)
+	}
+	// With fuzz 0 the (0,2) direction survives but (2,0) is marked and the
+	// symmetric kill still removes both — verify against one-sided marking.
+	if got := run(0); got != 4 && got != 6 {
+		t.Fatalf("fuzz=0: unexpected %d edges", got)
+	}
+}
+
+// TestReducePreservesConnectivity: removing transitive edges must never
+// split a connected component — checked with union-find before and after
+// over randomized chain graphs.
+func TestReducePreservesConnectivity(t *testing.T) {
+	find := func(parent []int32, x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	components := func(n int, ts []spmat.Triple[bidir.Edge]) []int32 {
+		parent := make([]int32, n)
+		for i := range parent {
+			parent[i] = int32(i)
+		}
+		for _, tr := range ts {
+			a, b := find(parent, tr.Row), find(parent, tr.Col)
+			if a != b {
+				if a < b {
+					parent[b] = a
+				} else {
+					parent[a] = b
+				}
+			}
+		}
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = find(parent, int32(i))
+		}
+		return out
+	}
+	for trial := 0; trial < 5; trial++ {
+		n := 20 + trial*13
+		rl := int32(100 + 10*trial)
+		step := int32(15 + 5*trial)
+		all := chainGraph(n, rl, step)
+		before := components(n, all)
+		var after []int32
+		err := mpi.Run(4, func(c *mpi.Comm) {
+			g := grid.New(c)
+			s := spmat.FromGlobalTriples(g, int32(n), int32(n), all, nil)
+			Reduce(s, 10, 10)
+			got := s.GatherTriples(0)
+			if c.Rank() == 0 {
+				after = components(n, got)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range before {
+			if before[v] != after[v] {
+				t.Fatalf("trial %d: TR changed component of vertex %d", trial, v)
+			}
+		}
+	}
+}
+
+func TestReduceCircularGenomeChain(t *testing.T) {
+	// A circular chain (ring) has no endpoints; TR must still reduce skip
+	// edges and keep the ring intact.
+	n := 20
+	rl, step := int32(100), int32(25)
+	var ts []spmat.Triple[bidir.Edge]
+	for i := 0; i < n; i++ {
+		for s := 1; int32(s)*step < rl; s++ {
+			j := (i + s) % n
+			off := int32(s) * step
+			a := bidir.Aln{
+				U: int32(i), V: int32(j),
+				BU: off, EU: rl, BV: 0, EV: rl - off,
+				LU: rl, LV: rl,
+			}
+			e, kind := bidir.Classify(a, bidir.Params{MaxOverhang: 0})
+			if kind != bidir.Dovetail {
+				panic("ring edges must be dovetails")
+			}
+			m, _ := bidir.Classify(a.Mirror(), bidir.Params{MaxOverhang: 0})
+			ts = append(ts,
+				spmat.Triple[bidir.Edge]{Row: int32(i), Col: int32(j), Val: e},
+				spmat.Triple[bidir.Edge]{Row: int32(j), Col: int32(i), Val: m})
+		}
+	}
+	err := mpi.Run(4, func(c *mpi.Comm) {
+		g := grid.New(c)
+		s := spmat.FromGlobalTriples(g, int32(n), int32(n), ts, nil)
+		Reduce(s, 0, 10)
+		if got := s.Nnz(); got != int64(2*n) {
+			panic(fmt.Sprintf("ring: %d edges left, want %d", got, 2*n))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

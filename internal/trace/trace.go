@@ -1,0 +1,201 @@
+// Package trace provides per-rank stage timers, per-stage communication
+// counters and abstract work counters. Together they feed the performance
+// model (package perfmodel) that reproduces the paper's scaling figures on
+// hosts with fewer cores than simulated ranks, and the runtime breakdowns of
+// Figures 5 and 6.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// Entry is one stage's accounting on one rank.
+type Entry struct {
+	Dur   time.Duration // measured wall time on this rank
+	Bytes int64         // bytes this rank sent during the stage
+	Msgs  int64         // messages this rank sent during the stage
+	Work  int64         // abstract work units (stage-specific, e.g. DP cells)
+}
+
+// Timers accumulates per-stage entries on one rank. Not safe for concurrent
+// use: each rank owns its Timers.
+type Timers struct {
+	order []string
+	m     map[string]*Entry
+}
+
+// New creates an empty timer set.
+func New() *Timers {
+	return &Timers{m: map[string]*Entry{}}
+}
+
+func (t *Timers) entry(name string) *Entry {
+	e, ok := t.m[name]
+	if !ok {
+		e = &Entry{}
+		t.m[name] = e
+		t.order = append(t.order, name)
+	}
+	return e
+}
+
+// Stage times fn under name and attributes this rank's traffic delta of the
+// interval to the stage.
+func (t *Timers) Stage(name string, c *mpi.Comm, fn func()) {
+	var b0, m0 int64
+	if c != nil {
+		b0, m0 = c.BytesSent(), c.MsgsSent()
+	}
+	start := time.Now()
+	fn()
+	e := t.entry(name)
+	e.Dur += time.Since(start)
+	if c != nil {
+		e.Bytes += c.BytesSent() - b0
+		e.Msgs += c.MsgsSent() - m0
+	}
+}
+
+// Add accumulates a duration under name.
+func (t *Timers) Add(name string, d time.Duration) { t.entry(name).Dur += d }
+
+// AddWork accumulates abstract work units under name.
+func (t *Timers) AddWork(name string, units int64) { t.entry(name).Work += units }
+
+// AddComm accumulates traffic under name.
+func (t *Timers) AddComm(name string, bytes, msgs int64) {
+	e := t.entry(name)
+	e.Bytes += bytes
+	e.Msgs += msgs
+}
+
+// Get returns the accumulated duration of a stage.
+func (t *Timers) Get(name string) time.Duration { return t.entry(name).Dur }
+
+// Entry returns a copy of the stage's accounting.
+func (t *Timers) Entry(name string) Entry { return *t.entry(name) }
+
+// Names lists stages in first-seen order.
+func (t *Timers) Names() []string { return append([]string(nil), t.order...) }
+
+// Merge folds another rank-local timer set into this one (used to nest
+// sub-stage timers).
+func (t *Timers) Merge(other *Timers) {
+	for _, n := range other.order {
+		src := other.m[n]
+		e := t.entry(n)
+		e.Dur += src.Dur
+		e.Bytes += src.Bytes
+		e.Msgs += src.Msgs
+		e.Work += src.Work
+	}
+}
+
+// SummaryEntry aggregates a stage across ranks.
+type SummaryEntry struct {
+	MaxDur   time.Duration // critical-path convention for breakdowns
+	SumBytes int64
+	MaxBytes int64
+	MaxMsgs  int64
+	SumWork  int64
+	MaxWork  int64
+}
+
+// Summary is the cross-rank aggregate of per-rank Timers.
+type Summary struct {
+	order []string
+	m     map[string]SummaryEntry
+}
+
+// Names lists stages in first-seen order.
+func (s *Summary) Names() []string { return append([]string(nil), s.order...) }
+
+// Get returns a stage's aggregate (zero value if absent).
+func (s *Summary) Get(name string) SummaryEntry { return s.m[name] }
+
+// Dur returns the stage's max-across-ranks duration.
+func (s *Summary) Dur(name string) time.Duration { return s.m[name].MaxDur }
+
+// Total sums all stage max-durations.
+func (s *Summary) Total() time.Duration {
+	var t time.Duration
+	for _, e := range s.m {
+		t += e.MaxDur
+	}
+	return t
+}
+
+// MergeMax gathers per-rank timers at rank 0 and aggregates them: durations,
+// per-rank bytes/messages and work take the max (critical path); bytes and
+// work are also summed (totals). Collective; returns nil on non-zero ranks.
+func MergeMax(c *mpi.Comm, t *Timers) *Summary {
+	type wire struct {
+		Name  string
+		Nanos int64
+		Bytes int64
+		Msgs  int64
+		Work  int64
+	}
+	var mine []wire
+	for _, n := range t.order {
+		e := t.m[n]
+		mine = append(mine, wire{Name: n, Nanos: int64(e.Dur), Bytes: e.Bytes, Msgs: e.Msgs, Work: e.Work})
+	}
+	parts := mpi.Gatherv(c, 0, mine)
+	if c.Rank() != 0 {
+		return nil
+	}
+	out := &Summary{m: map[string]SummaryEntry{}}
+	for _, part := range parts {
+		for _, w := range part {
+			e, seen := out.m[w.Name]
+			if !seen {
+				out.order = append(out.order, w.Name)
+			}
+			if d := time.Duration(w.Nanos); d > e.MaxDur {
+				e.MaxDur = d
+			}
+			e.SumBytes += w.Bytes
+			if w.Bytes > e.MaxBytes {
+				e.MaxBytes = w.Bytes
+			}
+			if w.Msgs > e.MaxMsgs {
+				e.MaxMsgs = w.Msgs
+			}
+			e.SumWork += w.Work
+			if w.Work > e.MaxWork {
+				e.MaxWork = w.Work
+			}
+			out.m[w.Name] = e
+		}
+	}
+	return out
+}
+
+// Breakdown formats the stage shares like the paper's Figure 5 legend,
+// restricted to the given stages (nil = all, first-seen order).
+func (s *Summary) Breakdown(stages []string) string {
+	if stages == nil {
+		stages = s.order
+	}
+	var total time.Duration
+	for _, n := range stages {
+		total += s.m[n].MaxDur
+	}
+	var b strings.Builder
+	for _, n := range stages {
+		e := s.m[n]
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(e.MaxDur) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-22s %12s  %5.1f%%  %9.2f MB  %8d msgs\n",
+			n, e.MaxDur.Round(time.Microsecond), pct, float64(e.SumBytes)/1e6, e.MaxMsgs)
+	}
+	fmt.Fprintf(&b, "%-22s %12s\n", "Total", total.Round(time.Microsecond))
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+func TestStageAccumulatesTimeAndTraffic(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) {
+		tm := New()
+		tm.Stage("s1", c, func() {
+			if c.Rank() == 0 {
+				mpi.Send(c, 1, 0, make([]int64, 100))
+			} else {
+				mpi.Recv[int64](c, 0, 0)
+			}
+			time.Sleep(5 * time.Millisecond)
+		})
+		e := tm.Entry("s1")
+		if e.Dur < 5*time.Millisecond {
+			panic("stage too short")
+		}
+		if c.Rank() == 0 && (e.Bytes != 800 || e.Msgs != 1) {
+			panic("traffic not attributed")
+		}
+		if c.Rank() == 1 && e.Bytes != 0 {
+			panic("receiver should have sent nothing")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddWorkAndMerge(t *testing.T) {
+	a := New()
+	a.Add("x", time.Second)
+	a.AddWork("x", 100)
+	b := New()
+	b.Add("x", 2*time.Second)
+	b.AddWork("x", 50)
+	b.AddComm("y", 10, 1)
+	a.Merge(b)
+	if a.Get("x") != 3*time.Second {
+		t.Fatal("merge dur")
+	}
+	if a.Entry("x").Work != 150 {
+		t.Fatal("merge work")
+	}
+	if a.Entry("y").Bytes != 10 {
+		t.Fatal("merge comm")
+	}
+}
+
+func TestMergeMaxAggregates(t *testing.T) {
+	err := mpi.Run(4, func(c *mpi.Comm) {
+		tm := New()
+		tm.Add("stage", time.Duration(c.Rank()+1)*time.Millisecond)
+		tm.AddWork("stage", int64(10*(c.Rank()+1)))
+		tm.AddComm("stage", int64(100*(c.Rank()+1)), int64(c.Rank()))
+		sum := MergeMax(c, tm)
+		if c.Rank() == 0 {
+			e := sum.Get("stage")
+			if e.MaxDur != 4*time.Millisecond {
+				panic("max dur wrong")
+			}
+			if e.MaxWork != 40 || e.SumWork != 100 {
+				panic("work aggregation wrong")
+			}
+			if e.SumBytes != 1000 || e.MaxBytes != 400 || e.MaxMsgs != 3 {
+				panic("traffic aggregation wrong")
+			}
+			if sum.Dur("stage") != 4*time.Millisecond {
+				panic("accessor wrong")
+			}
+		} else if sum != nil {
+			panic("non-root must get nil")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownFormatting(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		tm := New()
+		tm.Add("alpha", 3*time.Second)
+		tm.Add("beta", time.Second)
+		sum := MergeMax(c, tm)
+		out := sum.Breakdown(nil)
+		if !strings.Contains(out, "alpha") || !strings.Contains(out, "75.0%") {
+			panic("breakdown missing expected share:\n" + out)
+		}
+		// Restricted stage list changes the denominator.
+		only := sum.Breakdown([]string{"beta"})
+		if !strings.Contains(only, "100.0%") {
+			panic("restricted breakdown wrong:\n" + only)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	tm := New()
+	tm.Add("z", 1)
+	tm.Add("a", 1)
+	tm.Add("z", 1)
+	names := tm.Names()
+	if len(names) != 2 || names[0] != "z" || names[1] != "a" {
+		t.Fatalf("names %v", names)
+	}
+}
