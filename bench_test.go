@@ -42,23 +42,35 @@ func benchSize(p readsim.Preset) int {
 
 const benchSeed = 97
 
-// runCache memoizes pipeline runs per (preset, P): several benchmarks reuse
-// the same run (e.g. Fig 4 efficiency needs the P=1 baseline).
+// runCache memoizes pipeline runs per (preset, P, backend): several
+// benchmarks reuse the same run (e.g. Fig 4 efficiency needs the P=1
+// baseline).
+type runKey struct {
+	preset, p int
+	backend   string
+}
+
 var (
 	runMu    sync.Mutex
-	runCache = map[[2]int]*pipeline.Output{}
+	runCache = map[runKey]*pipeline.Output{}
 )
 
 func benchRun(b *testing.B, preset readsim.Preset, p int) *pipeline.Output {
+	return benchRunBackend(b, preset, p, "")
+}
+
+func benchRunBackend(b *testing.B, preset readsim.Preset, p int, backend string) *pipeline.Output {
 	b.Helper()
 	runMu.Lock()
 	defer runMu.Unlock()
-	key := [2]int{int(preset), p}
+	key := runKey{int(preset), p, backend}
 	if out, ok := runCache[key]; ok {
 		return out
 	}
 	ds := readsim.Generate(preset, benchSize(preset), benchSeed)
-	out, err := pipeline.Run(readsim.Seqs(ds.Reads), pipeline.PresetOptions(preset, p))
+	opt := pipeline.PresetOptions(preset, p)
+	opt.AlignBackend = backend
+	out, err := pipeline.Run(readsim.Seqs(ds.Reads), opt)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -112,7 +124,7 @@ func benchScaling(b *testing.B, preset readsim.Preset) {
 			var out *pipeline.Output
 			for i := 0; i < b.N; i++ {
 				runMu.Lock()
-				delete(runCache, [2]int{int(preset), p}) // measure a fresh run
+				delete(runCache, runKey{int(preset), p, ""}) // measure a fresh run
 				runMu.Unlock()
 				out = benchRun(b, preset, p)
 			}
@@ -241,6 +253,42 @@ func reportQuality(b *testing.B, rep *quality.Report) {
 	b.ReportMetric(float64(rep.NumContigs), "contigs")
 	b.ReportMetric(float64(rep.Misassemblies), "misassembled")
 	b.ReportMetric(float64(rep.N50), "n50")
+}
+
+// BenchmarkBackends_ErrorRates is the alignment-backend head-to-head through
+// the FULL pipeline on a low-error and a high-error readsim preset: per
+// backend it reports the Alignment stage's work counter, its modeled time,
+// and the contig quality (per internal/quality) of the resulting assembly.
+// The expectation this measures: WFA's penalty-proportional work beats the
+// x-drop band at 0.5% error and loses its edge at 15%, while contig quality
+// stays within tolerance of the x-drop backend throughout.
+func BenchmarkBackends_ErrorRates(b *testing.B) {
+	for _, preset := range []readsim.Preset{readsim.CElegansLike, readsim.HSapiensLike} {
+		preset := preset
+		for _, backend := range pipeline.AlignBackends() {
+			backend := backend
+			b.Run(preset.String()+"/"+backend, func(b *testing.B) {
+				var out *pipeline.Output
+				for i := 0; i < b.N; i++ {
+					runMu.Lock()
+					delete(runCache, runKey{int(preset), 4, backend}) // measure a fresh run
+					runMu.Unlock()
+					out = benchRunBackend(b, preset, 4, backend)
+				}
+				cal := calibrationOf(b, preset)
+				b.ReportMetric(float64(out.Stats.Timers.Get("Alignment").SumWork), "align_cells")
+				b.ReportMetric(1000*perfmodel.StageTime(out.Stats.Timers, "Alignment", cal, perfmodel.Aries()), "align_modeled_ms")
+				b.ReportMetric(out.Stats.Timers.Dur("Alignment").Seconds()*1000, "align_wall_ms")
+				ds := benchDataset(preset)
+				seqs := make([][]byte, len(out.Contigs))
+				for j, c := range out.Contigs {
+					seqs[j] = c.Seq
+				}
+				rep := quality.Evaluate(ds.Genome, seqs)
+				reportQuality(b, rep)
+			})
+		}
+	}
 }
 
 // BenchmarkContigPhase_Shares verifies the §6.1 claims: the induced

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/elba"
 	"repro/internal/fasta"
@@ -33,7 +34,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for -preset")
 		p         = flag.Int("p", 4, "simulated ranks (perfect square: 1,4,9,16,…)")
 		k         = flag.Int("k", 0, "k-mer length override (default: preset/paper value)")
-		xdrop     = flag.Int("x", 0, "x-drop threshold override")
+		xdrop     = flag.Int("x", 0, "x-drop / wavefront-prune threshold override")
+		backend   = flag.String("backend", "xdrop", "alignment backend: "+strings.Join(elba.AlignBackends(), " | "))
 		outPath   = flag.String("out", "", "write contigs FASTA here")
 		refPath   = flag.String("ref", "", "reference FASTA for a quality report")
 		breakdown = flag.Bool("breakdown", false, "print the per-stage runtime breakdown")
@@ -74,6 +76,7 @@ func main() {
 	if *xdrop > 0 {
 		opt.XDrop = int32(*xdrop)
 	}
+	opt.AlignBackend = *backend
 	if *refPath != "" {
 		recs, err := loadFasta(*refPath)
 		if err != nil {

@@ -1,0 +1,56 @@
+package elba_test
+
+import (
+	"testing"
+
+	"repro/elba"
+)
+
+// TestAlignBackendQualityParity runs the quickstart-scale dataset (50 kbp
+// C. elegans-like, 2×2 grid) through the full pipeline once per alignment
+// backend and requires the WFA assembly's quality to stay within tolerance
+// of the x-drop assembly. On this error rate the two backends agree almost
+// everywhere, so the tolerances are loose only to absorb borderline-pair
+// pruning differences, not systematic quality loss.
+func TestAlignBackendQualityParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline backend comparison in -short mode")
+	}
+	ds := elba.SimulateDataset(elba.CElegansLike, 50_000, 42)
+	reports := map[string]*elba.QualityReport{}
+	for _, backend := range elba.AlignBackends() {
+		opt := elba.PresetOptions(elba.CElegansLike, 4)
+		opt.AlignBackend = backend
+		out, err := elba.Assemble(elba.ReadSeqs(ds.Reads), opt)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if len(out.Contigs) == 0 {
+			t.Fatalf("%s: no contigs", backend)
+		}
+		reports[backend] = elba.Evaluate(ds.Genome, out.Contigs)
+	}
+	xd, wf := reports[elba.BackendXDrop], reports[elba.BackendWFA]
+	t.Logf("xdrop: completeness=%.2f N50=%d contigs=%d mis=%d", xd.Completeness, xd.N50, xd.NumContigs, xd.Misassemblies)
+	t.Logf("wfa:   completeness=%.2f N50=%d contigs=%d mis=%d", wf.Completeness, wf.N50, wf.NumContigs, wf.Misassemblies)
+	if d := xd.Completeness - wf.Completeness; d > 5 || d < -5 {
+		t.Errorf("completeness diverges: xdrop %.2f%% vs wfa %.2f%%", xd.Completeness, wf.Completeness)
+	}
+	if r := float64(wf.N50) / float64(xd.N50); r < 0.7 || r > 1.43 {
+		t.Errorf("N50 diverges: xdrop %d vs wfa %d", xd.N50, wf.N50)
+	}
+	if d := wf.Misassemblies - xd.Misassemblies; d > 2 || d < -2 {
+		t.Errorf("misassemblies diverge: xdrop %d vs wfa %d", xd.Misassemblies, wf.Misassemblies)
+	}
+}
+
+// TestUnknownBackendRejected makes sure typos surface as errors, not silent
+// fallbacks to the default aligner.
+func TestUnknownBackendRejected(t *testing.T) {
+	opt := elba.DefaultOptions(1)
+	opt.AlignBackend = "smith-waterman"
+	_, err := elba.Assemble([][]byte{[]byte("ACGTACGTACGT")}, opt)
+	if err == nil {
+		t.Fatal("unknown AlignBackend must error")
+	}
+}

@@ -17,6 +17,10 @@
 //	ds := elba.SimulateDataset(elba.CElegansLike, 100_000, 42)
 //	out, err := elba.Assemble(elba.ReadSeqs(ds.Reads), elba.PresetOptions(elba.CElegansLike, 4))
 //	rep := elba.Evaluate(ds.Genome, out.Contigs)
+//
+// The Alignment stage dispatches through a pluggable backend: the default
+// x-drop DP, or gap-affine wavefront alignment (much faster on low-error
+// reads) via Options.AlignBackend = elba.BackendWFA.
 package elba
 
 import (
@@ -32,8 +36,19 @@ import (
 )
 
 // Options parameterizes an assembly run; P is the simulated rank count and
-// must be a perfect square (the paper's 2D grid requirement).
+// must be a perfect square (the paper's 2D grid requirement). The
+// AlignBackend field selects the Alignment-stage implementation
+// (BackendXDrop or BackendWFA; empty means x-drop).
 type Options = pipeline.Options
+
+// Alignment backend names for Options.AlignBackend.
+const (
+	BackendXDrop = pipeline.BackendXDrop // banded antidiagonal x-drop DP
+	BackendWFA   = pipeline.BackendWFA   // gap-affine wavefront alignment
+)
+
+// AlignBackends lists the built-in alignment backends.
+func AlignBackends() []string { return pipeline.AlignBackends() }
 
 // Output is an assembled contig set plus run statistics.
 type Output = pipeline.Output

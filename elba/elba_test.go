@@ -10,6 +10,9 @@ import (
 )
 
 func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline run in -short mode")
+	}
 	ds := elba.SimulateDataset(elba.CElegansLike, 30000, 5)
 	if len(ds.Reads) == 0 || len(ds.Genome) != 30000 {
 		t.Fatal("dataset generation failed")
@@ -32,6 +35,9 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 }
 
 func TestWriteContigsAndAssembleFastaRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline run in -short mode")
+	}
 	ds := elba.SimulateDataset(elba.CElegansLike, 20000, 9)
 	opt := elba.PresetOptions(elba.CElegansLike, 1)
 	out, err := elba.Assemble(elba.ReadSeqs(ds.Reads), opt)
@@ -66,6 +72,9 @@ func TestWriteContigsAndAssembleFastaRoundTrip(t *testing.T) {
 }
 
 func TestBaselineViaPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shared-memory baseline assembly in -short mode")
+	}
 	ds := elba.SimulateDataset(elba.CElegansLike, 25000, 11)
 	opt := elba.PresetOptions(elba.CElegansLike, 1)
 	res := elba.BestOverlapBaseline(elba.ReadSeqs(ds.Reads), elba.BaselineFromOptions(opt, 2))

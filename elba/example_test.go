@@ -8,9 +8,14 @@ import (
 
 // Example assembles a small simulated dataset end to end: simulate, run the
 // distributed pipeline on a 2×2 grid, and evaluate against the reference.
+// The wavefront alignment backend keeps the demo fast on this low-error
+// preset; drop the AlignBackend line for the paper's x-drop DP (the contigs
+// are the same either way).
 func Example() {
 	ds := elba.SimulateDataset(elba.CElegansLike, 30_000, 42)
-	out, err := elba.Assemble(elba.ReadSeqs(ds.Reads), elba.PresetOptions(elba.CElegansLike, 4))
+	opt := elba.PresetOptions(elba.CElegansLike, 4)
+	opt.AlignBackend = elba.BackendWFA
+	out, err := elba.Assemble(elba.ReadSeqs(ds.Reads), opt)
 	if err != nil {
 		panic(err)
 	}
@@ -23,7 +28,9 @@ func Example() {
 // contigs into longer sequences.
 func ExampleMergeContigs() {
 	ds := elba.SimulateDataset(elba.CElegansLike, 25_000, 5)
-	out, err := elba.Assemble(elba.ReadSeqs(ds.Reads), elba.PresetOptions(elba.CElegansLike, 1))
+	opt := elba.PresetOptions(elba.CElegansLike, 1)
+	opt.AlignBackend = elba.BackendWFA
+	out, err := elba.Assemble(elba.ReadSeqs(ds.Reads), opt)
 	if err != nil {
 		panic(err)
 	}

@@ -170,10 +170,27 @@ type Seed struct {
 	RC     bool
 }
 
+// ExtendFunc is the extension primitive an alignment backend supplies: the
+// best-scoring local extension of s versus t starting at (0,0) and moving
+// forward, returning the classic (match/mismatch/gap) score and the half-open
+// extents reached on each sequence. Both the x-drop DP and the wavefront
+// aligner (package wfa) implement this contract.
+type ExtendFunc func(s, t []byte) (score, si, ti int32)
+
 // SeedExtend aligns u and v around the seed and returns the alignment in
 // forward coordinates of both reads (a bidir.Aln with U/V ids left zero for
 // the caller to fill).
 func SeedExtend(u, v []byte, k int32, seed Seed, p Params) bidir.Aln {
+	return SeedExtendWith(u, v, k, seed, p.Match,
+		func(s, t []byte) (int32, int32, int32) { return extend(s, t, p) })
+}
+
+// SeedExtendWith runs the seed-anchored bidirectional extension with an
+// arbitrary extension primitive: right extension from the seed end, left
+// extension on the reversed prefixes, reverse-complement handling for RC
+// seeds. Backends share this wrapper so their coordinate semantics (and the
+// agreement tests built on them) are identical by construction.
+func SeedExtendWith(u, v []byte, k int32, seed Seed, matchScore int32, ext ExtendFunc) bidir.Aln {
 	work := v
 	pv := seed.PV
 	if seed.RC {
@@ -183,10 +200,10 @@ func SeedExtend(u, v []byte, k int32, seed Seed, p Params) bidir.Aln {
 		pv = int32(len(v)) - seed.PV - k
 	}
 	// Right extension from the seed end.
-	rs, rExtU, rExtV := extend(u[seed.PU+k:], work[pv+k:], p)
+	rs, rExtU, rExtV := ext(u[seed.PU+k:], work[pv+k:])
 	// Left extension: reverse the prefixes.
-	ls, lExtU, lExtV := extend(reverse(u[:seed.PU]), reverse(work[:pv]), p)
-	score := rs + ls + k*p.Match
+	ls, lExtU, lExtV := ext(reverse(u[:seed.PU]), reverse(work[:pv]))
+	score := rs + ls + k*matchScore
 	bu, eu := seed.PU-lExtU, seed.PU+k+rExtU
 	bw, ew := pv-lExtV, pv+k+rExtV
 	a := bidir.Aln{
@@ -204,16 +221,19 @@ func SeedExtend(u, v []byte, k int32, seed Seed, p Params) bidir.Aln {
 	return a
 }
 
-// Best runs SeedExtend for every seed and keeps the highest-scoring
-// alignment (ties: the first seed), BELLA's "up to two seeds" policy.
+// Best runs SeedExtend for every seed with the given params — BestOf over
+// an aligner view that honors p verbatim (including any Cells pointer).
 func Best(u, v []byte, k int32, seeds []Seed, p Params) bidir.Aln {
-	var best bidir.Aln
-	bestScore := negInf
-	for _, s := range seeds {
-		a := SeedExtend(u, v, k, s, p)
-		if a.Score > bestScore {
-			best, bestScore = a, a.Score
-		}
-	}
-	return best
+	return BestOf(paramsAligner{p}, u, v, k, seeds)
+}
+
+// paramsAligner adapts raw Params to the Aligner interface without taking
+// over the work counter the way NewXDrop does; safe to use from multiple
+// goroutines as long as p.Cells is nil.
+type paramsAligner struct{ p Params }
+
+func (a paramsAligner) Name() string { return "xdrop" }
+func (a paramsAligner) Work() int64  { return 0 }
+func (a paramsAligner) SeedExtend(u, v []byte, k int32, seed Seed) Result {
+	return SeedExtend(u, v, k, seed, a.p)
 }

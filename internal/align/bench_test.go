@@ -34,6 +34,28 @@ func BenchmarkExtendWithErrors(b *testing.B) {
 	}
 }
 
+// BenchmarkBestOfDispatch measures the Aligner-interface dispatch against
+// the direct call: the overlap stage pays this per candidate pair, so the
+// indirection must stay in the noise.
+func BenchmarkBestOfDispatch(b *testing.B) {
+	g := readsim.Genome(readsim.GenomeConfig{Length: 4000, Seed: 9})
+	u, v := g[:2500], g[1500:]
+	k := int32(17)
+	seeds := []Seed{{PU: 2000, PV: 500}}
+	p := DefaultParams(15)
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Best(u, v, k, seeds, p)
+		}
+	})
+	b.Run("interface", func(b *testing.B) {
+		al := NewXDrop(p)
+		for i := 0; i < b.N; i++ {
+			BestOf(al, u, v, k, seeds)
+		}
+	})
+}
+
 func BenchmarkSeedExtendRC(b *testing.B) {
 	g := readsim.Genome(readsim.GenomeConfig{Length: 6000, Seed: 4})
 	u := g[:4000]

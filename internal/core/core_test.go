@@ -223,6 +223,9 @@ func pipelineToContigs(t *testing.T, p int, seqs [][]byte, k int, xdrop int32) (
 // the reference genome or of its reverse complement, and the contigs must
 // cover most of the genome.
 func TestEndToEndErrorFreeGenomeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline run in -short mode")
+	}
 	genome := readsim.Genome(readsim.GenomeConfig{Length: 30000, Seed: 41})
 	reads := readsim.Seqs(readsim.Simulate(genome, readsim.ReadConfig{Depth: 15, MeanLen: 2200, Seed: 42}))
 	rc := string(dna.RevComp(genome))
@@ -261,6 +264,9 @@ func TestEndToEndErrorFreeGenomeRoundTrip(t *testing.T) {
 // TestEndToEndDeterministicAcrossP: the contig set must be identical no
 // matter how many ranks computed it.
 func TestEndToEndDeterministicAcrossP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline run in -short mode")
+	}
 	genome := readsim.Genome(readsim.GenomeConfig{Length: 20000, Seed: 51})
 	reads := readsim.Seqs(readsim.Simulate(genome, readsim.ReadConfig{Depth: 12, MeanLen: 1800, Seed: 52}))
 	var sets [][]Contig

@@ -92,9 +92,22 @@ type Config struct {
 	ReliableLow  int32 // minimum read-count for a reliable k-mer
 	ReliableHigh int32 // maximum read-count (repeat guard)
 	Align        align.Params
+	// NewAligner, when non-nil, constructs the per-rank alignment backend
+	// the stage dispatches through; nil falls back to the x-drop aligner
+	// built from Align. Each rank gets its own instance, so backends need
+	// not be safe for concurrent use.
+	NewAligner   func() align.Aligner
 	MinOverlap   int32   // minimum aligned length on both reads
 	MinScoreFrac float64 // score must be ≥ frac × aligned length
 	MaxOverhang  int32   // dovetail tolerance (x-drop early stop slack)
+}
+
+// aligner instantiates this rank's alignment backend.
+func (c Config) aligner() align.Aligner {
+	if c.NewAligner != nil {
+		return c.NewAligner()
+	}
+	return align.NewXDrop(c.Align)
 }
 
 // Result carries the stage outputs and counters.
@@ -153,20 +166,20 @@ func Run(g *grid.Grid, store *fasta.DistStore, cfg Config, tm *trace.Timers) *Re
 	})
 	tm.AddWork("DetectOverlap", products)
 
-	// Alignment: x-drop per candidate, classification, containment pruning,
-	// symmetrization.
-	var cells int64
-	cfg.Align.Cells = &cells
+	// Alignment: one backend extension per candidate (x-drop or wavefront,
+	// per cfg), classification, containment pruning, symmetrization.
+	al := cfg.aligner()
 	tm.Stage("Alignment", g.Comm, func() {
-		res.R = alignAndPrune(g, store, c, cfg, res)
+		res.R = alignAndPrune(g, store, c, al, cfg, res)
 	})
-	tm.AddWork("Alignment", cells)
+	tm.AddWork("Alignment", al.Work())
 	return res
 }
 
-// alignAndPrune aligns every surviving candidate (one direction per pair),
-// prunes, removes contained reads, and returns the symmetric overlap matrix.
-func alignAndPrune(g *grid.Grid, store *fasta.DistStore, c *spmat.Dist[Seeds], cfg Config, res *Result) *spmat.Dist[bidir.Aln] {
+// alignAndPrune aligns every surviving candidate (one direction per pair)
+// through the backend, prunes, removes contained reads, and returns the
+// symmetric overlap matrix.
+func alignAndPrune(g *grid.Grid, store *fasta.DistStore, c *spmat.Dist[Seeds], al align.Aligner, cfg Config, res *Result) *spmat.Dist[bidir.Aln] {
 	// diBELLA's sequence exchange: row-range sequences via the row
 	// communicator, column-range sequences via the transposed rank.
 	rowSeqs, colSeqs := store.RowColSequences(g)
@@ -176,7 +189,7 @@ func alignAndPrune(g *grid.Grid, store *fasta.DistStore, c *spmat.Dist[Seeds], c
 	var contained []int32
 	for _, t := range c.Local.Ts {
 		u, v := rowSeqs[t.Row-c.RowLo], colSeqs[t.Col-c.ColLo]
-		a := align.Best(u, v, int32(cfg.K), t.Val.S[:t.Val.N], cfg.Align)
+		a := align.BestOf(al, u, v, int32(cfg.K), t.Val.S[:t.Val.N])
 		a.U, a.V = t.Row, t.Col
 		// Quality gates first: length and score density.
 		alnLen := min32(a.EU-a.BU, a.EV-a.BV)

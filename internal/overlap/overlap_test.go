@@ -66,6 +66,9 @@ func TestSeedsMergeKeepsTwoSmallestDistinct(t *testing.T) {
 }
 
 func TestRunErrorFreeFindsTrueOverlapsOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline run in -short mode")
+	}
 	genome := readsim.Genome(readsim.GenomeConfig{Length: 40000, Seed: 17})
 	reads := readsim.Simulate(genome, readsim.ReadConfig{Depth: 12, MeanLen: 2500, Seed: 18})
 	seqs := readsim.Seqs(reads)
@@ -172,6 +175,9 @@ func TestRunDeterministicAcrossP(t *testing.T) {
 }
 
 func TestRunWithErrorsStillFindsOverlaps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline run in -short mode")
+	}
 	genome := readsim.Genome(readsim.GenomeConfig{Length: 30000, Seed: 29})
 	reads := readsim.Simulate(genome, readsim.ReadConfig{Depth: 10, MeanLen: 2500, ErrorRate: 0.03, Seed: 30})
 	seqs := readsim.Seqs(reads)

@@ -67,6 +67,9 @@ func TestInvalidKPropagatesAsError(t *testing.T) {
 // than any read force branch vertices; contigs must break there but stay
 // exact substrings of the reference (the §4.2 masking behaviour).
 func TestRepeatGenomeCreatesBranchesButExactContigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline run in -short mode")
+	}
 	genome := readsim.Genome(readsim.GenomeConfig{
 		Length: 30000, Seed: 201, RepeatCount: 2, RepeatLen: 4000,
 	})
@@ -100,6 +103,9 @@ func TestRepeatGenomeCreatesBranchesButExactContigs(t *testing.T) {
 // not change the contig set and must shrink the sequence-communication
 // traffic roughly 4×.
 func TestPackSeqCommEquivalentAndSmaller(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline run in -short mode")
+	}
 	genome := readsim.Genome(readsim.GenomeConfig{Length: 20000, Seed: 301})
 	reads := readsim.Seqs(readsim.Simulate(genome, readsim.ReadConfig{Depth: 12, MeanLen: 1800, Seed: 302}))
 	opt := DefaultOptions(4)
@@ -133,6 +139,9 @@ func TestPackSeqCommEquivalentAndSmaller(t *testing.T) {
 // TestLoadBalanceReported: LPT must distribute assigned reads across ranks
 // within a sane imbalance bound on a many-contig workload.
 func TestLoadBalanceReported(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline run in -short mode")
+	}
 	genome := readsim.Genome(readsim.GenomeConfig{Length: 40000, Seed: 203})
 	reads := readsim.Seqs(readsim.Simulate(genome, readsim.ReadConfig{
 		Depth: 10, MeanLen: 1200, Seed: 204,

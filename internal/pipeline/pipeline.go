@@ -1,7 +1,9 @@
 // Package pipeline assembles the full ELBA computation of Algorithm 1:
 // FastaReader → KmerCounter → A → C = A·Aᵀ → Alignment → Prune →
 // TransitiveReduction → ContigGeneration, on a simulated distributed-memory
-// machine of P ranks arranged as a √P × √P grid. It reports per-stage
+// machine of P ranks arranged as a √P × √P grid. The Alignment stage
+// dispatches through a pluggable backend (Options.AlignBackend: x-drop DP
+// or wavefront alignment). It reports per-stage
 // timings under the paper's breakdown names (CountKmer, DetectOverlap,
 // Alignment, TrReduction, ExtractContig) plus the contig-phase sub-stages
 // (CG:*) used for the §6.1 induced-subgraph claim.
@@ -9,6 +11,7 @@ package pipeline
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -21,13 +24,28 @@ import (
 	"repro/internal/readsim"
 	"repro/internal/tr"
 	"repro/internal/trace"
+	"repro/internal/wfa"
 )
+
+// Alignment backend names accepted by Options.AlignBackend.
+const (
+	BackendXDrop = "xdrop" // banded antidiagonal x-drop DP (package align)
+	BackendWFA   = "wfa"   // gap-affine wavefront alignment (package wfa)
+)
+
+// AlignBackends lists the built-in alignment backends.
+func AlignBackends() []string { return []string{BackendXDrop, BackendWFA} }
 
 // Options parameterizes a pipeline run.
 type Options struct {
-	P            int   // simulated ranks; must be a perfect square
-	K            int   // k-mer length (paper: 31 low-error, 17 high-error)
-	XDrop        int32 // x-drop threshold (paper: 15 low-error, 7 high-error)
+	P int // simulated ranks; must be a perfect square
+	K int // k-mer length (paper: 31 low-error, 17 high-error)
+	// AlignBackend selects the Alignment-stage implementation: "xdrop"
+	// (default; "" is an alias) or "wfa". Both consume the same seeds and
+	// produce compatible scores/extents; WFA's work scales with alignment
+	// penalty rather than band area, so it wins on low-error reads.
+	AlignBackend string
+	XDrop        int32 // x-drop / wavefront-prune threshold (paper: 15 low-error, 7 high-error)
 	ReliableLow  int32
 	ReliableHigh int32
 	MinOverlap   int32
@@ -103,13 +121,28 @@ type Output struct {
 	Stats   Stats
 }
 
+// alignerFactory maps AlignBackend to a per-rank backend constructor.
+func (o Options) alignerFactory() (func() align.Aligner, error) {
+	switch o.AlignBackend {
+	case "", BackendXDrop:
+		p := align.DefaultParams(o.XDrop)
+		return func() align.Aligner { return align.NewXDrop(p) }, nil
+	case BackendWFA:
+		p := wfa.DualParams(align.DefaultParams(o.XDrop))
+		return func() align.Aligner { return wfa.New(p) }, nil
+	}
+	return nil, fmt.Errorf("pipeline: unknown AlignBackend %q (want %s)",
+		o.AlignBackend, strings.Join(AlignBackends(), "|"))
+}
+
 // overlapConfig converts Options to the overlap stage config.
-func (o Options) overlapConfig() overlap.Config {
+func (o Options) overlapConfig(newAligner func() align.Aligner) overlap.Config {
 	return overlap.Config{
 		K:            o.K,
 		ReliableLow:  o.ReliableLow,
 		ReliableHigh: o.ReliableHigh,
 		Align:        align.DefaultParams(o.XDrop),
+		NewAligner:   newAligner,
 		MinOverlap:   o.MinOverlap,
 		MinScoreFrac: o.MinScoreFrac,
 		MaxOverhang:  o.MaxOverhang,
@@ -121,16 +154,20 @@ func Run(reads [][]byte, opt Options) (*Output, error) {
 	if d := isqrt(opt.P); d*d != opt.P {
 		return nil, fmt.Errorf("pipeline: P=%d is not a perfect square", opt.P)
 	}
+	newAligner, err := opt.alignerFactory()
+	if err != nil {
+		return nil, err
+	}
 	out := &Output{}
 	var mu sync.Mutex
 	w := mpi.NewWorld(opt.P)
 	start := time.Now()
-	err := w.Run(func(c *mpi.Comm) {
+	err = w.Run(func(c *mpi.Comm) {
 		g := grid.New(c)
 		store := fasta.FromGlobal(c, reads)
 		tm := trace.New()
 
-		ores := overlap.Run(g, store, opt.overlapConfig(), tm)
+		ores := overlap.Run(g, store, opt.overlapConfig(newAligner), tm)
 
 		var s = overlap.ToStringGraph(ores.R, opt.MaxOverhang)
 		var trStats tr.Stats

@@ -67,6 +67,9 @@ func find(names []string, want string) (int, bool) {
 }
 
 func TestRunContigsIndependentOfP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline run in -short mode")
+	}
 	genome := readsim.Genome(readsim.GenomeConfig{Length: 15000, Seed: 73})
 	reads := readsim.Seqs(readsim.Simulate(genome, readsim.ReadConfig{Depth: 12, MeanLen: 1500, Seed: 74}))
 	opt := DefaultOptions(1)
@@ -105,6 +108,9 @@ func TestPresetOptionsHighError(t *testing.T) {
 }
 
 func TestRunHighErrorPreset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline run in -short mode")
+	}
 	// A small H. sapiens-like run: 15% error, k=17. Success = some contigs
 	// that map back to the genome region (exact substring no longer holds).
 	ds := readsim.Generate(readsim.HSapiensLike, 60000, 75)

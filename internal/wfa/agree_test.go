@@ -1,0 +1,154 @@
+package wfa
+
+// Cross-validation between the wavefront backend and the x-drop backend:
+// both implement the same seed-and-extend contract with equivalent scoring
+// (DualParams), so on error-free overlaps they must report identical scores
+// and extents, and on noisy pairs identities within tolerance (the two
+// pruning heuristics may cut borderline paths differently).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/dna"
+	"repro/internal/readsim"
+)
+
+func backendPair(drop int32) (*align.XDropAligner, *Aligner) {
+	return align.NewXDrop(align.DefaultParams(drop)), New(DefaultParams(drop))
+}
+
+func TestAgreementErrorFreeRandomized(t *testing.T) {
+	const k = int32(17)
+	xd, wf := backendPair(15)
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 200; trial++ {
+		g := readsim.Genome(readsim.GenomeConfig{Length: 600 + rng.Intn(1400), Seed: rng.Int63()})
+		// u covers a prefix window, v a suffix window, overlapping ≥ k+20.
+		lu := 200 + rng.Intn(len(g)-250)
+		minOv := int(k) + 20
+		s0 := rng.Intn(lu - minOv)
+		u := g[:lu]
+		v := append([]byte(nil), g[s0:]...)
+		// Seed anywhere inside the true overlap.
+		gs := s0 + rng.Intn(lu-s0-int(k)+1)
+		seed := align.Seed{PU: int32(gs), PV: int32(gs - s0)}
+		if rng.Intn(2) == 1 {
+			// Present v reverse-complemented with the matching RC seed.
+			seed.PV = int32(len(v)) - seed.PV - k
+			seed.RC = true
+			v = dna.RevComp(v)
+		}
+		ax := xd.SeedExtend(u, v, k, seed)
+		aw := wf.SeedExtend(u, v, k, seed)
+		if ax.Score != aw.Score || ax.BU != aw.BU || ax.EU != aw.EU ||
+			ax.BV != aw.BV || ax.EV != aw.EV || ax.RC != aw.RC {
+			t.Fatalf("trial %d: error-free disagreement\nxdrop u[%d,%d) v[%d,%d) score=%d\nwfa   u[%d,%d) v[%d,%d) score=%d",
+				trial, ax.BU, ax.EU, ax.BV, ax.EV, ax.Score,
+				aw.BU, aw.EU, aw.BV, aw.EV, aw.Score)
+		}
+	}
+}
+
+func TestAgreementNoisyWithinTolerance(t *testing.T) {
+	const k = 17
+	for _, errRate := range []float64{0.03, 0.10, 0.15} {
+		xd, wf := backendPair(40)
+		g := readsim.Genome(readsim.GenomeConfig{Length: 4000, Seed: int64(1000 * errRate)})
+		reads := readsim.Simulate(g, readsim.ReadConfig{
+			Depth: 3, MeanLen: 1500, ErrorRate: errRate, Seed: 23, ForwardOnly: true,
+		})
+		compared := 0
+		for _, r := range reads {
+			u := g
+			v := r.Seq
+			// Shared exact k-mer as seed (what the k-mer stage would find).
+			idx := map[string]int32{}
+			for i := 0; i+k <= len(u); i++ {
+				idx[string(u[i:i+k])] = int32(i)
+			}
+			seed, found := align.Seed{}, false
+			for j := 0; j+k <= len(v); j++ {
+				if i, ok := idx[string(v[j:j+k])]; ok {
+					seed, found = align.Seed{PU: i, PV: int32(j)}, true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+			compared++
+			ax := xd.SeedExtend(u, v, int32(k), seed)
+			aw := wf.SeedExtend(u, v, int32(k), seed)
+			// Identity proxy: score density over the aligned span. The two
+			// prunes may cut borderline tails differently, so compare
+			// densities, not exact extents.
+			idX := density(ax)
+			idW := density(aw)
+			if d := idX - idW; d > 0.15 || d < -0.15 {
+				t.Fatalf("err=%.0f%%: identities diverge: xdrop %.3f (span %d) vs wfa %.3f (span %d)",
+					errRate*100, idX, ax.EU-ax.BU, idW, aw.EU-aw.BU)
+			}
+		}
+		if compared < 3 {
+			t.Fatalf("err=%.0f%%: only %d comparable pairs; test is vacuous", errRate*100, compared)
+		}
+	}
+}
+
+func density(a align.Result) float64 {
+	span := a.EU - a.BU
+	if sv := a.EV - a.BV; sv > span {
+		span = sv
+	}
+	if span == 0 {
+		return 0
+	}
+	return float64(a.Score) / float64(span)
+}
+
+func TestAgreementSeedAtReadBoundary(t *testing.T) {
+	const k = int32(15)
+	xd, wf := backendPair(15)
+	g := readsim.Genome(readsim.GenomeConfig{Length: 400, Seed: 5})
+	u := g[:200]
+	v := append([]byte(nil), g[100:300]...)
+	cases := []align.Seed{
+		{PU: 100, PV: 0},                    // seed at v start: no left extension
+		{PU: int32(len(u)) - k, PV: 85},     // seed flush with u end: no right extension
+		{PU: 100 + 0, PV: 0, RC: false},     // both boundary-adjacent
+		{PU: int32(len(u)) - k, PV: 85 + 0}, // duplicate orientation guard
+	}
+	for i, seed := range cases {
+		ax := xd.SeedExtend(u, v, k, seed)
+		aw := wf.SeedExtend(u, v, k, seed)
+		if ax != aw {
+			t.Fatalf("case %d: boundary seed disagreement: xdrop %+v wfa %+v", i, ax, aw)
+		}
+	}
+	// A read that is exactly one k-mer: both extensions are empty.
+	kmer := append([]byte(nil), g[50:50+k]...)
+	ax := xd.SeedExtend(kmer, g, k, align.Seed{PU: 0, PV: 50})
+	aw := wf.SeedExtend(kmer, g, k, align.Seed{PU: 0, PV: 50})
+	if ax != aw || ax.Score != k {
+		t.Fatalf("k-mer-long read: xdrop %+v wfa %+v", ax, aw)
+	}
+}
+
+func TestAgreementAllMismatchTails(t *testing.T) {
+	const k = int32(15)
+	xd, wf := backendPair(10)
+	core := readsim.Genome(readsim.GenomeConfig{Length: 60, Seed: 9})
+	u := append(append([]byte(nil), core...), []byte("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAA")...)
+	v := append(append([]byte(nil), core...), []byte("CCCCCCCCCCCCCCCCCCCCCCCCCCCCCC")...)
+	seed := align.Seed{PU: 20, PV: 20}
+	ax := xd.SeedExtend(u, v, k, seed)
+	aw := wf.SeedExtend(u, v, k, seed)
+	if ax != aw {
+		t.Fatalf("all-mismatch tails: xdrop %+v wfa %+v", ax, aw)
+	}
+	if ax.EU > int32(len(core)) || ax.EV > int32(len(core)) {
+		t.Fatalf("extension ran into the all-mismatch tail: u[%d,%d) v[%d,%d)", ax.BU, ax.EU, ax.BV, ax.EV)
+	}
+}

@@ -1,0 +1,296 @@
+// Package wfa implements gap-affine wavefront alignment (Marco-Sola et al.,
+// Bioinformatics 2021) as a pluggable backend for the Alignment stage: the
+// same seed-anchored bidirectional extension contract as the x-drop DP
+// (align.Aligner), but O(n·s) in the alignment penalty s instead of
+// O(n·band). On low-divergence pairs (PacBio HiFi-style reads) the penalty —
+// and with it the number of wavefront offsets computed — stays tiny, so WFA
+// wins exactly where the x-drop still pays its per-antidiagonal band cost.
+//
+// The wavefront runs in a "doubled score" dual space: with penalties
+// mismatch = 2·(match − mismatchScore) and gapExt = match − 2·gapScore
+// (DualParams), minimizing WFA penalty q is equivalent to maximizing the
+// classic linear-gap score, via 2·score = match·(v+h) − q for a cell that
+// has consumed v bases of s and h of t. Extension results therefore convert
+// back to x-drop-compatible scores and extents exactly. An adaptive
+// wavefront-pruning heuristic plays the role of the x-drop cutoff: any
+// diagonal whose dual score lags the running best by more than 2·Drop is
+// removed from the wavefront, which bounds both the wavefront width and the
+// number of waves.
+package wfa
+
+import (
+	"repro/internal/align"
+)
+
+// Params are the wavefront penalties (all ≥ 0, dual doubled-score units)
+// plus the knobs shared with the x-drop backend.
+type Params struct {
+	Match    int32 // classic per-base match score (> 0); converts offsets back into scores
+	Mismatch int32 // substitution penalty (≥ 1)
+	GapOpen  int32 // gap-open penalty, charged once per gap run (0 = linear gaps)
+	GapExt   int32 // per-base gap-extension penalty (≥ 1)
+	// Drop is the adaptive-pruning threshold in classic score units, the
+	// x-drop analog: diagonals whose score falls more than Drop below the
+	// running best leave the wavefront.
+	Drop int32
+	// Cells, when non-nil, accumulates the number of wavefront offsets
+	// computed — the work counter behind package perfmodel (the aligner
+	// wrapper supplies its own; see New).
+	Cells *int64
+}
+
+// DualParams converts x-drop scoring parameters into the equivalent
+// linear-gap wavefront penalties: alignments ranked identically, scores
+// convertible exactly. With align.DefaultParams (+1/−2/−2) this yields
+// mismatch 6, gapExt 5, gapOpen 0.
+func DualParams(a align.Params) Params {
+	return Params{
+		Match:    a.Match,
+		Mismatch: 2 * (a.Match - a.Mismatch),
+		GapOpen:  0,
+		GapExt:   a.Match - 2*a.Gap,
+		Drop:     a.XDrop,
+	}
+}
+
+// DefaultParams mirrors align.DefaultParams(drop) in wavefront space.
+func DefaultParams(drop int32) Params {
+	return DualParams(align.DefaultParams(drop))
+}
+
+const none = int32(-1 << 30)
+
+// wave holds the furthest-reaching offsets of one penalty level: off[k-lo]
+// is h, the number of t bases consumed on diagonal k = h − v (none = no
+// live cell). Empty waves have a nil off.
+type wave struct {
+	lo  int32
+	off []int32
+}
+
+func (w wave) empty() bool { return len(w.off) == 0 }
+
+// get returns the offset of diagonal k, or none.
+func (w wave) get(k int32) int32 {
+	if idx := k - w.lo; idx >= 0 && idx < int32(len(w.off)) {
+		return w.off[idx]
+	}
+	return none
+}
+
+// Aligner is the wavefront backend; it satisfies align.Aligner. Instances
+// keep their wavefront storage across calls and are not safe for concurrent
+// use — the overlap stage builds one per simulated rank.
+type Aligner struct {
+	p     Params
+	cells int64
+	// Wavefront components indexed by penalty: match/mismatch (m),
+	// insertion-in-t (i) and deletion-from-t (d), reused across calls.
+	m, i, d []wave
+}
+
+// New builds a wavefront backend. Any Cells pointer in p is replaced by the
+// aligner's own cumulative work counter (see Work).
+func New(p Params) *Aligner {
+	if p.Match <= 0 || p.Mismatch < 1 || p.GapExt < 1 || p.GapOpen < 0 {
+		panic("wfa: need Match > 0, Mismatch ≥ 1, GapExt ≥ 1, GapOpen ≥ 0")
+	}
+	a := &Aligner{p: p}
+	a.p.Cells = &a.cells
+	return a
+}
+
+// Name implements align.Aligner.
+func (a *Aligner) Name() string { return "wfa" }
+
+// Work implements align.Aligner: wavefront offsets computed plus match-run
+// cells visited, the WFA equivalent of the x-drop's DP-cell counter.
+func (a *Aligner) Work() int64 { return a.cells }
+
+// SeedExtend implements align.Aligner via the shared bidirectional wrapper.
+func (a *Aligner) SeedExtend(u, v []byte, k int32, seed align.Seed) align.Result {
+	return align.SeedExtendWith(u, v, k, seed, a.p.Match, a.Extend)
+}
+
+// Extend is the extension primitive (align.ExtendFunc): the best local
+// extension of s versus t from (0,0) forward, returning the classic score
+// and half-open extents. Semantics match the x-drop extend; only the search
+// order differs (per-penalty wavefronts instead of per-antidiagonal bands).
+func (a *Aligner) Extend(s, t []byte) (score, si, ti int32) {
+	ns, nt := int32(len(s)), int32(len(t))
+	if ns == 0 || nt == 0 {
+		return 0, 0, 0
+	}
+	p := a.p
+	x, oe, e := p.Mismatch, p.GapOpen+p.GapExt, p.GapExt
+	lookback := x
+	if oe > lookback {
+		lookback = oe
+	}
+	drop2 := 2 * p.Drop
+
+	a.m, a.i, a.d = a.m[:0], a.i[:0], a.d[:0]
+	var cells int64
+	defer func() {
+		if p.Cells != nil {
+			*p.Cells += cells
+		}
+	}()
+
+	// best2 is the doubled classic score of the best cell seen; ties break
+	// like the x-drop: furthest v+h, then furthest v.
+	best2, bv, bh := int32(0), int32(0), int32(0)
+	better := func(s2, v, h int32) bool {
+		if s2 != best2 {
+			return s2 > best2
+		}
+		if v+h != bv+bh {
+			return v+h > bv+bh
+		}
+		return v > bv
+	}
+	// scan match-extends one wave along its diagonals, updates the best
+	// cell, applies the adaptive prune, and reports whether the wave is
+	// still live.
+	scan := func(w *wave, q int32, isM bool) bool {
+		live := false
+		liveLo, liveHi := int32(len(w.off)), int32(-1)
+		for idx := range w.off {
+			h := w.off[idx]
+			if h <= none/2 {
+				continue
+			}
+			k := w.lo + int32(idx)
+			if isM {
+				// Furthest-reaching match run.
+				for h < nt && h-k < ns && s[h-k] == t[h] {
+					h++
+					cells++
+				}
+				w.off[idx] = h
+				if s2 := p.Match*(2*h-k) - q; better(s2, h-k, h) {
+					best2, bv, bh = s2, h-k, h
+				}
+			}
+			// Adaptive prune: the x-drop rule in dual space.
+			if p.Match*(2*h-k)-q < best2-drop2 {
+				w.off[idx] = none
+				continue
+			}
+			live = true
+			if int32(idx) < liveLo {
+				liveLo = int32(idx)
+			}
+			if int32(idx) > liveHi {
+				liveHi = int32(idx)
+			}
+		}
+		if !live {
+			*w = wave{}
+			return false
+		}
+		w.lo, w.off = w.lo+liveLo, w.off[liveLo:liveHi+1]
+		return true
+	}
+	at := func(c []wave, q int32) wave {
+		if q < 0 || q >= int32(len(c)) {
+			return wave{}
+		}
+		return c[q]
+	}
+
+	// Penalty 0: the single cell (0,0) in M; I and D start empty.
+	a.m = append(a.m, wave{lo: 0, off: []int32{0}})
+	a.i = append(a.i, wave{})
+	a.d = append(a.d, wave{})
+	cells++
+	scan(&a.m[0], 0, true)
+	lastLive := int32(0)
+
+	// Safety cap: beyond it every cell's dual score is under best2 − drop2
+	// (best2 ≥ 0), so the prune has necessarily emptied all wavefronts.
+	qcap := p.Match*(ns+nt) + drop2 + lookback + 1
+	for q := int32(1); q-lastLive <= lookback && q < qcap; q++ {
+		mx, mo := at(a.m, q-x), at(a.m, q-oe)
+		ie, de := at(a.i, q-e), at(a.d, q-e)
+		lo, hi := int32(1)<<30, int32(-1)<<30
+		span := func(slo, shi, dk int32) {
+			if slo+dk < lo {
+				lo = slo + dk
+			}
+			if shi+dk > hi {
+				hi = shi + dk
+			}
+		}
+		if !mx.empty() {
+			span(mx.lo, mx.lo+int32(len(mx.off))-1, 0)
+		}
+		if !mo.empty() {
+			span(mo.lo, mo.lo+int32(len(mo.off))-1, -1)
+			span(mo.lo, mo.lo+int32(len(mo.off))-1, 1)
+		}
+		if !ie.empty() {
+			span(ie.lo, ie.lo+int32(len(ie.off))-1, 1)
+		}
+		if !de.empty() {
+			span(de.lo, de.lo+int32(len(de.off))-1, -1)
+		}
+		if lo > hi {
+			a.m, a.i, a.d = append(a.m, wave{}), append(a.i, wave{}), append(a.d, wave{})
+			continue
+		}
+		width := hi - lo + 1
+		iOff := make([]int32, width)
+		dOff := make([]int32, width)
+		mOff := make([]int32, width)
+		cells += 3 * int64(width)
+		for k := lo; k <= hi; k++ {
+			// I: gap in s (consume t): offset +1 from diagonal k−1.
+			ins := maxOff(mo.get(k-1), ie.get(k-1))
+			if ins > none/2 {
+				ins++
+			}
+			if ins > nt || ins-k > ns || ins-k < 0 {
+				ins = none
+			}
+			// D: gap in t (consume s): offset unchanged from diagonal k+1.
+			del := maxOff(mo.get(k+1), de.get(k+1))
+			if del > nt || del-k > ns || del < 0 {
+				del = none
+			}
+			// M: mismatch (consume both) from the same diagonal, or close a
+			// gap from the I/D cells just computed.
+			mis := mx.get(k)
+			if mis > none/2 {
+				mis++
+			}
+			if mis > nt || mis-k > ns || mis-k < 1 {
+				mis = none
+			}
+			iOff[k-lo], dOff[k-lo] = ins, del
+			mOff[k-lo] = maxOff(mis, maxOff(ins, del))
+		}
+		wi := wave{lo: lo, off: iOff}
+		wd := wave{lo: lo, off: dOff}
+		wm := wave{lo: lo, off: mOff}
+		liveQ := scan(&wm, q, true)
+		if scan(&wi, q, false) {
+			liveQ = true
+		}
+		if scan(&wd, q, false) {
+			liveQ = true
+		}
+		a.m, a.i, a.d = append(a.m, wm), append(a.i, wi), append(a.d, wd)
+		if liveQ {
+			lastLive = q
+		}
+	}
+	return best2 / 2, bv, bh
+}
+
+func maxOff(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

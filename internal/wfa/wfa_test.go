@@ -1,0 +1,117 @@
+package wfa
+
+import (
+	"testing"
+
+	"repro/internal/readsim"
+)
+
+func TestExtendExactMatch(t *testing.T) {
+	a := New(DefaultParams(10))
+	s := []byte("ACGTACGTAC")
+	score, si, ti := a.Extend(s, s)
+	if score != int32(len(s)) || si != int32(len(s)) || ti != int32(len(s)) {
+		t.Fatalf("score=%d si=%d ti=%d", score, si, ti)
+	}
+}
+
+func TestExtendUnequalLengths(t *testing.T) {
+	a := New(DefaultParams(10))
+	g := readsim.Genome(readsim.GenomeConfig{Length: 300, Seed: 1})
+	score, si, ti := a.Extend(g[:120], g[:300])
+	if score != 120 || si != 120 || ti != 120 {
+		t.Fatalf("prefix overlap: score=%d si=%d ti=%d, want 120,120,120", score, si, ti)
+	}
+}
+
+func TestExtendStopsAtDivergence(t *testing.T) {
+	a := New(DefaultParams(4))
+	s := []byte("AAAAAAAAAA" + "CCCCCCCCCCCCCCCC")
+	u := []byte("AAAAAAAAAA" + "GGGGGGGGGGGGGGGG")
+	score, si, ti := a.Extend(s, u)
+	if score != 10 || si != 10 || ti != 10 {
+		t.Fatalf("divergence: score=%d si=%d ti=%d, want 10,10,10", score, si, ti)
+	}
+}
+
+func TestExtendCrossesSubstitution(t *testing.T) {
+	a := New(DefaultParams(10))
+	s := []byte("ACGTACGTAAACGTACGTAC")
+	u := append([]byte(nil), s...)
+	u[10] = 'T'
+	score, si, ti := a.Extend(s, u)
+	if si != int32(len(s)) || ti != int32(len(u)) {
+		t.Fatalf("did not cross substitution: si=%d ti=%d", si, ti)
+	}
+	// 19 matches + 1 mismatch (−2) = 17 under the dual of +1/−2/−2.
+	if score != 17 {
+		t.Fatalf("score=%d want 17", score)
+	}
+}
+
+func TestExtendCrossesIndel(t *testing.T) {
+	a := New(DefaultParams(12))
+	s := []byte("ACGTACGTACGTACGTACGT")
+	u := append(append([]byte(nil), s[:9]...), s[10:]...)
+	score, si, ti := a.Extend(s, u)
+	if si != int32(len(s)) || ti != int32(len(u)) {
+		t.Fatalf("did not cross deletion: si=%d ti=%d", si, ti)
+	}
+	// 19 matches + 1 gap (−2) = 17.
+	if score != 17 {
+		t.Fatalf("score=%d want 17", score)
+	}
+}
+
+func TestExtendEmptyInputs(t *testing.T) {
+	a := New(DefaultParams(5))
+	if s, i, j := a.Extend(nil, []byte("ACGT")); s != 0 || i != 0 || j != 0 {
+		t.Fatal("empty s must be zero extension")
+	}
+	if s, i, j := a.Extend([]byte("ACGT"), nil); s != 0 || i != 0 || j != 0 {
+		t.Fatal("empty t must be zero extension")
+	}
+}
+
+func TestAdaptivePruneLimitsWastedWork(t *testing.T) {
+	// Unrelated sequences must terminate with a short extension and a small
+	// work counter, not explore O(n²) offsets: the adaptive prune is the
+	// x-drop cutoff of this backend.
+	a := New(DefaultParams(8))
+	g := readsim.Genome(readsim.GenomeConfig{Length: 5000, Seed: 7})
+	h := readsim.Genome(readsim.GenomeConfig{Length: 5000, Seed: 8})
+	score, si, ti := a.Extend(g, h)
+	if si > 200 || ti > 200 {
+		t.Fatalf("prune failed to stop: si=%d ti=%d score=%d", si, ti, score)
+	}
+	if w := a.Work(); w > 100_000 {
+		t.Fatalf("work counter %d suggests the prune is not bounding the wavefront", w)
+	}
+}
+
+func TestWorkCounterGrowsWithPenalty(t *testing.T) {
+	// The same pair at higher divergence must report more work: perfmodel
+	// depends on the counter tracking actual effort.
+	g := readsim.Genome(readsim.GenomeConfig{Length: 4000, Seed: 11})
+	clean := readsim.Simulate(g, readsim.ReadConfig{Depth: 0.999, MeanLen: 3800, ErrorRate: 0.002, Seed: 5, ForwardOnly: true})
+	noisy := readsim.Simulate(g, readsim.ReadConfig{Depth: 0.999, MeanLen: 3800, ErrorRate: 0.10, Seed: 5, ForwardOnly: true})
+	if len(clean) == 0 || len(noisy) == 0 {
+		t.Skip("no reads")
+	}
+	a1 := New(DefaultParams(40))
+	a1.Extend(g[clean[0].Pos:], clean[0].Seq)
+	a2 := New(DefaultParams(40))
+	a2.Extend(g[noisy[0].Pos:], noisy[0].Seq)
+	if a1.Work() == 0 || a2.Work() <= a1.Work() {
+		t.Fatalf("work: clean=%d noisy=%d, want 0 < clean < noisy", a1.Work(), a2.Work())
+	}
+}
+
+func TestNewRejectsDegeneratePenalties(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New must reject zero GapExt (free gaps never terminate)")
+		}
+	}()
+	New(Params{Match: 1, Mismatch: 6, GapExt: 0, Drop: 10})
+}
