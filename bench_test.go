@@ -48,6 +48,7 @@ const benchSeed = 97
 type runKey struct {
 	preset, p int
 	backend   string
+	threads   int // 0 = Options default (auto split)
 }
 
 var (
@@ -60,16 +61,21 @@ func benchRun(b *testing.B, preset readsim.Preset, p int) *pipeline.Output {
 }
 
 func benchRunBackend(b *testing.B, preset readsim.Preset, p int, backend string) *pipeline.Output {
+	return benchRunThreads(b, preset, p, backend, 0)
+}
+
+func benchRunThreads(b *testing.B, preset readsim.Preset, p int, backend string, threads int) *pipeline.Output {
 	b.Helper()
 	runMu.Lock()
 	defer runMu.Unlock()
-	key := runKey{int(preset), p, backend}
+	key := runKey{int(preset), p, backend, threads}
 	if out, ok := runCache[key]; ok {
 		return out
 	}
 	ds := readsim.Generate(preset, benchSize(preset), benchSeed)
 	opt := pipeline.PresetOptions(preset, p)
 	opt.AlignBackend = backend
+	opt.Threads = threads
 	out, err := pipeline.Run(readsim.Seqs(ds.Reads), opt)
 	if err != nil {
 		b.Fatal(err)
@@ -82,9 +88,16 @@ func benchDataset(preset readsim.Preset) *readsim.Dataset {
 	return readsim.Generate(preset, benchSize(preset), benchSeed)
 }
 
-// calibrationOf derives per-stage rates from the cached P=1 run.
+// calibrationOf derives per-stage rates from a cached P=1, Threads=1 run:
+// rates must mean single-worker throughput (perfmodel.Calibration), so the
+// calibration run pins Threads explicitly rather than inheriting the
+// GOMAXPROCS auto-split — otherwise StageTimeT would divide an
+// already-threaded rate by the Amdahl speedup a second time.
 func calibrationOf(b *testing.B, preset readsim.Preset) perfmodel.Calibration {
-	base := benchRun(b, preset, 1)
+	// Every caller computes metrics after its timed loop; on a cache miss
+	// this runs a full pipeline, which must not count into ns/op.
+	b.StopTimer()
+	base := benchRunThreads(b, preset, 1, "", 1)
 	return perfmodel.Calibrate(base.Stats.Timers, pipeline.MainStages)
 }
 
@@ -124,7 +137,7 @@ func benchScaling(b *testing.B, preset readsim.Preset) {
 			var out *pipeline.Output
 			for i := 0; i < b.N; i++ {
 				runMu.Lock()
-				delete(runCache, runKey{int(preset), p, ""}) // measure a fresh run
+				delete(runCache, runKey{int(preset), p, "", 0}) // measure a fresh run
 				runMu.Unlock()
 				out = benchRun(b, preset, p)
 			}
@@ -271,7 +284,7 @@ func BenchmarkBackends_ErrorRates(b *testing.B) {
 				var out *pipeline.Output
 				for i := 0; i < b.N; i++ {
 					runMu.Lock()
-					delete(runCache, runKey{int(preset), 4, backend}) // measure a fresh run
+					delete(runCache, runKey{int(preset), 4, backend, 0}) // measure a fresh run
 					runMu.Unlock()
 					out = benchRunBackend(b, preset, 4, backend)
 				}
@@ -288,6 +301,49 @@ func BenchmarkBackends_ErrorRates(b *testing.B) {
 				reportQuality(b, rep)
 			})
 		}
+	}
+}
+
+// BenchmarkThreads is the intra-rank worker-pool sweep: the same preset at
+// one simulated rank with 1/2/4/8 workers on the alignment/k-mer hot paths.
+// Per worker count it reports the Alignment stage's wall clock, the speedup
+// over the single-worker run, the (schedule-invariant) work counter and
+// whether the contigs are byte-identical to the T=1 run (they must be; the
+// determinism test asserts it, this metric just surfaces it next to the
+// timings). Wall-clock speedup saturates at the host's core count.
+func BenchmarkThreads(b *testing.B) {
+	const preset = readsim.CElegansLike
+	for _, th := range []int{1, 2, 4, 8} {
+		th := th
+		b.Run("T="+itoa(th), func(b *testing.B) {
+			var out *pipeline.Output
+			for i := 0; i < b.N; i++ {
+				runMu.Lock()
+				delete(runCache, runKey{int(preset), 1, "", th}) // measure a fresh run
+				runMu.Unlock()
+				out = benchRunThreads(b, preset, 1, "", th)
+			}
+			b.StopTimer() // the T=1 reference run must not count into ns/op
+			base := benchRunThreads(b, preset, 1, "", 1)
+			alignMS := out.Stats.Timers.Dur("Alignment").Seconds() * 1000
+			b.ReportMetric(alignMS, "align_wall_ms")
+			if alignMS > 0 {
+				b.ReportMetric(base.Stats.Timers.Dur("Alignment").Seconds()*1000/alignMS, "align_speedup_x")
+			}
+			b.ReportMetric(float64(out.Stats.Timers.Get("Alignment").SumWork), "align_cells")
+			identical := 1.0
+			if len(out.Contigs) != len(base.Contigs) {
+				identical = 0
+			} else {
+				for i := range base.Contigs {
+					if string(base.Contigs[i].Seq) != string(out.Contigs[i].Seq) {
+						identical = 0
+						break
+					}
+				}
+			}
+			b.ReportMetric(identical, "contigs_identical")
+		})
 	}
 }
 

@@ -1,0 +1,170 @@
+// Command benchguard turns `go test -bench` output into a JSON record and
+// enforces the CI benchmark-regression gate.
+//
+//	go test -run '^$' -bench 'Backends|Threads' -benchtime=1x -short . | tee bench.txt
+//	benchguard -bench bench.txt -out BENCH_ci.json -baseline ci/bench_baseline.json
+//
+// The gate compares the Alignment stage's work counter (align_cells) against
+// the committed baseline and fails on more than -max-ratio growth. Work
+// units — DP cells / wavefront offsets — are deterministic for a pinned
+// dataset seed and identical on every host, so the gate is immune to the
+// noisy shared runners that make wall-clock gates flap; an algorithmic
+// regression (a backend losing its pruning, a band blowing up) shows up as
+// a work regression first. Wall-clock metrics (align_wall_ms & friends) are
+// recorded in the JSON artifact for trend reading but not gated.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is the persisted form of one bench run.
+type Record struct {
+	Note       string                        `json:"note,omitempty"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+var (
+	benchPath = flag.String("bench", "", "go test -bench output to parse (default: stdin)")
+	outPath   = flag.String("out", "", "write the parsed run as JSON here")
+	basePath  = flag.String("baseline", "", "baseline JSON to gate against (omit to skip the gate)")
+	maxRatio  = flag.Float64("max-ratio", 2.0, "fail when current/baseline of a gated metric exceeds this")
+	gateExpr  = flag.String("gate", `^align_cells$`, "regexp of metric names the gate enforces")
+	note      = flag.String("note", "", "free-form note stored in the JSON")
+)
+
+func main() {
+	flag.Parse()
+	in := os.Stdin
+	if *benchPath != "" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	rec, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	rec.Note = *note
+	if len(rec.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	if *outPath != "" {
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*outPath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *outPath)
+	}
+	if *basePath == "" {
+		return
+	}
+	baseBuf, err := os.ReadFile(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Record
+	if err := json.Unmarshal(baseBuf, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", *basePath, err))
+	}
+	gate, err := regexp.Compile(*gateExpr)
+	if err != nil {
+		fatal(err)
+	}
+	if bad := compare(&base, rec, gate, *maxRatio); len(bad) > 0 {
+		for _, m := range bad {
+			fmt.Fprintln(os.Stderr, "benchguard: FAIL:", m)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: gate passed")
+}
+
+// parse reads go test -bench output: lines of the form
+//
+//	BenchmarkName/sub-8   1   123 ns/op   456 metric_a   7.8 metric_b
+//
+// The trailing -<GOMAXPROCS> suffix is stripped so records from hosts with
+// different core counts compare against each other.
+func parse(f *os.File) (*Record, error) {
+	rec := &Record{Benchmarks: map[string]map[string]float64{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := stripProcs(fields[0])
+		metrics := map[string]float64{}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q: %w", name, fields[i], err)
+			}
+			metrics[fields[i+1]] = v
+		}
+		rec.Benchmarks[name] = metrics
+	}
+	return rec, sc.Err()
+}
+
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+func stripProcs(name string) string { return procsSuffix.ReplaceAllString(name, "") }
+
+// compare returns one message per gated metric that regressed past maxRatio
+// or disappeared. Benchmarks present only in the current run are fine (new
+// coverage); benchmarks present only in the baseline fail, so the gate
+// cannot be dodged by deleting the benchmark without refreshing the
+// baseline.
+func compare(base, cur *Record, gate *regexp.Regexp, maxRatio float64) []string {
+	var bad []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for metric, bv := range base.Benchmarks[name] {
+			if !gate.MatchString(metric) {
+				continue
+			}
+			curMetrics, ok := cur.Benchmarks[name]
+			if !ok {
+				bad = append(bad, fmt.Sprintf("%s: benchmark missing from current run (baseline has %s=%.0f)", name, metric, bv))
+				continue
+			}
+			cv, ok := curMetrics[metric]
+			if !ok {
+				bad = append(bad, fmt.Sprintf("%s: metric %s missing from current run (baseline %.0f)", name, metric, bv))
+				continue
+			}
+			if bv > 0 && cv/bv > maxRatio {
+				bad = append(bad, fmt.Sprintf("%s: %s regressed %.2fx (%.0f -> %.0f, limit %.1fx)",
+					name, metric, cv/bv, bv, cv, maxRatio))
+			}
+		}
+	}
+	return bad
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBackends_ErrorRates/C.elegans-like/xdrop-8         1  66970473994 ns/op  1792722574 align_cells  22218 align_wall_ms
+BenchmarkThreads/T=4                                        1  33199992548 ns/op  1792722574 align_cells  1.022 align_speedup_x
+PASS
+ok  repro 222.414s
+`
+
+func parseSample(t *testing.T, text string) *Record {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestParseStripsProcsSuffixAndReadsMetrics(t *testing.T) {
+	rec := parseSample(t, sample)
+	if len(rec.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(rec.Benchmarks), rec.Benchmarks)
+	}
+	m, ok := rec.Benchmarks["BenchmarkBackends_ErrorRates/C.elegans-like/xdrop"]
+	if !ok {
+		t.Fatal("-8 GOMAXPROCS suffix not stripped")
+	}
+	if m["align_cells"] != 1792722574 {
+		t.Fatalf("align_cells = %v", m["align_cells"])
+	}
+	if m["ns/op"] == 0 || m["align_wall_ms"] != 22218 {
+		t.Fatalf("metrics misparsed: %v", m)
+	}
+	// T=4 has no procs suffix (GOMAXPROCS=1 host) and must NOT lose the =4.
+	if _, ok := rec.Benchmarks["BenchmarkThreads/T=4"]; !ok {
+		t.Fatalf("unsuffixed name mangled: %v", rec.Benchmarks)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	gate := regexp.MustCompile(`^align_cells$`)
+	base := parseSample(t, sample)
+
+	if bad := compare(base, base, gate, 2.0); len(bad) != 0 {
+		t.Fatalf("identical runs flagged: %v", bad)
+	}
+
+	reg := parseSample(t, strings.ReplaceAll(sample, "1792722574 align_cells", "9999999999 align_cells"))
+	bad := compare(base, reg, gate, 2.0)
+	if len(bad) != 2 {
+		t.Fatalf("5x work regression produced %d findings, want 2: %v", len(bad), bad)
+	}
+
+	// Wall-clock noise is not gated.
+	noisy := parseSample(t, strings.ReplaceAll(sample, "22218 align_wall_ms", "99999 align_wall_ms"))
+	if bad := compare(base, noisy, gate, 2.0); len(bad) != 0 {
+		t.Fatalf("wall-clock noise gated: %v", bad)
+	}
+
+	// Deleting a gated benchmark without refreshing the baseline fails.
+	missing := parseSample(t, strings.Join(strings.Split(sample, "\n")[:5], "\n"))
+	if bad := compare(base, missing, gate, 2.0); len(bad) != 1 {
+		t.Fatalf("missing benchmark not flagged: %v", bad)
+	}
+}

@@ -9,6 +9,10 @@
 // generated reference and printing the Figure 5-style stage breakdown:
 //
 //	elba -preset celegans -size 150000 -p 16 -breakdown
+//
+// Execution is hybrid: -p simulated ranks × -threads intra-rank workers on
+// the alignment and k-mer hot paths (default: GOMAXPROCS split across
+// ranks). Contigs are bit-identical for every -threads value.
 package main
 
 import (
@@ -33,6 +37,7 @@ func main() {
 		size      = flag.Int("size", 100000, "genome length for -preset")
 		seed      = flag.Int64("seed", 1, "seed for -preset")
 		p         = flag.Int("p", 4, "simulated ranks (perfect square: 1,4,9,16,…)")
+		threads   = flag.Int("threads", 0, "intra-rank workers for the alignment/k-mer hot paths (0 = GOMAXPROCS split across ranks)")
 		k         = flag.Int("k", 0, "k-mer length override (default: preset/paper value)")
 		xdrop     = flag.Int("x", 0, "x-drop / wavefront-prune threshold override")
 		backend   = flag.String("backend", "xdrop", "alignment backend: "+strings.Join(elba.AlignBackends(), " | "))
@@ -77,6 +82,7 @@ func main() {
 		opt.XDrop = int32(*xdrop)
 	}
 	opt.AlignBackend = *backend
+	opt.Threads = *threads
 	if *refPath != "" {
 		recs, err := loadFasta(*refPath)
 		if err != nil {
@@ -146,8 +152,8 @@ func loadFasta(path string) ([]fasta.Record, error) {
 
 func printSummary(out *elba.Output) {
 	s := out.Stats
-	fmt.Printf("P=%d reads=%d kmers=%d candidates=%d overlaps=%d contained=%d\n",
-		s.P, s.NumReads, s.NumKmers, s.CandidatePairs, s.KeptOverlaps, s.ContainedReads)
+	fmt.Printf("P=%d threads/rank=%d reads=%d kmers=%d candidates=%d overlaps=%d contained=%d\n",
+		s.P, s.Threads, s.NumReads, s.NumKmers, s.CandidatePairs, s.KeptOverlaps, s.ContainedReads)
 	fmt.Printf("TR: %d iterations, %d edges removed; branches=%d contigs=%d\n",
 		s.TR.Iterations, s.TR.EdgesRemoved, s.BranchVertices, s.NumContigs)
 	longest := 0

@@ -6,10 +6,12 @@
 //	experiments -exp fig4 -scale 0.5
 //
 // Experiments: env (Table 1), table2, fig4, fig5, fig6, table3, table4,
-// contigphase (§6.1 claim), ablation.
+// contigphase (§6.1 claim), ablation, backends, threads (intra-rank
+// worker-pool scaling of the Alignment stage).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -21,6 +23,7 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/baseline"
+	"repro/internal/core"
 	"repro/internal/partition"
 	"repro/internal/perfmodel"
 	"repro/internal/pipeline"
@@ -32,9 +35,10 @@ import (
 var (
 	scale   = flag.Float64("scale", 1.0, "dataset size multiplier")
 	seed    = flag.Int64("seed", 7, "dataset seed")
-	exp     = flag.String("exp", "all", "env|table2|fig4|fig5|fig6|table3|table4|contigphase|ablation|backends|all")
+	exp     = flag.String("exp", "all", "env|table2|fig4|fig5|fig6|table3|table4|contigphase|ablation|backends|threads|all")
 	network = flag.String("net", "aries", "network model: aries|infiniband")
 	backend = flag.String("backend", "xdrop", "alignment backend for the figures: "+strings.Join(pipeline.AlignBackends(), "|"))
+	threads = flag.Int("threads", 0, "intra-rank workers for the figures (0 = GOMAXPROCS split across ranks); -exp threads sweeps 1/2/4/8 regardless")
 )
 
 func net() perfmodel.Network {
@@ -107,6 +111,9 @@ func main() {
 	if run("backends") {
 		backendsTable()
 	}
+	if run("threads") {
+		threadsTable()
+	}
 }
 
 func header(title string) {
@@ -159,13 +166,20 @@ func runPreset(preset readsim.Preset, p int) (*pipeline.Output, *readsim.Dataset
 }
 
 func runPresetBackend(preset readsim.Preset, p int, be string) (*pipeline.Output, *readsim.Dataset) {
+	return runPresetThreads(preset, p, be, *threads)
+}
+
+func runPresetThreads(preset readsim.Preset, p int, be string, th int) (*pipeline.Output, *readsim.Dataset) {
 	ds := readsim.Generate(preset, sizeOf(preset), *seed)
-	key := fmt.Sprintf("%d/%d/%s", int(preset), p, be)
+	opt := pipeline.PresetOptions(preset, p)
+	opt.AlignBackend = be
+	opt.Threads = th
+	// Key on the resolved worker count so an auto-split run and an explicit
+	// run at the same effective width share one cache entry.
+	key := fmt.Sprintf("%d/%d/%s/%d", int(preset), p, be, opt.EffectiveThreads())
 	if out, ok := runCache[key]; ok {
 		return out, ds
 	}
-	opt := pipeline.PresetOptions(preset, p)
-	opt.AlignBackend = be
 	out, err := pipeline.Run(readsim.Seqs(ds.Reads), opt)
 	if err != nil {
 		log.Fatalf("pipeline P=%d: %v", p, err)
@@ -174,19 +188,26 @@ func runPresetBackend(preset readsim.Preset, p int, be string) (*pipeline.Output
 	return out, ds
 }
 
+// calibration derives per-stage rates from a P=1, Threads=1 run of the
+// preset: perfmodel rates mean single-worker throughput, so the calibration
+// run pins Threads rather than inheriting -threads or the GOMAXPROCS
+// auto-split (StageTimeT would otherwise divide an already-threaded rate by
+// the Amdahl speedup a second time).
+func calibration(preset readsim.Preset, be string, stages []string) perfmodel.Calibration {
+	base, _ := runPresetThreads(preset, 1, be, 1)
+	return perfmodel.Calibrate(base.Stats.Timers, stages)
+}
+
 // scalingFigure reproduces a strong-scaling curve: modeled distributed time
 // (work/comm counters + calibrated rates), wall time, and efficiency.
 func scalingFigure(title string, preset readsim.Preset) {
 	header(title)
 	stages := pipeline.MainStages
 	var rows []perfmodel.ScalingRow
-	var cal perfmodel.Calibration
+	cal := calibration(preset, *backend, stages)
 	var baseT float64
 	for _, p := range scalingP {
 		out, _ := runPreset(preset, p)
-		if p == scalingP[0] {
-			cal = perfmodel.Calibrate(out.Stats.Timers, stages)
-		}
 		t := perfmodel.Total(out.Stats.Timers, stages, cal, net())
 		if p == scalingP[0] {
 			baseT = t
@@ -209,14 +230,11 @@ func scalingFigure(title string, preset readsim.Preset) {
 func breakdownFigure(title string, preset readsim.Preset) {
 	header(title)
 	stages := pipeline.MainStages
-	var cal perfmodel.Calibration
+	cal := calibration(preset, *backend, stages)
 	fmt.Printf("| P | %s |\n", strings.Join(stages, " | "))
 	fmt.Printf("|---|%s\n", strings.Repeat("---|", len(stages)))
 	for _, p := range scalingP {
 		out, _ := runPreset(preset, p)
-		if cal == nil {
-			cal = perfmodel.Calibrate(out.Stats.Timers, stages)
-		}
 		total := perfmodel.Total(out.Stats.Timers, stages, cal, net())
 		cells := make([]string, len(stages))
 		for i, s := range stages {
@@ -249,17 +267,15 @@ func table3() {
 		bTime := time.Since(t0).Seconds()
 
 		stages := pipeline.MainStages
-		var cal perfmodel.Calibration
+		cal := calibration(preset, *backend, stages)
 		var speeds []string
 		for _, p := range []int{scalingP[0], scalingP[len(scalingP)-1]} {
 			popt := pipeline.PresetOptions(preset, p)
 			popt.AlignBackend = *backend
+			popt.Threads = *threads
 			out, err := pipeline.Run(reads, popt)
 			if err != nil {
 				log.Fatal(err)
-			}
-			if cal == nil {
-				cal = perfmodel.Calibrate(out.Stats.Timers, stages)
 			}
 			t := perfmodel.Total(out.Stats.Timers, stages, cal, net())
 			speeds = append(speeds, fmt.Sprintf("%.1f× (P=%d)", bTime/t, p))
@@ -331,11 +347,14 @@ func backendsTable() {
 	fmt.Printf("| dataset | backend | align work (cells) | align modeled (ms) | overlaps | completeness %% | N50 |\n")
 	fmt.Printf("|---|---|---|---|---|---|---|\n")
 	for _, preset := range []readsim.Preset{readsim.CElegansLike, readsim.HSapiensLike} {
+		// Calibrated like before from the x-drop run at P=4, but pinned to
+		// Threads=1 so the rate means single-worker throughput.
 		var cal perfmodel.Calibration
 		for _, be := range pipeline.AlignBackends() {
 			out, ds := runPresetBackend(preset, 4, be)
 			if cal == nil {
-				cal = perfmodel.Calibrate(out.Stats.Timers, pipeline.MainStages)
+				calRun, _ := runPresetThreads(preset, 4, be, 1)
+				cal = perfmodel.Calibrate(calRun.Stats.Timers, pipeline.MainStages)
 			}
 			alnMS := 1000 * perfmodel.StageTime(out.Stats.Timers, "Alignment", cal, net())
 			seqs := make([][]byte, len(out.Contigs))
@@ -352,18 +371,77 @@ func backendsTable() {
 		"return identical scores and extents (see internal/wfa agreement tests).")
 }
 
+// threadsTable is the hybrid ranks × threads scaling table: the same preset
+// assembled at a fixed rank count with 1/2/4/8 intra-rank workers, reporting
+// the Alignment stage's wall clock, its speedup over the single-worker run,
+// the perfmodel prediction (Amdahl at the stage's parallel fraction), and a
+// bit-identity check of the contig output against the Threads=1 run. On a
+// host with fewer cores than workers the measured speedup flattens at the
+// core count; the work counters and contigs stay invariant regardless.
+func threadsTable() {
+	header("Hybrid intra-rank scaling: Alignment stage vs worker count")
+	preset := readsim.CElegansLike
+	ds := readsim.Generate(preset, sizeOf(preset), *seed)
+	reads := readsim.Seqs(ds.Reads)
+	const p = 1 // one rank isolates the intra-rank axis
+
+	runAt := func(threads int) *pipeline.Output {
+		opt := pipeline.PresetOptions(preset, p)
+		opt.AlignBackend = *backend
+		opt.Threads = threads
+		out, err := pipeline.Run(reads, opt)
+		if err != nil {
+			log.Fatalf("pipeline threads=%d: %v", threads, err)
+		}
+		return out
+	}
+
+	base := runAt(1)
+	cal := perfmodel.Calibrate(base.Stats.Timers, pipeline.MainStages)
+	baseAlign := base.Stats.Timers.Dur("Alignment")
+	fmt.Printf("| threads | align wall (ms) | speedup | align work | modeled (ms) | total wall (ms) | contigs ≡ T1 |\n")
+	fmt.Printf("|---|---|---|---|---|---|---|\n")
+	for _, th := range []int{1, 2, 4, 8} {
+		out := base
+		if th != 1 {
+			out = runAt(th)
+		}
+		alignDur := out.Stats.Timers.Dur("Alignment")
+		modeled := perfmodel.StageTimeT(out.Stats.Timers, "Alignment", cal, net(), perfmodel.WithThreads(th))
+		fmt.Printf("| %d | %.1f | %.2fx | %d | %.1f | %.1f | %v |\n",
+			th, alignDur.Seconds()*1000,
+			float64(baseAlign)/float64(alignDur),
+			out.Stats.Timers.Get("Alignment").SumWork,
+			modeled*1000,
+			out.Stats.WallTime.Seconds()*1000,
+			sameContigs(base.Contigs, out.Contigs))
+	}
+	fmt.Printf("\nHost: %d CPUs, GOMAXPROCS=%d; ranks=%d, backend=%s.\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), p, *backend)
+	fmt.Println("Paper: pairwise alignment dominates runtime and runs multithreaded inside each rank.")
+}
+
+// sameContigs reports byte-identity of two contig sets.
+func sameContigs(a, b []core.Contig) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Seq, b[i].Seq) {
+			return false
+		}
+	}
+	return true
+}
+
 // contigPhase verifies the §6.1 claims: the induced subgraph step dominates
 // contig generation (65–85%) and ExtractContig stays ≤ 5% of the total.
 // Shares come from the performance model (the claim is about communication
 // cost at scale, which the simulator's measured durations understate).
 func contigPhase() {
 	header("§6.1 claims: contig-phase breakdown")
-	var cal perfmodel.Calibration
-	{
-		base, _ := runPreset(readsim.CElegansLike, 1)
-		cal = perfmodel.Calibrate(base.Stats.Timers,
-			append(append([]string{}, pipeline.MainStages...), pipeline.ContigStages...))
-	}
+	cal := calibration(readsim.CElegansLike, *backend,
+		append(append([]string{}, pipeline.MainStages...), pipeline.ContigStages...))
 	fmt.Printf("| P | induced subgraph (+seq comm) share of contig phase | ExtractContig share of total |\n|---|---|---|\n")
 	for _, p := range scalingP[1:] {
 		out, _ := runPreset(readsim.CElegansLike, p)
@@ -406,6 +484,7 @@ func ablation() {
 	for _, fuzz := range []int32{0, 150, 500} {
 		opt := pipeline.PresetOptions(readsim.CElegansLike, 4)
 		opt.AlignBackend = *backend
+		opt.Threads = *threads
 		opt.TRFuzz = fuzz
 		out, err := pipeline.Run(readsim.Seqs(ds.Reads), opt)
 		if err != nil {

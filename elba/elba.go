@@ -20,7 +20,10 @@
 //
 // The Alignment stage dispatches through a pluggable backend: the default
 // x-drop DP, or gap-affine wavefront alignment (much faster on low-error
-// reads) via Options.AlignBackend = elba.BackendWFA.
+// reads) via Options.AlignBackend = elba.BackendWFA. Execution is hybrid
+// like the paper's MPI + threads design: each simulated rank drives the
+// alignment and k-mer hot paths through an intra-rank worker pool of
+// Options.Threads workers, with bit-identical contigs at any thread count.
 package elba
 
 import (
@@ -38,7 +41,10 @@ import (
 // Options parameterizes an assembly run; P is the simulated rank count and
 // must be a perfect square (the paper's 2D grid requirement). The
 // AlignBackend field selects the Alignment-stage implementation
-// (BackendXDrop or BackendWFA; empty means x-drop).
+// (BackendXDrop or BackendWFA; empty means x-drop). The Threads field sets
+// the intra-rank worker count for the alignment and k-mer hot paths — the
+// hybrid ranks × threads model (0 = GOMAXPROCS split across ranks); contigs
+// are bit-identical for every value.
 type Options = pipeline.Options
 
 // Alignment backend names for Options.AlignBackend.

@@ -46,8 +46,6 @@ func Scatter(c *mpi.Comm, root int, all [][]byte) *DistStore {
 		n = len(all)
 	}
 	n = int(mpi.Bcast(c, root, []int64{int64(n)})[0])
-	var parts [][][]byte // flattened per-rank below
-	_ = parts
 	// Flatten sequences into one byte buffer + offsets per destination so the
 	// traffic counters see real volume.
 	var myBuf []byte

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fasta"
 	"repro/internal/mpi"
+	"repro/internal/par"
 )
 
 // ATriple is one nonzero of the |reads| × |k-mers| matrix A: read Row
@@ -34,20 +35,31 @@ type Result struct {
 //  3. Owners answer every received occurrence with its column id or -1
 //     (Alltoallv #2, reply shape mirrors the request shape).
 //  4. Ranks assemble local A-matrix triples from the replies.
-func CountAndBuild(store *fasta.DistStore, k int, low, high int32) *Result {
+//
+// threads sets the intra-rank worker count for the extraction scan (step 1),
+// the rank's compute-heavy loop; ≤ 1 scans serially. Routing order — and
+// with it every downstream collective — is identical for any thread count,
+// because extraction results are folded in read order.
+func CountAndBuild(store *fasta.DistStore, k int, low, high int32, threads int) *Result {
 	c := store.Comm
 	p := c.Size()
 
-	// 1. Extract and route.
+	// 1. Extract (in parallel, indexed by read) and route (serially, in read
+	// order — the fold keeps the wire layout deterministic).
 	type occRec struct {
 		Read int32
 		Pos  int32
 		RC   bool
 	}
+	perRead := make([][]KPos, store.Hi-store.Lo)
+	pool := par.NewPool(threads, func(int) struct{} { return struct{}{} })
+	par.ForEach(pool, len(perRead), func(_ struct{}, i int) {
+		perRead[i] = Extract(store.Seqs[i], k)
+	})
 	sendKmers := make([][]uint64, p)
 	sendMeta := make([][]occRec, p) // stays local, parallel to sendKmers
 	for g := store.Lo; g < store.Hi; g++ {
-		for _, kp := range Extract(store.Get(g), k) {
+		for _, kp := range perRead[g-store.Lo] {
 			o := Owner(kp.Kmer, p)
 			sendKmers[o] = append(sendKmers[o], uint64(kp.Kmer))
 			sendMeta[o] = append(sendMeta[o], occRec{Read: int32(g), Pos: kp.Pos, RC: kp.RC})

@@ -187,7 +187,7 @@ func TestDistributedMatchesSerial(t *testing.T) {
 		var got []ATriple
 		err := mpi.Run(p, func(c *mpi.Comm) {
 			store := fasta.FromGlobal(c, reads)
-			res := CountAndBuild(store, k, low, high)
+			res := CountAndBuild(store, k, low, high, 1)
 			if res.NumCols != nRef {
 				panic("reliable column count differs from serial")
 			}
@@ -245,7 +245,7 @@ func TestDistributedColumnIdsConsistent(t *testing.T) {
 	k := 13
 	err := mpi.Run(4, func(c *mpi.Comm) {
 		store := fasta.FromGlobal(c, reads)
-		res := CountAndBuild(store, k, 2, 1000)
+		res := CountAndBuild(store, k, 2, 1000, 2)
 		type pair struct {
 			km  uint64
 			col int32

@@ -15,6 +15,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/kmer"
 	"repro/internal/mpi"
+	"repro/internal/par"
 	"repro/internal/spmat"
 	"repro/internal/trace"
 )
@@ -100,6 +101,11 @@ type Config struct {
 	MinOverlap   int32   // minimum aligned length on both reads
 	MinScoreFrac float64 // score must be ≥ frac × aligned length
 	MaxOverhang  int32   // dovetail tolerance (x-drop early stop slack)
+	// Threads is the intra-rank worker count for the compute-heavy loops
+	// (k-mer extraction, pairwise alignment); ≤ 1 runs them serially. Each
+	// worker gets its own aligner instance, so NewAligner is called Threads
+	// times per rank.
+	Threads int
 }
 
 // aligner instantiates this rank's alignment backend.
@@ -132,7 +138,7 @@ func Run(g *grid.Grid, store *fasta.DistStore, cfg Config, tm *trace.Timers) *Re
 	// CountKmer: distributed counting and reliable-k-mer selection.
 	var kres *kmer.Result
 	tm.Stage("CountKmer", g.Comm, func() {
-		kres = kmer.CountAndBuild(store, cfg.K, cfg.ReliableLow, cfg.ReliableHigh)
+		kres = kmer.CountAndBuild(store, cfg.K, cfg.ReliableLow, cfg.ReliableHigh, cfg.Threads)
 	})
 	res.NumKmers = kres.NumCols
 	tm.AddWork("CountKmer", kres.Occurrences)
@@ -167,47 +173,77 @@ func Run(g *grid.Grid, store *fasta.DistStore, cfg Config, tm *trace.Timers) *Re
 	tm.AddWork("DetectOverlap", products)
 
 	// Alignment: one backend extension per candidate (x-drop or wavefront,
-	// per cfg), classification, containment pruning, symmetrization.
-	al := cfg.aligner()
+	// per cfg), classification, containment pruning, symmetrization. The
+	// candidates are spread over an intra-rank worker pool; each worker owns
+	// its aligner, and summing the per-worker counters afterwards gives the
+	// same total as a serial run (every pair is aligned exactly once).
+	pool := par.NewPool(cfg.Threads, func(int) align.Aligner { return cfg.aligner() })
 	tm.Stage("Alignment", g.Comm, func() {
-		res.R = alignAndPrune(g, store, c, al, cfg, res)
+		res.R = alignAndPrune(g, store, c, pool, cfg, res)
 	})
-	tm.AddWork("Alignment", al.Work())
+	var work int64
+	for _, al := range pool.States() {
+		work += al.Work()
+	}
+	tm.AddWork("Alignment", work)
 	return res
 }
 
 // alignAndPrune aligns every surviving candidate (one direction per pair)
-// through the backend, prunes, removes contained reads, and returns the
-// symmetric overlap matrix.
-func alignAndPrune(g *grid.Grid, store *fasta.DistStore, c *spmat.Dist[Seeds], al align.Aligner, cfg Config, res *Result) *spmat.Dist[bidir.Aln] {
+// through the worker pool's backends, prunes, removes contained reads, and
+// returns the symmetric overlap matrix.
+func alignAndPrune(g *grid.Grid, store *fasta.DistStore, c *spmat.Dist[Seeds], pool *par.Pool[align.Aligner], cfg Config, res *Result) *spmat.Dist[bidir.Aln] {
 	// diBELLA's sequence exchange: row-range sequences via the row
 	// communicator, column-range sequences via the transposed rank.
 	rowSeqs, colSeqs := store.RowColSequences(g)
 
 	cls := bidir.Params{MaxOverhang: cfg.MaxOverhang}
-	var upper []spmat.Triple[bidir.Aln]
-	var contained []int32
-	for _, t := range c.Local.Ts {
+	// Parallel phase: align and classify each candidate independently,
+	// writing by index so the downstream fold is order-deterministic. The
+	// LPT weights are the banded-DP cost proxy seeds × (|u|+|v|), keeping
+	// the few longest pairs from serializing one worker.
+	ts := c.Local.Ts
+	kinds := make([]bidir.Kind, len(ts))
+	alns := make([]bidir.Aln, len(ts))
+	alignOne := func(al align.Aligner, i int) {
+		t := ts[i]
 		u, v := rowSeqs[t.Row-c.RowLo], colSeqs[t.Col-c.ColLo]
 		a := align.BestOf(al, u, v, int32(cfg.K), t.Val.S[:t.Val.N])
 		a.U, a.V = t.Row, t.Col
 		// Quality gates first: length and score density.
 		alnLen := min32(a.EU-a.BU, a.EV-a.BV)
-		if alnLen < cfg.MinOverlap {
-			continue
+		if alnLen < cfg.MinOverlap || float64(a.Score) < cfg.MinScoreFrac*float64(alnLen) {
+			kinds[i] = bidir.Internal // dropped either way
+			return
 		}
-		if float64(a.Score) < cfg.MinScoreFrac*float64(alnLen) {
-			continue
+		_, kinds[i] = bidir.Classify(a, cls)
+		alns[i] = a
+	}
+	if pool.Workers() == 1 {
+		// Serial pool: skip the weight pass, LPT would ignore it anyway.
+		par.ForEach(pool, len(ts), alignOne)
+	} else {
+		weights := make([]int64, len(ts))
+		for i, t := range ts {
+			u, v := rowSeqs[t.Row-c.RowLo], colSeqs[t.Col-c.ColLo]
+			weights[i] = int64(t.Val.N) * int64(len(u)+len(v))
 		}
-		switch _, kind := bidir.Classify(a, cls); kind {
+		par.ForEachBalanced(pool, weights, alignOne)
+	}
+	// Serial fold in candidate order: identical upper/contained slices for
+	// every pool size.
+	var upper []spmat.Triple[bidir.Aln]
+	var contained []int32
+	for i, t := range ts {
+		switch kinds[i] {
 		case bidir.Dovetail:
-			upper = append(upper, spmat.Triple[bidir.Aln]{Row: t.Row, Col: t.Col, Val: a})
+			upper = append(upper, spmat.Triple[bidir.Aln]{Row: t.Row, Col: t.Col, Val: alns[i]})
 		case bidir.ContainsV:
 			contained = append(contained, t.Col)
 		case bidir.ContainedU:
 			contained = append(contained, t.Row)
 		case bidir.Internal:
-			// repeat-induced or low-quality: drop
+			// repeat-induced, low-quality, or gate-filtered: drop
 		}
 	}
 	// Replicate the contained-read set (Prune(R, IsContainedRead())).

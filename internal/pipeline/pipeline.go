@@ -1,7 +1,10 @@
 // Package pipeline assembles the full ELBA computation of Algorithm 1:
 // FastaReader → KmerCounter → A → C = A·Aᵀ → Alignment → Prune →
 // TransitiveReduction → ContigGeneration, on a simulated distributed-memory
-// machine of P ranks arranged as a √P × √P grid. The Alignment stage
+// machine of P ranks arranged as a √P × √P grid. Execution is hybrid, like
+// the paper's MPI + threads design: every rank drives its compute-heavy
+// loops (k-mer extraction, pairwise alignment) through an intra-rank worker
+// pool of Options.Threads workers (package par). The Alignment stage
 // dispatches through a pluggable backend (Options.AlignBackend: x-drop DP
 // or wavefront alignment). It reports per-stage
 // timings under the paper's breakdown names (CountKmer, DetectOverlap,
@@ -11,6 +14,7 @@ package pipeline
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -45,6 +49,14 @@ type Options struct {
 	// produce compatible scores/extents; WFA's work scales with alignment
 	// penalty rather than band area, so it wins on low-error reads.
 	AlignBackend string
+	// Threads is the intra-rank worker count (the hybrid ranks × threads
+	// model: the paper runs multithreaded alignment inside every MPI rank).
+	// The k-mer extraction and pairwise-alignment loops of each rank run on
+	// a worker pool of this size (package par), with one aligner instance
+	// per worker. 0 means auto: GOMAXPROCS split evenly across the P
+	// simulated ranks, never below 1. Contig output is bit-identical for
+	// every thread count.
+	Threads      int
 	XDrop        int32 // x-drop / wavefront-prune threshold (paper: 15 low-error, 7 high-error)
 	ReliableLow  int32
 	ReliableHigh int32
@@ -99,6 +111,7 @@ func PresetOptions(preset readsim.Preset, p int) Options {
 // Stats aggregates the run's counters and timings (rank-0 view).
 type Stats struct {
 	P              int
+	Threads        int // intra-rank workers actually used (EffectiveThreads)
 	NumReads       int
 	NumKmers       int
 	CandidatePairs int64
@@ -146,7 +159,26 @@ func (o Options) overlapConfig(newAligner func() align.Aligner) overlap.Config {
 		MinOverlap:   o.MinOverlap,
 		MinScoreFrac: o.MinScoreFrac,
 		MaxOverhang:  o.MaxOverhang,
+		Threads:      o.EffectiveThreads(),
 	}
+}
+
+// EffectiveThreads resolves the Threads option: an explicit value wins,
+// otherwise GOMAXPROCS is split across the simulated ranks so a run never
+// oversubscribes the host by default.
+func (o Options) EffectiveThreads() int {
+	if o.Threads > 0 {
+		return o.Threads
+	}
+	p := o.P
+	if p < 1 {
+		p = 1
+	}
+	t := runtime.GOMAXPROCS(0) / p
+	if t < 1 {
+		t = 1
+	}
+	return t
 }
 
 // Run assembles reads on a fresh simulated world of opt.P ranks.
@@ -197,6 +229,7 @@ func Run(reads [][]byte, opt Options) (*Output, error) {
 			out.Contigs = contigs
 			out.Stats = Stats{
 				P:              opt.P,
+				Threads:        opt.EffectiveThreads(),
 				NumReads:       ores.NumReads,
 				NumKmers:       ores.NumKmers,
 				CandidatePairs: ores.CandidatePairs,

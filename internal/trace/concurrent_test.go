@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTimersConcurrentReporting exercises the thread-safety contract the
+// intra-rank worker pools rely on: many goroutines reporting work, comm and
+// durations into one rank's Timers (run under -race in CI).
+func TestTimersConcurrentReporting(t *testing.T) {
+	tm := New()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tm.AddWork("Alignment", 2)
+				tm.Add("Alignment", time.Microsecond)
+				tm.AddComm("Alignment", 10, 1)
+				_ = tm.Entry("Alignment")
+				_ = tm.Names()
+			}
+		}()
+	}
+	wg.Wait()
+	e := tm.Entry("Alignment")
+	if e.Work != workers*per*2 {
+		t.Fatalf("work %d, want %d", e.Work, workers*per*2)
+	}
+	if e.Bytes != workers*per*10 || e.Msgs != workers*per {
+		t.Fatalf("comm %d/%d, want %d/%d", e.Bytes, e.Msgs, workers*per*10, workers*per)
+	}
+	if e.Dur != time.Duration(workers*per)*time.Microsecond {
+		t.Fatalf("dur %v", e.Dur)
+	}
+}
+
+// TestTimersConcurrentMerge folds sub-stage timers while another goroutine
+// reports — the ExtractContig/CG:* nesting pattern with workers active.
+func TestTimersConcurrentMerge(t *testing.T) {
+	tm := New()
+	sub := New()
+	sub.AddWork("CG:LocalAssembly", 7)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			tm.AddWork("Alignment", 1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		tm.Merge(sub)
+	}()
+	wg.Wait()
+	if got := tm.Entry("CG:LocalAssembly").Work; got != 7 {
+		t.Fatalf("merged work %d, want 7", got)
+	}
+	if got := tm.Entry("Alignment").Work; got != 100 {
+		t.Fatalf("reported work %d, want 100", got)
+	}
+}

@@ -8,6 +8,7 @@ package trace
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/mpi"
@@ -21,9 +22,11 @@ type Entry struct {
 	Work  int64         // abstract work units (stage-specific, e.g. DP cells)
 }
 
-// Timers accumulates per-stage entries on one rank. Not safe for concurrent
-// use: each rank owns its Timers.
+// Timers accumulates per-stage entries on one rank. Each rank owns its
+// Timers, but a rank's intra-rank worker pool (package par) may report work
+// concurrently, so all mutating and reading accessors are mutex-protected.
 type Timers struct {
+	mu    sync.Mutex
 	order []string
 	m     map[string]*Entry
 }
@@ -33,6 +36,7 @@ func New() *Timers {
 	return &Timers{m: map[string]*Entry{}}
 }
 
+// entry returns the named entry; the caller must hold t.mu.
 func (t *Timers) entry(name string) *Entry {
 	e, ok := t.m[name]
 	if !ok {
@@ -44,7 +48,8 @@ func (t *Timers) entry(name string) *Entry {
 }
 
 // Stage times fn under name and attributes this rank's traffic delta of the
-// interval to the stage.
+// interval to the stage. fn runs outside the lock, so stage bodies may
+// themselves report into the same Timers.
 func (t *Timers) Stage(name string, c *mpi.Comm, fn func()) {
 	var b0, m0 int64
 	if c != nil {
@@ -52,8 +57,11 @@ func (t *Timers) Stage(name string, c *mpi.Comm, fn func()) {
 	}
 	start := time.Now()
 	fn()
+	dur := time.Since(start)
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	e := t.entry(name)
-	e.Dur += time.Since(start)
+	e.Dur += dur
 	if c != nil {
 		e.Bytes += c.BytesSent() - b0
 		e.Msgs += c.MsgsSent() - m0
@@ -61,30 +69,56 @@ func (t *Timers) Stage(name string, c *mpi.Comm, fn func()) {
 }
 
 // Add accumulates a duration under name.
-func (t *Timers) Add(name string, d time.Duration) { t.entry(name).Dur += d }
+func (t *Timers) Add(name string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entry(name).Dur += d
+}
 
 // AddWork accumulates abstract work units under name.
-func (t *Timers) AddWork(name string, units int64) { t.entry(name).Work += units }
+func (t *Timers) AddWork(name string, units int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entry(name).Work += units
+}
 
 // AddComm accumulates traffic under name.
 func (t *Timers) AddComm(name string, bytes, msgs int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	e := t.entry(name)
 	e.Bytes += bytes
 	e.Msgs += msgs
 }
 
 // Get returns the accumulated duration of a stage.
-func (t *Timers) Get(name string) time.Duration { return t.entry(name).Dur }
+func (t *Timers) Get(name string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.entry(name).Dur
+}
 
 // Entry returns a copy of the stage's accounting.
-func (t *Timers) Entry(name string) Entry { return *t.entry(name) }
+func (t *Timers) Entry(name string) Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return *t.entry(name)
+}
 
 // Names lists stages in first-seen order.
-func (t *Timers) Names() []string { return append([]string(nil), t.order...) }
+func (t *Timers) Names() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.order...)
+}
 
 // Merge folds another rank-local timer set into this one (used to nest
 // sub-stage timers).
 func (t *Timers) Merge(other *Timers) {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, n := range other.order {
 		src := other.m[n]
 		e := t.entry(n)
@@ -141,10 +175,12 @@ func MergeMax(c *mpi.Comm, t *Timers) *Summary {
 		Work  int64
 	}
 	var mine []wire
+	t.mu.Lock()
 	for _, n := range t.order {
 		e := t.m[n]
 		mine = append(mine, wire{Name: n, Nanos: int64(e.Dur), Bytes: e.Bytes, Msgs: e.Msgs, Work: e.Work})
 	}
+	t.mu.Unlock()
 	parts := mpi.Gatherv(c, 0, mine)
 	if c.Rank() != 0 {
 		return nil
