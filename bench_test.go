@@ -292,6 +292,11 @@ func BenchmarkBackends_ErrorRates(b *testing.B) {
 				b.ReportMetric(float64(out.Stats.Timers.Get("Alignment").SumWork), "align_cells")
 				b.ReportMetric(1000*perfmodel.StageTime(out.Stats.Timers, "Alignment", cal, perfmodel.Aries()), "align_modeled_ms")
 				b.ReportMetric(out.Stats.Timers.Dur("Alignment").Seconds()*1000, "align_wall_ms")
+				// Communication counters are deterministic for the pinned
+				// seed (and identical in sync/async comm modes), so the CI
+				// gate can watch them like align_cells.
+				b.ReportMetric(float64(out.Stats.CommBytes), "comm_bytes")
+				b.ReportMetric(float64(out.Stats.CommMsgs), "comm_messages")
 				ds := benchDataset(preset)
 				seqs := make([][]byte, len(out.Contigs))
 				for j, c := range out.Contigs {
@@ -331,6 +336,8 @@ func BenchmarkThreads(b *testing.B) {
 				b.ReportMetric(base.Stats.Timers.Dur("Alignment").Seconds()*1000/alignMS, "align_speedup_x")
 			}
 			b.ReportMetric(float64(out.Stats.Timers.Get("Alignment").SumWork), "align_cells")
+			b.ReportMetric(float64(out.Stats.CommBytes), "comm_bytes")
+			b.ReportMetric(float64(out.Stats.CommMsgs), "comm_messages")
 			identical := 1.0
 			if len(out.Contigs) != len(base.Contigs) {
 				identical = 0

@@ -4,14 +4,22 @@
 //	go test -run '^$' -bench 'Backends|Threads' -benchtime=1x -short . | tee bench.txt
 //	benchguard -bench bench.txt -out BENCH_ci.json -baseline ci/bench_baseline.json
 //
-// The gate compares the Alignment stage's work counter (align_cells) against
-// the committed baseline and fails on more than -max-ratio growth. Work
-// units — DP cells / wavefront offsets — are deterministic for a pinned
-// dataset seed and identical on every host, so the gate is immune to the
+// The gate compares the Alignment stage's work counter (align_cells) and the
+// pipeline's communication counters (comm_bytes, comm_messages) against the
+// committed baseline and fails on more than -max-ratio growth. Work and
+// traffic units — DP cells / wavefront offsets, bytes and messages moved —
+// are deterministic for a pinned dataset seed and identical on every host
+// (and in blocking vs nonblocking comm modes), so the gate is immune to the
 // noisy shared runners that make wall-clock gates flap; an algorithmic
-// regression (a backend losing its pruning, a band blowing up) shows up as
-// a work regression first. Wall-clock metrics (align_wall_ms & friends) are
-// recorded in the JSON artifact for trend reading but not gated.
+// regression (a backend losing its pruning, a band blowing up, a collective
+// going quadratic) shows up as a work or traffic regression first.
+// Wall-clock metrics (align_wall_ms & friends) are recorded in the JSON
+// artifact for trend reading but not gated.
+//
+// Absolute floors/ceilings — e.g. the nightly multi-core job asserting the
+// worker-pool speedup — are expressed with -assert:
+//
+//	benchguard -bench bench.txt -assert 'BenchmarkThreads/T=4:align_speedup_x>=2'
 package main
 
 import (
@@ -37,7 +45,8 @@ var (
 	outPath   = flag.String("out", "", "write the parsed run as JSON here")
 	basePath  = flag.String("baseline", "", "baseline JSON to gate against (omit to skip the gate)")
 	maxRatio  = flag.Float64("max-ratio", 2.0, "fail when current/baseline of a gated metric exceeds this")
-	gateExpr  = flag.String("gate", `^align_cells$`, "regexp of metric names the gate enforces")
+	gateExpr  = flag.String("gate", `^(align_cells|comm_bytes|comm_messages)$`, "regexp of metric names the gate enforces")
+	asserts   = flag.String("assert", "", "comma-separated absolute assertions 'Benchmark/name:metric>=value' (also <=); checked against the current run")
 	note      = flag.String("note", "", "free-form note stored in the JSON")
 )
 
@@ -69,6 +78,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("benchguard: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *outPath)
+	}
+	if *asserts != "" {
+		if bad := checkAsserts(rec, *asserts); len(bad) > 0 {
+			for _, m := range bad {
+				fmt.Fprintln(os.Stderr, "benchguard: FAIL:", m)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("benchguard: assertions passed")
 	}
 	if *basePath == "" {
 		return
@@ -155,6 +173,13 @@ func compare(base, cur *Record, gate *regexp.Regexp, maxRatio float64) []string 
 				bad = append(bad, fmt.Sprintf("%s: metric %s missing from current run (baseline %.0f)", name, metric, bv))
 				continue
 			}
+			if bv == 0 && cv != 0 {
+				// A zero baseline means the quantity must stay zero (e.g.
+				// comm counters of a single-rank run): any appearance is an
+				// infinite-ratio regression, not a skip.
+				bad = append(bad, fmt.Sprintf("%s: %s appeared (baseline 0 -> %.0f)", name, metric, cv))
+				continue
+			}
 			if bv > 0 && cv/bv > maxRatio {
 				bad = append(bad, fmt.Sprintf("%s: %s regressed %.2fx (%.0f -> %.0f, limit %.1fx)",
 					name, metric, cv/bv, bv, cv, maxRatio))
@@ -162,6 +187,62 @@ func compare(base, cur *Record, gate *regexp.Regexp, maxRatio float64) []string 
 		}
 	}
 	return bad
+}
+
+// checkAsserts evaluates comma-separated 'Benchmark/name:metric>=value' (or
+// <=) absolute assertions against the current run. Benchmark names match
+// after GOMAXPROCS-suffix stripping, like the gate. A missing benchmark or
+// metric fails the assertion — an absent measurement must not pass a floor.
+func checkAsserts(rec *Record, spec string) []string {
+	var bad []string
+	for _, as := range strings.Split(spec, ",") {
+		as = strings.TrimSpace(as)
+		if as == "" {
+			continue
+		}
+		name, metric, op, want, err := parseAssert(as)
+		if err != nil {
+			fatal(err)
+		}
+		metrics, ok := rec.Benchmarks[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: benchmark missing from run", as))
+			continue
+		}
+		got, ok := metrics[metric]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: metric %s missing from run", as, metric))
+			continue
+		}
+		holds := got >= want
+		if op == "<=" {
+			holds = got <= want
+		}
+		if !holds {
+			bad = append(bad, fmt.Sprintf("%s: got %g, want %s %g", as, got, op, want))
+		}
+	}
+	return bad
+}
+
+// parseAssert splits 'name:metric>=value' into its parts.
+func parseAssert(s string) (name, metric, op string, value float64, err error) {
+	i := strings.LastIndex(s, ":")
+	if i < 0 {
+		return "", "", "", 0, fmt.Errorf("bad -assert %q: want name:metric>=value", s)
+	}
+	name, cond := stripProcs(s[:i]), s[i+1:]
+	for _, candidate := range []string{">=", "<="} {
+		if j := strings.Index(cond, candidate); j >= 0 {
+			metric, op = cond[:j], candidate
+			value, err = strconv.ParseFloat(cond[j+len(candidate):], 64)
+			if err != nil {
+				return "", "", "", 0, fmt.Errorf("bad -assert value in %q: %w", s, err)
+			}
+			return name, metric, op, value, nil
+		}
+	}
+	return "", "", "", 0, fmt.Errorf("bad -assert %q: want >= or <=", s)
 }
 
 func fatal(err error) {

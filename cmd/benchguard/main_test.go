@@ -12,7 +12,7 @@ const sample = `goos: linux
 goarch: amd64
 pkg: repro
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
-BenchmarkBackends_ErrorRates/C.elegans-like/xdrop-8         1  66970473994 ns/op  1792722574 align_cells  22218 align_wall_ms
+BenchmarkBackends_ErrorRates/C.elegans-like/xdrop-8         1  66970473994 ns/op  1792722574 align_cells  22218 align_wall_ms  180029282 comm_bytes  22290 comm_messages
 BenchmarkThreads/T=4                                        1  33199992548 ns/op  1792722574 align_cells  1.022 align_speedup_x
 PASS
 ok  repro 222.414s
@@ -81,5 +81,66 @@ func TestCompareGate(t *testing.T) {
 	missing := parseSample(t, strings.Join(strings.Split(sample, "\n")[:5], "\n"))
 	if bad := compare(base, missing, gate, 2.0); len(bad) != 1 {
 		t.Fatalf("missing benchmark not flagged: %v", bad)
+	}
+}
+
+func TestCompareGatesCommCounters(t *testing.T) {
+	gate := regexp.MustCompile(`^(align_cells|comm_bytes|comm_messages)$`)
+	base := parseSample(t, sample)
+	if bad := compare(base, base, gate, 2.0); len(bad) != 0 {
+		t.Fatalf("identical runs flagged: %v", bad)
+	}
+	// A collective going quadratic shows up as a message-count regression.
+	reg := parseSample(t, strings.ReplaceAll(sample, "22290 comm_messages", "99999 comm_messages"))
+	bad := compare(base, reg, gate, 2.0)
+	if len(bad) != 1 || !strings.Contains(bad[0], "comm_messages") {
+		t.Fatalf("comm_messages regression produced %v", bad)
+	}
+}
+
+func TestCompareFlagsZeroBaselineAppearance(t *testing.T) {
+	// A gated metric whose baseline is 0 must stay 0: traffic appearing in a
+	// previously traffic-free benchmark (e.g. a P=1 run starting to send
+	// bytes) is an infinite-ratio regression, not a skip.
+	gate := regexp.MustCompile(`^comm_bytes$`)
+	zeroed := parseSample(t, strings.ReplaceAll(sample, "180029282 comm_bytes", "0 comm_bytes"))
+	appeared := parseSample(t, sample)
+	bad := compare(zeroed, appeared, gate, 2.0)
+	if len(bad) != 1 || !strings.Contains(bad[0], "appeared") {
+		t.Fatalf("zero-baseline appearance produced %v", bad)
+	}
+	if bad := compare(zeroed, zeroed, gate, 2.0); len(bad) != 0 {
+		t.Fatalf("zero stayed zero but was flagged: %v", bad)
+	}
+}
+
+func TestAsserts(t *testing.T) {
+	rec := parseSample(t, sample)
+
+	if bad := checkAsserts(rec, "BenchmarkThreads/T=4:align_speedup_x>=1.0"); len(bad) != 0 {
+		t.Fatalf("passing floor flagged: %v", bad)
+	}
+	if bad := checkAsserts(rec, "BenchmarkThreads/T=4:align_speedup_x>=2"); len(bad) != 1 {
+		t.Fatalf("failing floor not flagged: %v", bad)
+	}
+	if bad := checkAsserts(rec, "BenchmarkThreads/T=4:align_speedup_x<=2"); len(bad) != 0 {
+		t.Fatalf("passing ceiling flagged: %v", bad)
+	}
+	// Benchmark names keep their GOMAXPROCS suffix on multi-core runners;
+	// assertions must match after stripping, like the gate.
+	if bad := checkAsserts(rec, "BenchmarkBackends_ErrorRates/C.elegans-like/xdrop-8:align_cells>=1"); len(bad) != 0 {
+		t.Fatalf("suffixed name not matched: %v", bad)
+	}
+	// Missing benchmarks or metrics must fail, not silently pass.
+	if bad := checkAsserts(rec, "BenchmarkNope:align_cells>=1"); len(bad) != 1 {
+		t.Fatalf("missing benchmark passed: %v", bad)
+	}
+	if bad := checkAsserts(rec, "BenchmarkThreads/T=4:nope>=1"); len(bad) != 1 {
+		t.Fatalf("missing metric passed: %v", bad)
+	}
+	// Multiple comma-separated assertions evaluate independently.
+	bad := checkAsserts(rec, "BenchmarkThreads/T=4:align_speedup_x>=2, BenchmarkThreads/T=4:align_cells>=1")
+	if len(bad) != 1 {
+		t.Fatalf("combined assertions produced %v", bad)
 	}
 }

@@ -7,7 +7,8 @@
 //
 // Experiments: env (Table 1), table2, fig4, fig5, fig6, table3, table4,
 // contigphase (§6.1 claim), ablation, backends, threads (intra-rank
-// worker-pool scaling of the Alignment stage).
+// worker-pool scaling of the Alignment stage), commoverlap (blocking vs
+// nonblocking communication and the comm_overlap/comm_exposed split).
 package main
 
 import (
@@ -35,10 +36,11 @@ import (
 var (
 	scale   = flag.Float64("scale", 1.0, "dataset size multiplier")
 	seed    = flag.Int64("seed", 7, "dataset seed")
-	exp     = flag.String("exp", "all", "env|table2|fig4|fig5|fig6|table3|table4|contigphase|ablation|backends|threads|all")
+	exp     = flag.String("exp", "all", "env|table2|fig4|fig5|fig6|table3|table4|contigphase|ablation|backends|threads|commoverlap|all")
 	network = flag.String("net", "aries", "network model: aries|infiniband")
 	backend = flag.String("backend", "xdrop", "alignment backend for the figures: "+strings.Join(pipeline.AlignBackends(), "|"))
 	threads = flag.Int("threads", 0, "intra-rank workers for the figures (0 = GOMAXPROCS split across ranks); -exp threads sweeps 1/2/4/8 regardless")
+	comm    = flag.String("comm", "async", "communication mode for the figures: async (nonblocking, overlapped) | sync (blocking); -exp commoverlap runs both regardless")
 )
 
 func net() perfmodel.Network {
@@ -69,6 +71,9 @@ var scalingP = []int{1, 4, 16, 36}
 func main() {
 	log.SetFlags(0)
 	flag.Parse()
+	if *comm != "async" && *comm != "sync" {
+		log.Fatalf("unknown -comm mode %q (want async|sync)", *comm)
+	}
 	which := strings.Split(*exp, ",")
 	run := func(name string) bool {
 		for _, w := range which {
@@ -113,6 +118,9 @@ func main() {
 	}
 	if run("threads") {
 		threadsTable()
+	}
+	if run("commoverlap") {
+		commOverlapTable()
 	}
 }
 
@@ -170,13 +178,18 @@ func runPresetBackend(preset readsim.Preset, p int, be string) (*pipeline.Output
 }
 
 func runPresetThreads(preset readsim.Preset, p int, be string, th int) (*pipeline.Output, *readsim.Dataset) {
+	return runPresetMode(preset, p, be, th, *comm != "sync")
+}
+
+func runPresetMode(preset readsim.Preset, p int, be string, th int, async bool) (*pipeline.Output, *readsim.Dataset) {
 	ds := readsim.Generate(preset, sizeOf(preset), *seed)
 	opt := pipeline.PresetOptions(preset, p)
 	opt.AlignBackend = be
 	opt.Threads = th
+	opt.Async = async
 	// Key on the resolved worker count so an auto-split run and an explicit
 	// run at the same effective width share one cache entry.
-	key := fmt.Sprintf("%d/%d/%s/%d", int(preset), p, be, opt.EffectiveThreads())
+	key := fmt.Sprintf("%d/%d/%s/%d/%v", int(preset), p, be, opt.EffectiveThreads(), async)
 	if out, ok := runCache[key]; ok {
 		return out, ds
 	}
@@ -419,6 +432,72 @@ func threadsTable() {
 	fmt.Printf("\nHost: %d CPUs, GOMAXPROCS=%d; ranks=%d, backend=%s.\n",
 		runtime.NumCPU(), runtime.GOMAXPROCS(0), p, *backend)
 	fmt.Println("Paper: pairwise alignment dominates runtime and runs multithreaded inside each rank.")
+}
+
+// commOverlapTable is the sync-vs-async head-to-head: the same dataset
+// assembled with blocking collectives and with the nonblocking layer,
+// comparing per-stage traffic, its comm_overlap/comm_exposed split, and the
+// modeled stage times under the perfmodel overlap term. The two runs must
+// produce bit-identical contigs and identical byte/message counters; the
+// only modeled difference is the communication the async schedule hides
+// behind computation.
+func commOverlapTable() {
+	header("Compute/communication overlap: blocking vs nonblocking")
+	preset := readsim.CElegansLike
+	const p = 16
+	stages := append(append([]string{}, pipeline.MainStages...), pipeline.ContigStages...)
+	cal := calibration(preset, *backend, stages)
+	syncOut, _ := runPresetMode(preset, p, *backend, *threads, false)
+	asyncOut, ds := runPresetMode(preset, p, *backend, *threads, true)
+
+	if !sameContigs(syncOut.Contigs, asyncOut.Contigs) {
+		log.Fatalf("commoverlap: contigs differ between blocking and nonblocking runs")
+	}
+	if syncOut.Stats.CommBytes != asyncOut.Stats.CommBytes || syncOut.Stats.CommMsgs != asyncOut.Stats.CommMsgs {
+		log.Fatalf("commoverlap: traffic differs between modes: %d/%d bytes, %d/%d msgs",
+			syncOut.Stats.CommBytes, asyncOut.Stats.CommBytes, syncOut.Stats.CommMsgs, asyncOut.Stats.CommMsgs)
+	}
+
+	fmt.Printf("dataset %s, P=%d, backend=%s; %d reads, %.2f MB traffic, %d messages (identical in both modes)\n\n",
+		ds.Name, p, *backend, asyncOut.Stats.NumReads, float64(asyncOut.Stats.CommBytes)/1e6, asyncOut.Stats.CommMsgs)
+	fmt.Printf("| stage | comm (MB) | msgs | overlap (MB) | exposed (MB) | modeled sync (ms) | modeled async (ms) | hidden |\n")
+	fmt.Printf("|---|---|---|---|---|---|---|---|\n")
+	var tSync, tAsync float64
+	for _, s := range stages {
+		es := syncOut.Stats.Timers.Get(s)
+		ea := asyncOut.Stats.Timers.Get(s)
+		if ea.SumOverlapBytes+ea.SumExposedBytes() != ea.SumBytes {
+			log.Fatalf("commoverlap: %s overlap+exposed != total (%d+%d != %d)",
+				s, ea.SumOverlapBytes, ea.SumExposedBytes(), ea.SumBytes)
+		}
+		if es.SumOverlapBytes != 0 {
+			log.Fatalf("commoverlap: blocking run reports %d overlap bytes in %s", es.SumOverlapBytes, s)
+		}
+		ms := 1000 * perfmodel.StageTime(syncOut.Stats.Timers, s, cal, net())
+		ma := 1000 * perfmodel.StageTime(asyncOut.Stats.Timers, s, cal, net())
+		// CG:* sub-stages nest inside ExtractContig: keep them out of the
+		// totals but show their split.
+		if !strings.HasPrefix(s, "CG:") {
+			tSync += ms
+			tAsync += ma
+		}
+		fmt.Printf("| %s | %.2f | %d | %.2f | %.2f | %.2f | %.2f | %.0f%% |\n",
+			s, float64(ea.SumBytes)/1e6, ea.MaxMsgs,
+			float64(ea.SumOverlapBytes)/1e6, float64(ea.SumExposedBytes())/1e6,
+			ms, ma, 100*(1-safeDiv(ma, ms)))
+	}
+	fmt.Printf("| **pipeline total** | | | | | %.2f | %.2f | %.0f%% |\n", tSync, tAsync, 100*(1-safeDiv(tAsync, tSync)))
+	fmt.Printf("\nwall: sync %s, async %s (simulated-rank wall clock; the modeled columns are the scaling claim)\n",
+		syncOut.Stats.WallTime.Round(time.Millisecond), asyncOut.Stats.WallTime.Round(time.Millisecond))
+	fmt.Println("Modeled async time per stage: max(compute, overlappable comm) + exposed comm; " +
+		"sync charges compute + all comm (perfmodel.StageTimeT).")
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 1
+	}
+	return a / b
 }
 
 // sameContigs reports byte-identity of two contig sets.

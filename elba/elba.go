@@ -23,7 +23,10 @@
 // reads) via Options.AlignBackend = elba.BackendWFA. Execution is hybrid
 // like the paper's MPI + threads design: each simulated rank drives the
 // alignment and k-mer hot paths through an intra-rank worker pool of
-// Options.Threads workers, with bit-identical contigs at any thread count.
+// Options.Threads workers, and with Options.Async (the default from
+// DefaultOptions/PresetOptions) the communication-heavy exchanges run on
+// the nonblocking mpi layer, overlapped against local computation. Contigs
+// are bit-identical at any thread count and in either communication mode.
 package elba
 
 import (
@@ -43,8 +46,10 @@ import (
 // AlignBackend field selects the Alignment-stage implementation
 // (BackendXDrop or BackendWFA; empty means x-drop). The Threads field sets
 // the intra-rank worker count for the alignment and k-mer hot paths — the
-// hybrid ranks × threads model (0 = GOMAXPROCS split across ranks); contigs
-// are bit-identical for every value.
+// hybrid ranks × threads model (0 = GOMAXPROCS split across ranks). The
+// Async field (default true) overlaps the SUMMA, k-mer and read-sequence
+// exchanges against computation via nonblocking communication. Contigs are
+// bit-identical for every Threads and Async value.
 type Options = pipeline.Options
 
 // Alignment backend names for Options.AlignBackend.

@@ -52,7 +52,14 @@ type Result struct {
 // the induced subgraph step dominates with 65–85% of the phase).
 // packSeqs enables the 2-bit sequence-communication encoding (§7 future
 // work); false matches the paper's raw char-buffer protocol.
-func ContigGeneration(s *spmat.Dist[bidir.Edge], store *fasta.DistStore, tm *trace.Timers, packSeqs bool) *Result {
+//
+// async selects the nonblocking schedule: the read-sequence exchange — the
+// dominant traffic of the phase — is started as soon as the assignment
+// vector exists and stays in flight while the induced subgraph is routed,
+// re-indexed, and DFS-walked into chains; only the final chain-to-sequence
+// assembly waits for it. The contig set and all byte/message counters are
+// identical in both modes.
+func ContigGeneration(s *spmat.Dist[bidir.Edge], store *fasta.DistStore, tm *trace.Timers, packSeqs, async bool) *Result {
 	g := s.G
 	res := &Result{}
 
@@ -78,17 +85,42 @@ func ContigGeneration(s *spmat.Dist[bidir.Edge], store *fasta.DistStore, tm *tra
 	})
 	tm.AddWork("CG:Partitioning", int64(len(assign.Local)))
 
+	// --- Read sequence communication, nonblocking start (§4.3) ---
+	// Posted before the induced subgraph so the sequence bytes travel while
+	// edges are routed and walked; Stage accumulates, so the finish below
+	// lands under the same CG:SequenceComm name.
+	var seqComm *SeqCommHandle
+	if async {
+		tm.Stage("CG:SequenceComm", g.Comm, func() {
+			seqComm = StartCommunicateSequences(store, assign, packSeqs)
+		})
+	}
+
 	// --- InducedSubgraph (line 5) ---
 	var local *LocalGraph
 	tm.Stage("CG:InducedSubgraph", g.Comm, func() {
-		local = InducedSubgraph(l, assign)
+		local = inducedSubgraph(l, assign, async)
 	})
 	tm.AddWork("CG:InducedSubgraph", int64(len(local.CSC.IR)))
 
-	// --- Read sequence communication (§4.3) ---
+	// --- LocalAssembly traversal (line 6, §4.4): the DFS walks need only
+	// the re-indexed graph, so in async mode they run while the sequence
+	// exchange is still in flight. ---
+	var chains []chain
+	if async {
+		tm.Stage("CG:LocalAssembly", g.Comm, func() {
+			chains = traverseChains(local)
+		})
+	}
+
+	// --- Read sequence communication, completion ---
 	var seqs map[int32][]byte
 	tm.Stage("CG:SequenceComm", g.Comm, func() {
-		seqs = CommunicateSequences(store, assign, packSeqs)
+		if async {
+			seqs = seqComm.Finish()
+		} else {
+			seqs = CommunicateSequences(store, assign, packSeqs)
+		}
 	})
 	var seqBytes int64
 	for _, sq := range seqs {
@@ -96,9 +128,12 @@ func ContigGeneration(s *spmat.Dist[bidir.Edge], store *fasta.DistStore, tm *tra
 	}
 	tm.AddWork("CG:SequenceComm", seqBytes)
 
-	// --- LocalAssembly (line 6, §4.4) ---
+	// --- LocalAssembly sequence concatenation ---
 	tm.Stage("CG:LocalAssembly", g.Comm, func() {
-		res.Contigs = LocalAssembly(local, seqs)
+		if !async {
+			chains = traverseChains(local)
+		}
+		res.Contigs = assembleChains(local, seqs, chains)
 	})
 	var asmBases int64
 	for _, c := range res.Contigs {
@@ -254,6 +289,16 @@ type LocalGraph struct {
 // with the transposed rank; then a custom all-to-all routes each triple
 // (u, v, L(u,v)) with v[u] = v[v] = d to processor d.
 func InducedSubgraph(l *spmat.Dist[bidir.Edge], assign *spmat.DistVec[int32]) *LocalGraph {
+	return inducedSubgraph(l, assign, false)
+}
+
+// inducedSubgraph is the shared body; async routes the edge triples with the
+// nonblocking all-to-all. The request is collected immediately (re-indexing
+// needs every edge), so the gain here is bounded — remote transfers proceed
+// while this rank issues its own sends — and the traffic is accounted as
+// overlappable; the phase-level overlap comes from the sequence exchange
+// that ContigGeneration keeps in flight across this whole step.
+func inducedSubgraph(l *spmat.Dist[bidir.Edge], assign *spmat.DistVec[int32], async bool) *LocalGraph {
 	g := l.G
 	p := g.Comm.Size()
 	rowAsg, colAsg := assign.RowColGather()
@@ -266,7 +311,12 @@ func InducedSubgraph(l *spmat.Dist[bidir.Edge], assign *spmat.DistVec[int32]) *L
 		}
 		send[du] = append(send[du], t)
 	}
-	parts := mpi.Alltoallv(g.Comm, send)
+	var parts [][]spmat.Triple[bidir.Edge]
+	if async {
+		parts = mpi.IAlltoallv(g.Comm, send).WaitValue()
+	} else {
+		parts = mpi.Alltoallv(g.Comm, send)
+	}
 
 	// Re-index: collect the vertex set, sort ascending for determinism.
 	vset := map[int32]struct{}{}
@@ -308,8 +358,42 @@ func InducedSubgraph(l *spmat.Dist[bidir.Edge], assign *spmat.DistVec[int32]) *L
 // buffers travel 2-bit-encoded (quarter the volume), falling back to raw
 // bytes if any local read has a non-ACGT base.
 func CommunicateSequences(store *fasta.DistStore, assign *spmat.DistVec[int32], packed bool) map[int32][]byte {
+	return startCommunicateSequences(store, assign, packed, false).Finish()
+}
+
+// SeqCommHandle is an in-flight read-sequence exchange: every send has been
+// posted (buffered, so they are already complete) and the receives drain in
+// the background while the caller computes; Finish assembles the result. In
+// blocking mode the exchange completes inside start and Finish only
+// assembles — one wire protocol, two schedules.
+type SeqCommHandle struct {
+	store  *fasta.DistStore
+	p      int
+	packed bool // 2-bit packed protocol agreed by all ranks
+	// Nonblocking mode: posted exchanges, collected at Finish.
+	idsReq  *mpi.AlltoallvRequest[int32]
+	packReq *mpi.AlltoallvRequest[uint64]
+	rawReq  *mpi.AlltoallvRequest[byte]
+	// Blocking mode: completed exchanges.
+	gotIDs   [][]int32
+	gotWords [][]uint64
+	gotBufs  [][]byte
+}
+
+// StartCommunicateSequences posts the full sequence exchange nonblocking and
+// returns immediately — the transfers complete while the caller routes edges
+// and walks chains. Wire protocol, bytes, and messages are identical to the
+// blocking CommunicateSequences.
+func StartCommunicateSequences(store *fasta.DistStore, assign *spmat.DistVec[int32], packed bool) *SeqCommHandle {
+	return startCommunicateSequences(store, assign, packed, true)
+}
+
+// startCommunicateSequences is the shared body: async posts nonblocking
+// exchanges, blocking completes them in place.
+func startCommunicateSequences(store *fasta.DistStore, assign *spmat.DistVec[int32], packed, async bool) *SeqCommHandle {
 	g := assign.G
 	p := g.Comm.Size()
+	h := &SeqCommHandle{store: store, p: p}
 	ids := make([][]int32, p)
 	raw := make([][][]byte, p)
 	for i, proc := range assign.Local {
@@ -320,29 +404,29 @@ func CommunicateSequences(store *fasta.DistStore, assign *spmat.DistVec[int32], 
 		ids[proc] = append(ids[proc], gid)
 		raw[proc] = append(raw[proc], store.Get(int(gid)))
 	}
-	gotIDs := mpi.Alltoallv(g.Comm, ids)
-	out := map[int32][]byte{}
+	if async {
+		h.idsReq = mpi.IAlltoallv(g.Comm, ids)
+	} else {
+		h.gotIDs = mpi.Alltoallv(g.Comm, ids)
+	}
 
 	if packed {
 		// All ranks must agree on the encoding: fall back to raw everywhere
-		// if any rank holds a non-ACGT read.
+		// if any rank holds a non-ACGT read. The agreement allreduce is tiny
+		// and stays blocking in both modes.
 		okLocal := true
 		words := make([][]uint64, p)
 		for r := 0; r < p && okLocal; r++ {
 			words[r], okLocal = dna.PackAll(raw[r])
 		}
 		if mpi.Allreduce(g.Comm, okLocal, func(a, b bool) bool { return a && b }) {
-			gotWords := mpi.AlltoallvChunked(g.Comm, words)
-			for r := 0; r < p; r++ {
-				lens := make([]int, len(gotIDs[r]))
-				for i, gid := range gotIDs[r] {
-					lens[i] = store.Len(int(gid))
-				}
-				for i, seq := range dna.UnpackAll(gotWords[r], lens) {
-					out[gotIDs[r][i]] = seq
-				}
+			h.packed = true
+			if async {
+				h.packReq = mpi.IAlltoallvChunked(g.Comm, words)
+			} else {
+				h.gotWords = mpi.AlltoallvChunked(g.Comm, words)
 			}
-			return out
+			return h
 		}
 	}
 	bufs := make([][]byte, p)
@@ -351,11 +435,46 @@ func CommunicateSequences(store *fasta.DistStore, assign *spmat.DistVec[int32], 
 			bufs[r] = append(bufs[r], seq...)
 		}
 	}
-	gotBufs := mpi.AlltoallvChunked(g.Comm, bufs)
-	for r := 0; r < p; r++ {
+	if async {
+		h.rawReq = mpi.IAlltoallvChunked(g.Comm, bufs)
+	} else {
+		h.gotBufs = mpi.AlltoallvChunked(g.Comm, bufs)
+	}
+	return h
+}
+
+// Finish waits for any posted exchange and returns the received sequences
+// keyed by global read id.
+func (h *SeqCommHandle) Finish() map[int32][]byte {
+	gotIDs := h.gotIDs
+	if h.idsReq != nil {
+		gotIDs = h.idsReq.WaitValue()
+	}
+	out := map[int32][]byte{}
+	if h.packed {
+		gotWords := h.gotWords
+		if h.packReq != nil {
+			gotWords = h.packReq.WaitValue()
+		}
+		for r := 0; r < h.p; r++ {
+			lens := make([]int, len(gotIDs[r]))
+			for i, gid := range gotIDs[r] {
+				lens[i] = h.store.Len(int(gid))
+			}
+			for i, seq := range dna.UnpackAll(gotWords[r], lens) {
+				out[gotIDs[r][i]] = seq
+			}
+		}
+		return out
+	}
+	gotBufs := h.gotBufs
+	if h.rawReq != nil {
+		gotBufs = h.rawReq.WaitValue()
+	}
+	for r := 0; r < h.p; r++ {
 		off := 0
 		for _, gid := range gotIDs[r] {
-			ln := store.Len(int(gid))
+			ln := h.store.Len(int(gid))
 			out[gid] = gotBufs[r][off : off+ln]
 			off += ln
 		}
@@ -370,22 +489,49 @@ func CommunicateSequences(store *fasta.DistStore, assign *spmat.DistVec[int32], 
 // slices meaning reverse complement. Cycles left by root walks (circular
 // chains) are walked from their smallest vertex. No communication happens
 // here — the contigs' reads are all local by construction.
+//
+// Internally it is two phases — traverseChains needs only the graph,
+// assembleChains additionally needs the sequences — so the async schedule
+// can run the walks while the sequence exchange is still in flight.
 func LocalAssembly(lg *LocalGraph, seqs map[int32][]byte) []Contig {
+	return assembleChains(lg, seqs, traverseChains(lg))
+}
+
+// chain is one traversed read chain, pending sequence assembly.
+type chain struct {
+	steps    []step
+	circular bool
+}
+
+// traverseChains runs every DFS walk of §4.4 — root-to-root first, then the
+// cycles the root walks left — returning the chains in deterministic
+// (ascending root vertex) order. No sequences are touched.
+func traverseChains(lg *LocalGraph) []chain {
 	n := lg.CSC.NC
 	visited := make([]bool, n)
-	var contigs []Contig
+	var chains []chain
 
 	// Root-to-root walks.
 	for v := int32(0); v < n; v++ {
 		if !visited[v] && lg.CSC.ColDegree(v) == 1 {
-			contigs = append(contigs, walk(lg, seqs, v, visited, false)...)
+			chains = append(chains, walk(lg, v, visited, false))
 		}
 	}
 	// Remaining unvisited vertices with edges form cycles.
 	for v := int32(0); v < n; v++ {
 		if !visited[v] && lg.CSC.ColDegree(v) > 0 {
-			contigs = append(contigs, walk(lg, seqs, v, visited, true)...)
+			chains = append(chains, walk(lg, v, visited, true))
 		}
+	}
+	return chains
+}
+
+// assembleChains concatenates every traversed chain into contigs, cutting at
+// bidirected validity violations.
+func assembleChains(lg *LocalGraph, seqs map[int32][]byte, chains []chain) []Contig {
+	var contigs []Contig
+	for _, ch := range chains {
+		contigs = append(contigs, assembleSegments(lg, seqs, ch.steps, ch.circular)...)
 	}
 	return contigs
 }
@@ -396,12 +542,11 @@ type step struct {
 	edge   bidir.Edge
 }
 
-// walk traverses the chain starting at root, segments it at bidirected
-// validity violations, and assembles each segment.
-func walk(lg *LocalGraph, seqs map[int32][]byte, root int32, visited []bool, circular bool) []Contig {
+// walk traverses the chain starting at root, marking vertices visited.
+func walk(lg *LocalGraph, root int32, visited []bool, circular bool) chain {
 	csc := lg.CSC
 	visited[root] = true
-	chain := []step{{vertex: root}}
+	steps := []step{{vertex: root}}
 	cur := root
 	for {
 		// Pick the unvisited neighbor; for the first step of a cycle walk
@@ -422,46 +567,46 @@ func walk(lg *LocalGraph, seqs map[int32][]byte, root int32, visited []bool, cir
 			break
 		}
 		visited[next] = true
-		chain = append(chain, step{vertex: next, edge: e})
+		steps = append(steps, step{vertex: next, edge: e})
 		cur = next
 	}
 	// Valid-walk violations (a vertex entered and exited through the same
-	// end, possible with noisy alignments) are cut by assembleSegments.
-	return assembleSegments(lg, seqs, chain, circular)
+	// end, possible with noisy alignments) are cut later by assembleSegments.
+	return chain{steps: steps, circular: circular}
 }
 
 // assembleSegments splits the chain at valid-walk violations and builds a
 // contig from every segment with ≥ 2 reads.
-func assembleSegments(lg *LocalGraph, seqs map[int32][]byte, chain []step, circular bool) []Contig {
+func assembleSegments(lg *LocalGraph, seqs map[int32][]byte, steps []step, circular bool) []Contig {
 	var out []Contig
 	segStart := 0
-	for i := 2; i < len(chain); i++ {
-		// Edge i-1 enters chain[i-1].vertex; edge i leaves it.
-		if chain[i].edge.SrcBit() == chain[i-1].edge.DstBit() {
-			if c, ok := assembleChain(lg, seqs, chain[segStart:i], circular && segStart == 0 && i == len(chain)); ok {
+	for i := 2; i < len(steps); i++ {
+		// Edge i-1 enters steps[i-1].vertex; edge i leaves it.
+		if steps[i].edge.SrcBit() == steps[i-1].edge.DstBit() {
+			if c, ok := assembleChain(lg, seqs, steps[segStart:i], circular && segStart == 0 && i == len(steps)); ok {
 				out = append(out, c)
 			}
 			segStart = i - 1 // the cut vertex starts the next segment
 		}
 	}
-	if c, ok := assembleChain(lg, seqs, chain[segStart:], circular && segStart == 0); ok {
+	if c, ok := assembleChain(lg, seqs, steps[segStart:], circular && segStart == 0); ok {
 		out = append(out, c)
 	}
 	return out
 }
 
 // assembleChain concatenates one valid chain into a contig.
-func assembleChain(lg *LocalGraph, seqs map[int32][]byte, chain []step, circular bool) (Contig, bool) {
-	q := len(chain)
+func assembleChain(lg *LocalGraph, seqs map[int32][]byte, steps []step, circular bool) (Contig, bool) {
+	q := len(steps)
 	if q < 2 {
 		return Contig{}, false
 	}
 	reads := make([]int32, q)
-	for i, st := range chain {
+	for i, st := range steps {
 		reads[i] = lg.Globals[st.vertex]
 	}
 	var seq []byte
-	for i, st := range chain {
+	for i, st := range steps {
 		gid := lg.Globals[st.vertex]
 		l, ok := seqs[gid]
 		if !ok {
@@ -470,28 +615,28 @@ func assembleChain(lg *LocalGraph, seqs map[int32][]byte, chain []step, circular
 		L := int32(len(l))
 		var fwd bool
 		if i == 0 {
-			fwd = chain[1].edge.SrcForward()
+			fwd = steps[1].edge.SrcForward()
 		} else {
-			fwd = chain[i].edge.DstForward()
+			fwd = steps[i].edge.DstForward()
 		}
 		// Inclusive slice bounds on the read in walk order.
 		var from, to int32 // from..to in walk direction
 		if i == 0 {
 			if fwd {
-				from, to = 0, chain[1].edge.Pre
+				from, to = 0, steps[1].edge.Pre
 			} else {
-				from, to = L-1, chain[1].edge.Pre
+				from, to = L-1, steps[1].edge.Pre
 			}
 		} else if i < q-1 {
 			// Middle read: from the first overlap base with the previous
 			// read to the last base before the overlap with the next;
 			// walk order (ascending/descending) is implied by fwd.
-			from, to = chain[i].edge.Post, chain[i+1].edge.Pre
+			from, to = steps[i].edge.Post, steps[i+1].edge.Pre
 		} else {
 			if fwd {
-				from, to = chain[i].edge.Post, L-1
+				from, to = steps[i].edge.Post, L-1
 			} else {
-				from, to = chain[i].edge.Post, 0
+				from, to = steps[i].edge.Post, 0
 			}
 		}
 		seq = appendPiece(seq, l, from, to, fwd)

@@ -204,8 +204,8 @@ func pipelineToContigs(t *testing.T, p int, seqs [][]byte, k int, xdrop int32) (
 		tm := trace.New()
 		ores := overlap.Run(g, store, cfg, tm)
 		s := overlap.ToStringGraph(ores.R, cfg.MaxOverhang)
-		tr.Reduce(s, 150, 10)
-		res := ContigGeneration(s, store, tm, false)
+		tr.Reduce(s, 150, 10, false)
+		res := ContigGeneration(s, store, tm, false, false)
 		all := GatherContigs(c, res.Contigs)
 		if c.Rank() == 0 {
 			contigs = all

@@ -38,7 +38,7 @@ func BenchmarkCountAndBuildDistributed(b *testing.B) {
 			err := mpi.Run(p, func(c *mpi.Comm) {
 				store := fasta.FromGlobal(c, reads)
 				for i := 0; i < b.N; i++ {
-					CountAndBuild(store, 31, 2, 100, 1)
+					CountAndBuild(store, 31, 2, 100, 1, false)
 				}
 			})
 			if err != nil {

@@ -40,9 +40,30 @@ type Result struct {
 // the rank's compute-heavy loop; ≤ 1 scans serially. Routing order — and
 // with it every downstream collective — is identical for any thread count,
 // because extraction results are folded in read order.
-func CountAndBuild(store *fasta.DistStore, k int, low, high int32, threads int) *Result {
+//
+// async selects the nonblocking exchange schedule: receives for Alltoallv #1
+// are posted before the extraction scan and the packing loop even start, so
+// remote occurrence records land while this rank is still packing, and the
+// owner-side counting of step 2 consumes each incoming part as it arrives
+// instead of blocking for the full exchange. Counts, column ids, triples,
+// and byte/message counters are identical in both modes.
+func CountAndBuild(store *fasta.DistStore, k int, low, high int32, threads int, async bool) *Result {
 	c := store.Comm
 	p := c.Size()
+
+	// In async mode, post all receives up front (the overlap schedule: the
+	// matching sends are buffered, so every transfer can complete while this
+	// rank is extracting and packing).
+	var tag int64
+	var pending []*mpi.RecvRequest[uint64]
+	if async {
+		tag = mpi.ReserveTag(c)
+		pending = make([]*mpi.RecvRequest[uint64], p)
+		for off := 1; off < p; off++ {
+			src := (c.Rank() - off + p) % p
+			pending[src] = mpi.Irecv[uint64](c, src, tag)
+		}
+	}
 
 	// 1. Extract (in parallel, indexed by read) and route (serially, in read
 	// order — the fold keeps the wire layout deterministic).
@@ -65,13 +86,35 @@ func CountAndBuild(store *fasta.DistStore, k int, low, high int32, threads int) 
 			sendMeta[o] = append(sendMeta[o], occRec{Read: int32(g), Pos: kp.Pos, RC: kp.RC})
 		}
 	}
-	recvKmers := mpi.Alltoallv(c, sendKmers)
 
-	// 2. Count and select on owners.
+	// 2. Count and select on owners. The async path streams: the local part
+	// first, then each remote part in rank order as its posted receive
+	// drains — counting part r overlaps the transfer of parts after r.
 	counts := make(map[Kmer]int32)
-	for _, part := range recvKmers {
+	countPart := func(part []uint64) {
 		for _, km := range part {
 			counts[Kmer(km)]++
+		}
+	}
+	recvKmers := make([][]uint64, p)
+	if async {
+		for off := 1; off < p; off++ {
+			dst := (c.Rank() + off) % p
+			mpi.Isend(c, dst, tag, sendKmers[dst]).Wait()
+		}
+		recvKmers[c.Rank()] = sendKmers[c.Rank()]
+		countPart(recvKmers[c.Rank()])
+		for src := 0; src < p; src++ {
+			if pending[src] == nil {
+				continue
+			}
+			recvKmers[src] = pending[src].WaitValue()
+			countPart(recvKmers[src])
+		}
+	} else {
+		recvKmers = mpi.Alltoallv(c, sendKmers)
+		for _, part := range recvKmers {
+			countPart(part)
 		}
 	}
 	reliable := SelectReliable(counts, low, high)
@@ -95,7 +138,12 @@ func CountAndBuild(store *fasta.DistStore, k int, low, high int32, threads int) 
 			}
 		}
 	}
-	cols := mpi.Alltoallv(c, reply)
+	var cols [][]int32
+	if async {
+		cols = mpi.IAlltoallv(c, reply).WaitValue()
+	} else {
+		cols = mpi.Alltoallv(c, reply)
+	}
 
 	// 4. Assemble triples.
 	var triples []ATriple

@@ -187,7 +187,7 @@ func TestDistributedMatchesSerial(t *testing.T) {
 		var got []ATriple
 		err := mpi.Run(p, func(c *mpi.Comm) {
 			store := fasta.FromGlobal(c, reads)
-			res := CountAndBuild(store, k, low, high, 1)
+			res := CountAndBuild(store, k, low, high, 1, false)
 			if res.NumCols != nRef {
 				panic("reliable column count differs from serial")
 			}
@@ -245,7 +245,7 @@ func TestDistributedColumnIdsConsistent(t *testing.T) {
 	k := 13
 	err := mpi.Run(4, func(c *mpi.Comm) {
 		store := fasta.FromGlobal(c, reads)
-		res := CountAndBuild(store, k, 2, 1000, 2)
+		res := CountAndBuild(store, k, 2, 1000, 2, false)
 		type pair struct {
 			km  uint64
 			col int32
@@ -271,5 +271,41 @@ func TestDistributedColumnIdsConsistent(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCountAndBuildAsyncMatchesSync(t *testing.T) {
+	// The nonblocking exchange schedule (receives posted before the
+	// extraction scan, parts counted as they arrive) must produce identical
+	// results and identical traffic to the blocking protocol on every P.
+	g := readsim.Genome(readsim.GenomeConfig{Length: 5000, Seed: 71})
+	reads := readsim.Seqs(readsim.Simulate(g, readsim.ReadConfig{Depth: 6, MeanLen: 450, Seed: 72}))
+	k := 15
+	for _, p := range []int{1, 4, 9} {
+		results := make([]*Result, 2)
+		traffic := make([][2]int64, 2)
+		for mode, async := range []bool{false, true} {
+			w := mpi.NewWorld(p)
+			err := w.Run(func(c *mpi.Comm) {
+				store := fasta.FromGlobal(c, reads)
+				res := CountAndBuild(store, k, 2, 1000, 2, async)
+				if c.Rank() == 0 {
+					results[mode] = res
+				}
+			})
+			if err != nil {
+				t.Fatalf("P=%d async=%v: %v", p, async, err)
+			}
+			traffic[mode] = [2]int64{w.TotalBytes(), w.TotalMsgs()}
+		}
+		if results[0].NumCols != results[1].NumCols {
+			t.Fatalf("P=%d: column counts differ: %d vs %d", p, results[0].NumCols, results[1].NumCols)
+		}
+		if !reflect.DeepEqual(results[0].Triples, results[1].Triples) {
+			t.Fatalf("P=%d: triples differ between sync and async", p)
+		}
+		if traffic[0] != traffic[1] {
+			t.Fatalf("P=%d: traffic differs: sync %v, async %v", p, traffic[0], traffic[1])
+		}
 	}
 }

@@ -29,14 +29,22 @@ func Barrier(c *Comm) {
 // Bcast distributes root's data to every rank and returns it. Non-root ranks
 // may pass nil. Binomial tree, log2(p) rounds.
 func Bcast[T any](c *Comm, root int, data []T) []T {
-	tag := collTag(c)
+	return bcastTree(c, root, collTag(c), data, armedNow)
+}
+
+// bcastTree is the binomial-tree broadcast body shared by Bcast and IBcast;
+// the tag is pre-reserved so background goroutines never touch the
+// communicator's sequence counter, and the parent receive's deadlock
+// watchdog arms per the armed channel (immediately for the blocking Bcast,
+// at Wait for IBcast).
+func bcastTree[T any](c *Comm, root int, tag int64, data []T, armed <-chan struct{}) []T {
 	p := c.Size()
 	vrank := (c.rank - root + p) % p
 	mask := 1
 	for mask < p {
 		if vrank&mask != 0 {
 			parent := (c.rank - mask + p) % p
-			data = Recv[T](c, parent, tag)
+			data = c.recvRawArmed(parent, tag, armed).([]T)
 			break
 		}
 		mask <<= 1

@@ -14,14 +14,22 @@
 // rank's memory: algorithmic errors (reading a vector entry the rank does not
 // own) fail in tests the same way they would on real distributed hardware.
 //
-// The runtime also keeps per-rank traffic counters so experiments can report
-// machine-independent communication volumes.
+// Besides the blocking operations, the package provides a nonblocking layer
+// (Isend/Irecv/Request/Waitall, IBcast, IAlltoallv — see nonblocking.go)
+// that lets ranks overlap communication with local computation the way
+// diBELLA hides its SUMMA broadcasts and sequence exchanges.
+//
+// The runtime also keeps per-rank traffic counters — total and
+// nonblocking-path bytes/messages plus per-communicator in-flight bytes —
+// so experiments can report machine-independent communication volumes and
+// how much of them was overlappable.
 package mpi
 
 import (
 	"fmt"
 	"hash/maphash"
 	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 	"unsafe"
@@ -44,13 +52,24 @@ type World struct {
 	mailboxes   []*mailbox
 	stats       []RankStats
 	recvTimeout time.Duration
+	// inflight tracks bytes sent but not yet received, per communicator
+	// context id (uint64 → *int64). Incremented at send, decremented when the
+	// receiver takes the message; a rank can read its communicator's gauge
+	// with Comm.InflightBytes.
+	inflight sync.Map
 }
 
-// RankStats counts traffic originated by one rank.
+// RankStats counts traffic originated by one rank. The Async counters are
+// the subset of the totals that was sent through the nonblocking layer
+// (Isend and the collectives built on it) — the traffic a rank could have
+// overlapped with computation; package trace turns their deltas into the
+// comm_overlap/comm_exposed split.
 type RankStats struct {
-	MsgsSent  int64
-	BytesSent int64
-	_         [6]int64 // pad to a cache line to avoid false sharing
+	MsgsSent   int64
+	BytesSent  int64
+	MsgsAsync  int64
+	BytesAsync int64
+	_          [4]int64 // pad to a cache line to avoid false sharing
 }
 
 // NewWorld creates a world with p ranks.
@@ -82,6 +101,8 @@ func (w *World) Stats() []RankStats {
 	for i := range out {
 		out[i].MsgsSent = atomic.LoadInt64(&w.stats[i].MsgsSent)
 		out[i].BytesSent = atomic.LoadInt64(&w.stats[i].BytesSent)
+		out[i].MsgsAsync = atomic.LoadInt64(&w.stats[i].MsgsAsync)
+		out[i].BytesAsync = atomic.LoadInt64(&w.stats[i].BytesAsync)
 	}
 	return out
 }
@@ -92,6 +113,36 @@ func (w *World) TotalBytes() int64 {
 	for i := range w.stats {
 		t += atomic.LoadInt64(&w.stats[i].BytesSent)
 	}
+	return t
+}
+
+// TotalMsgs returns the total messages sent by all ranks so far.
+func (w *World) TotalMsgs() int64 {
+	var t int64
+	for i := range w.stats {
+		t += atomic.LoadInt64(&w.stats[i].MsgsSent)
+	}
+	return t
+}
+
+// inflightCounter returns the in-flight byte gauge for a communicator
+// context, creating it on first use.
+func (w *World) inflightCounter(ctx uint64) *int64 {
+	if v, ok := w.inflight.Load(ctx); ok {
+		return v.(*int64)
+	}
+	v, _ := w.inflight.LoadOrStore(ctx, new(int64))
+	return v.(*int64)
+}
+
+// InflightBytes returns the bytes currently sent but not yet received across
+// all communicators of the world.
+func (w *World) InflightBytes() int64 {
+	var t int64
+	w.inflight.Range(func(_, v any) bool {
+		t += atomic.LoadInt64(v.(*int64))
+		return true
+	})
 	return t
 }
 
@@ -164,48 +215,52 @@ type message struct {
 	bytes   int64
 }
 
-// mailbox is the single-consumer queue of messages addressed to one rank.
-// Only the owning rank goroutine consumes; any rank may push.
+// mailbox is the queue of messages addressed to one rank. Any rank may push;
+// the owning rank goroutine AND its posted nonblocking-receive goroutines
+// consume concurrently, so wakeups must reach every waiter: push closes the
+// current generation channel (a broadcast), and each waiter re-scans the
+// queue whenever the generation it grabbed under the lock is closed. A
+// single-slot signal channel would wake one arbitrary waiter and strand the
+// message's actual addressee until its watchdog timer fired.
 type mailbox struct {
-	mu    chan struct{} // binary semaphore guarding queue
+	mu    sync.Mutex
 	queue []message
-	sig   chan struct{}
+	gen   chan struct{} // closed and replaced on every push
 }
 
 func newMailbox() *mailbox {
-	m := &mailbox{mu: make(chan struct{}, 1), sig: make(chan struct{}, 1)}
-	m.mu <- struct{}{}
-	return m
+	return &mailbox{gen: make(chan struct{})}
 }
 
 func (m *mailbox) push(msg message) {
-	<-m.mu
+	m.mu.Lock()
 	m.queue = append(m.queue, msg)
-	m.mu <- struct{}{}
-	select {
-	case m.sig <- struct{}{}:
-	default:
-	}
+	close(m.gen)
+	m.gen = make(chan struct{})
+	m.mu.Unlock()
 }
 
 // take removes and returns the first message matching (ctx, src, tag),
-// preserving FIFO order among matching messages.
-func (m *mailbox) take(ctx uint64, src int, tag int64) (message, bool) {
-	<-m.mu
-	defer func() { m.mu <- struct{}{} }()
+// preserving FIFO order among matching messages. When no match is queued it
+// returns the current generation channel, which is closed by the next push —
+// grabbing it under the same lock as the scan means a waiter can never miss
+// the push that delivers its message.
+func (m *mailbox) take(ctx uint64, src int, tag int64) (message, chan struct{}, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for i, msg := range m.queue {
 		if msg.ctx == ctx && msg.src == src && msg.tag == tag {
 			m.queue = append(m.queue[:i], m.queue[i+1:]...)
-			return msg, true
+			return msg, nil, true
 		}
 	}
-	return message{}, false
+	return message{}, m.gen, false
 }
 
 // pendingDump formats queued messages for deadlock diagnostics.
 func (m *mailbox) pendingDump() string {
-	<-m.mu
-	defer func() { m.mu <- struct{}{} }()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	s := ""
 	for i, msg := range m.queue {
 		if i == 8 {
@@ -225,6 +280,10 @@ type Comm struct {
 	rank  int   // rank within this communicator
 	group []int // world rank of each communicator rank
 	seq   uint64
+	// async marks sends issued through the nonblocking layer, counting them
+	// into the BytesAsync/MsgsAsync overlap counters. Set only on the private
+	// views Isend & friends derive via asyncView; user-held Comms are sync.
+	async bool
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -249,6 +308,25 @@ func (c *Comm) MsgsSent() int64 {
 	return atomic.LoadInt64(&c.world.stats[c.group[c.rank]].MsgsSent)
 }
 
+// BytesAsync returns the bytes this rank has sent through the nonblocking
+// layer so far (a subset of BytesSent).
+func (c *Comm) BytesAsync() int64 {
+	return atomic.LoadInt64(&c.world.stats[c.group[c.rank]].BytesAsync)
+}
+
+// MsgsAsync returns the messages this rank has sent through the nonblocking
+// layer so far (a subset of MsgsSent).
+func (c *Comm) MsgsAsync() int64 {
+	return atomic.LoadInt64(&c.world.stats[c.group[c.rank]].MsgsAsync)
+}
+
+// InflightBytes returns the bytes currently sent but not yet received on
+// this communicator (all ranks' traffic; a live gauge, not a monotone
+// counter). After a Barrier following a fully-drained exchange it is zero.
+func (c *Comm) InflightBytes() int64 {
+	return atomic.LoadInt64(c.world.inflightCounter(c.ctx))
+}
+
 // nextSeq reserves a fresh operation sequence number. SPMD programs call
 // collectives in the same order on every rank, so sequence numbers line up
 // across the communicator without coordination (the MPI matching rule).
@@ -267,21 +345,51 @@ func (c *Comm) sendRaw(dst int, tag int64, payload any, bytes int64) {
 	wsrc := c.group[c.rank]
 	atomic.AddInt64(&c.world.stats[wsrc].MsgsSent, 1)
 	atomic.AddInt64(&c.world.stats[wsrc].BytesSent, bytes)
+	if c.async {
+		atomic.AddInt64(&c.world.stats[wsrc].MsgsAsync, 1)
+		atomic.AddInt64(&c.world.stats[wsrc].BytesAsync, bytes)
+	}
+	atomic.AddInt64(c.world.inflightCounter(c.ctx), bytes)
 	c.world.mailboxes[wdst].push(message{ctx: c.ctx, src: c.rank, tag: tag, payload: payload, bytes: bytes})
 }
+
+// armedNow is pre-closed: blocking receives arm their watchdog immediately.
+var armedNow = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // recvRaw blocks until a message from src (communicator rank) with tag
 // arrives, subject to the world deadlock watchdog.
 func (c *Comm) recvRaw(src int, tag int64) any {
+	return c.recvRawArmed(src, tag, armedNow)
+}
+
+// recvRawArmed is recvRaw with a deferred deadlock watchdog: the deadline
+// starts only once armed is closed. Posted nonblocking receives pass their
+// Wait signal, so a receive parked behind a long compute phase (whose
+// matching send has legitimately not been posted yet) is never declared
+// deadlocked — only a rank actually blocked in Wait/Recv trips the timer.
+func (c *Comm) recvRawArmed(src int, tag int64, armed <-chan struct{}) any {
 	box := c.world.mailboxes[c.group[c.rank]]
-	deadline := time.Now().Add(c.world.recvTimeout)
+	var deadline time.Time
+	armedCh := armed // set to nil once consumed; a nil case blocks forever
+	select {
+	case <-armedCh:
+		armedCh = nil
+		deadline = time.Now().Add(c.world.recvTimeout)
+	default:
+	}
 	for {
-		if msg, ok := box.take(c.ctx, src, tag); ok {
+		msg, gen, ok := box.take(c.ctx, src, tag)
+		if ok {
+			atomic.AddInt64(c.world.inflightCounter(c.ctx), -msg.bytes)
 			return msg.payload
 		}
 		var timer *time.Timer
 		var expire <-chan time.Time
-		if c.world.recvTimeout > 0 {
+		if c.world.recvTimeout > 0 && armedCh == nil {
 			remain := time.Until(deadline)
 			if remain <= 0 {
 				panic(fmt.Sprintf("mpi: rank %d (world %d) deadlocked waiting for ctx=%d src=%d tag=%d; pending:%s",
@@ -291,10 +399,14 @@ func (c *Comm) recvRaw(src int, tag int64) any {
 			expire = timer.C
 		}
 		select {
-		case <-box.sig:
+		case <-gen:
 			if timer != nil {
 				timer.Stop()
 			}
+		case <-armedCh:
+			// Wait just started: the deadline runs from here.
+			armedCh = nil
+			deadline = time.Now().Add(c.world.recvTimeout)
 		case <-expire:
 			// Loop re-checks the queue, then panics via the deadline branch.
 		}

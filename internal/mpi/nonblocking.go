@@ -1,0 +1,317 @@
+package mpi
+
+// Nonblocking point-to-point operations and the asynchronous collectives
+// built on them. They let a rank overlap communication with local
+// computation — the mechanism diBELLA uses to hide its SUMMA broadcasts and
+// sequence exchanges behind the local multiply and walk.
+//
+// Semantics in this simulator:
+//
+//   - Isend copies its payload and delivers immediately (buffered send
+//     semantics, like the blocking Send), so the returned request is already
+//     complete. Its traffic is counted into the BytesAsync/MsgsAsync overlap
+//     counters at post time — which keeps per-stage traffic attribution
+//     identical between blocking and nonblocking runs of the same program.
+//   - Irecv posts a background matcher that drains the message into the
+//     request as soon as it arrives, so by the time the rank calls Wait the
+//     transfer has usually already completed — the wait time is the exposed
+//     (non-overlapped) communication.
+//   - Every request must be waited exactly once. A second Wait panics (the
+//     MPI "request reuse" error made loud), and dropping a request without
+//     waiting leaks its matcher goroutine for the life of the world.
+//   - The deadlock watchdog of a posted receive arms only when Wait starts
+//     blocking: a receive posted far ahead of its matching send (the whole
+//     point of the overlap schedule) is never declared deadlocked while the
+//     rank is still computing — only a rank actually stuck in Wait panics.
+//   - Tags: the async collectives consume one communicator sequence number
+//     each, exactly like their blocking counterparts, so SPMD programs may
+//     freely interleave posted operations with later collectives. Hand-rolled
+//     nonblocking exchanges reserve a tag with ReserveTag.
+//
+// Panics raised inside a background matcher (e.g. the deadlock watchdog) are
+// captured and re-raised on the rank goroutine at Wait, where Run's recover
+// turns them into a RankError.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Request is the common handle of all nonblocking operations: Waitall and
+// misuse checking operate through it; the typed result accessors live on the
+// concrete request types.
+type Request interface {
+	// Wait blocks until the operation completes. It must be called exactly
+	// once; a second call panics.
+	Wait()
+	// Done reports completion without blocking or consuming the request.
+	Done() bool
+}
+
+// Waitall waits every request, in order (MPI_Waitall).
+func Waitall(reqs ...Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}
+
+// ReserveTag consumes one communicator sequence number and returns it as a
+// tag. SPMD programs calling it in the same order on every rank obtain
+// matching tags without coordination — the hook for hand-rolled nonblocking
+// exchanges (post Irecvs, pack, Isend) like the k-mer exchange.
+func ReserveTag(c *Comm) int64 {
+	return collTag(c)
+}
+
+// asyncView returns a copy of the communicator whose sends count into the
+// overlap counters. The copy shares world/context/group (so it matches
+// messages with the original) but must never touch the sequence counter:
+// background goroutines use explicit tags only.
+func (c *Comm) asyncView() *Comm {
+	v := *c
+	v.async = true
+	return &v
+}
+
+// reqState is the shared completion/misuse machinery of the request types
+// backed by a background goroutine. The armed channel defers the matcher's
+// deadlock watchdog until Wait actually blocks.
+type reqState struct {
+	done     chan struct{}
+	armed    chan struct{}
+	armOnce  sync.Once
+	waited   atomic.Bool
+	panicked any // panic value transferred from a background goroutine
+}
+
+func newReqState() reqState {
+	return reqState{done: make(chan struct{}), armed: make(chan struct{})}
+}
+
+// Done reports completion without consuming the request.
+func (r *reqState) Done() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// wait arms the watchdog, blocks for completion, enforces single-use, and
+// re-raises any panic captured in the background goroutine on the caller's
+// goroutine.
+func (r *reqState) wait(kind string) {
+	if !r.waited.CompareAndSwap(false, true) {
+		panic("mpi: " + kind + " request waited twice (requests are single-use)")
+	}
+	r.armOnce.Do(func() { close(r.armed) })
+	<-r.done
+	if r.panicked != nil {
+		panic(r.panicked)
+	}
+}
+
+// background runs fn in a goroutine, capturing its panic for re-raise at
+// Wait and closing done when it returns.
+func (r *reqState) background(fn func()) {
+	go func() {
+		defer close(r.done)
+		defer func() {
+			if v := recover(); v != nil {
+				r.panicked = v
+			}
+		}()
+		fn()
+	}()
+}
+
+// SendRequest is the handle of an Isend. The simulator's sends are buffered,
+// so it is complete at creation; Wait only enforces the single-use contract.
+type SendRequest struct {
+	reqState
+}
+
+// Wait completes the send request (a no-op beyond misuse checking).
+func (r *SendRequest) Wait() { r.wait("send") }
+
+// Isend transmits a copy of data to dst under tag without blocking and
+// counts the traffic as overlappable. The returned request is already
+// complete (buffered semantics) but must still be waited exactly once.
+func Isend[T any](c *Comm, dst int, tag int64, data []T) *SendRequest {
+	cp := make([]T, len(data))
+	copy(cp, data)
+	c.asyncView().sendRaw(dst, tag, cp, int64(len(cp))*sizeOf[T]())
+	r := &SendRequest{reqState: newReqState()}
+	close(r.done)
+	return r
+}
+
+// RecvRequest is the handle of an Irecv; Wait returns the received payload.
+type RecvRequest[T any] struct {
+	reqState
+	val []T
+}
+
+// Wait blocks until the matching send arrives and returns its payload.
+func (r *RecvRequest[T]) Wait() { r.wait("recv") }
+
+// Value returns the received payload; valid only after Wait.
+func (r *RecvRequest[T]) Value() []T { return r.val }
+
+// WaitValue combines Wait and Value.
+func (r *RecvRequest[T]) WaitValue() []T {
+	r.Wait()
+	return r.val
+}
+
+// Irecv posts a receive for the matching Send/Isend and returns immediately.
+// A background matcher drains the message as soon as it arrives, so the
+// transfer progresses while the rank computes.
+func Irecv[T any](c *Comm, src int, tag int64) *RecvRequest[T] {
+	r := &RecvRequest[T]{reqState: newReqState()}
+	r.background(func() {
+		r.val = c.recvRawArmed(src, tag, r.armed).([]T)
+	})
+	return r
+}
+
+// IrecvChunked posts a receive for a buffer sent with SendChunked.
+func IrecvChunked[T any](c *Comm, src int, tag int64) *RecvRequest[T] {
+	r := &RecvRequest[T]{reqState: newReqState()}
+	r.background(func() {
+		n := c.recvRawArmed(src, tag, r.armed).(int64)
+		out := make([]T, 0, n)
+		for int64(len(out)) < n {
+			out = append(out, c.recvRawArmed(src, tag, r.armed).([]T)...)
+		}
+		r.val = out
+	})
+	return r
+}
+
+// BcastRequest is the handle of an IBcast; Wait returns the broadcast data.
+type BcastRequest[T any] struct {
+	reqState
+	val []T
+}
+
+// Wait blocks until this rank's part of the broadcast tree (receive from
+// parent, forwards to children) has completed and returns the data.
+func (r *BcastRequest[T]) Wait() { r.wait("bcast") }
+
+// Value returns the broadcast payload; valid only after Wait.
+func (r *BcastRequest[T]) Value() []T { return r.val }
+
+// WaitValue combines Wait and Value.
+func (r *BcastRequest[T]) WaitValue() []T {
+	r.Wait()
+	return r.val
+}
+
+// IBcast starts a nonblocking broadcast of root's data (collective: every
+// rank of c must post it, in the same program order as any other collective
+// on c). The binomial tree — identical to the blocking Bcast, so message and
+// byte counters match between modes — runs in the background; several
+// IBcasts may be in flight at once, which is how the SUMMA loop prefetches
+// round r+1's panels while multiplying round r.
+func IBcast[T any](c *Comm, root int, data []T) *BcastRequest[T] {
+	tag := collTag(c) // consumed on the caller goroutine, like every collective
+	ac := c.asyncView()
+	r := &BcastRequest[T]{reqState: newReqState()}
+	r.background(func() {
+		r.val = bcastTree(ac, root, tag, data, r.armed)
+	})
+	return r
+}
+
+// AlltoallvRequest is the handle of an IAlltoallv; Wait returns the per-rank
+// received slices. The pairwise receives drain in the background from post
+// time; Wait itself collects on the calling goroutine, arming each posted
+// receive's watchdog only then.
+type AlltoallvRequest[T any] struct {
+	waited atomic.Bool
+	recvs  []*RecvRequest[T] // nil at self index
+	out    [][]T
+}
+
+// Wait blocks until every pairwise receive has completed.
+func (r *AlltoallvRequest[T]) Wait() {
+	if !r.waited.CompareAndSwap(false, true) {
+		panic("mpi: alltoallv request waited twice (requests are single-use)")
+	}
+	for src, rr := range r.recvs {
+		if rr != nil {
+			r.out[src] = rr.WaitValue()
+		}
+	}
+}
+
+// Done reports whether every pairwise receive has completed, without
+// blocking or consuming the request.
+func (r *AlltoallvRequest[T]) Done() bool {
+	for _, rr := range r.recvs {
+		if rr != nil && !rr.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Value returns the received per-rank slices; valid only after Wait.
+func (r *AlltoallvRequest[T]) Value() [][]T { return r.out }
+
+// WaitValue combines Wait and Value.
+func (r *AlltoallvRequest[T]) WaitValue() [][]T {
+	r.Wait()
+	return r.out
+}
+
+// iAlltoallv is the shared body of IAlltoallv and IAlltoallvChunked: post
+// all receives first, then send (sends are buffered, so they complete at
+// post time); the request finishes when the posted receives drain.
+func iAlltoallv[T any](c *Comm, send [][]T, chunked bool) *AlltoallvRequest[T] {
+	tag := collTag(c)
+	p := c.Size()
+	if len(send) != p {
+		panic("mpi: IAlltoallv needs one slice per rank")
+	}
+	r := &AlltoallvRequest[T]{recvs: make([]*RecvRequest[T], p), out: make([][]T, p)}
+	// Post receives before packing/sending anything — the classic overlap
+	// schedule: remote data can land while this rank is still sending.
+	for off := 1; off < p; off++ {
+		src := (c.rank - off + p) % p
+		if chunked {
+			r.recvs[src] = IrecvChunked[T](c, src, tag)
+		} else {
+			r.recvs[src] = Irecv[T](c, src, tag)
+		}
+	}
+	cp := make([]T, len(send[c.rank]))
+	copy(cp, send[c.rank])
+	r.out[c.rank] = cp
+	ac := c.asyncView()
+	for off := 1; off < p; off++ {
+		dst := (c.rank + off) % p
+		if chunked {
+			SendChunked(ac, dst, tag, send[dst])
+		} else {
+			Send(ac, dst, tag, send[dst])
+		}
+	}
+	return r
+}
+
+// IAlltoallv starts a nonblocking Alltoallv (collective). All sends complete
+// at post time; Wait returns when every pairwise receive has drained. Wire
+// shape and counters are identical to the blocking Alltoallv.
+func IAlltoallv[T any](c *Comm, send [][]T) *AlltoallvRequest[T] {
+	return iAlltoallv(c, send, false)
+}
+
+// IAlltoallvChunked is IAlltoallv with every pairwise message honouring
+// MaxMessageBytes via the chunked wire protocol — the nonblocking form of
+// the paper's read-sequence exchange.
+func IAlltoallvChunked[T any](c *Comm, send [][]T) *AlltoallvRequest[T] {
+	return iAlltoallv(c, send, true)
+}

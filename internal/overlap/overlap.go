@@ -106,6 +106,11 @@ type Config struct {
 	// worker gets its own aligner instance, so NewAligner is called Threads
 	// times per rank.
 	Threads int
+	// Async runs the communication-heavy loops with the nonblocking layer:
+	// the k-mer exchange posts its receives before packing sends, and the
+	// SUMMA SpGEMM prefetches round r+1's panels while multiplying round r.
+	// Results and traffic counters are identical in both modes.
+	Async bool
 }
 
 // aligner instantiates this rank's alignment backend.
@@ -138,7 +143,7 @@ func Run(g *grid.Grid, store *fasta.DistStore, cfg Config, tm *trace.Timers) *Re
 	// CountKmer: distributed counting and reliable-k-mer selection.
 	var kres *kmer.Result
 	tm.Stage("CountKmer", g.Comm, func() {
-		kres = kmer.CountAndBuild(store, cfg.K, cfg.ReliableLow, cfg.ReliableHigh, cfg.Threads)
+		kres = kmer.CountAndBuild(store, cfg.K, cfg.ReliableLow, cfg.ReliableHigh, cfg.Threads, cfg.Async)
 	})
 	res.NumKmers = kres.NumCols
 	tm.AddWork("CountKmer", kres.Occurrences)
@@ -158,7 +163,11 @@ func Run(g *grid.Grid, store *fasta.DistStore, cfg Config, tm *trace.Timers) *Re
 		}
 		res.A = spmat.NewDist(g, int32(store.N), int32(kres.NumCols), ts, nil)
 		at := spmat.Transpose(res.A, nil)
-		c = spmat.SpGEMMCounted(res.A, at, seedSemiring, &products)
+		if cfg.Async {
+			c = spmat.SpGEMMAsync(res.A, at, seedSemiring, &products)
+		} else {
+			c = spmat.SpGEMMCounted(res.A, at, seedSemiring, &products)
+		}
 		c.Apply(func(r, cc int32, v Seeds) (Seeds, bool) {
 			if r == cc {
 				return v, false

@@ -18,6 +18,11 @@
 // Intra-rank worker parallelism (the hybrid ranks × threads model, package
 // par) enters through Threading: the compute term divides by the stage's
 // Amdahl speedup while communication terms stay fixed.
+// Nonblocking communication enters through the overlap term: the share of a
+// stage's traffic sent through the nonblocking mpi layer hides behind the
+// compute term, and only the exposed remainder — max(0, overlappable comm −
+// overlappable compute) plus all blocking comm — lands on the critical path
+// (see StageTimeT).
 // Load imbalance and communication growth — the real drivers of the paper's
 // efficiency curves — enter through the max-per-rank counters.
 package perfmodel
@@ -115,6 +120,18 @@ func StageTime(sum *trace.Summary, stage string, cal Calibration, net Network) f
 
 // StageTimeT predicts the distributed wall time of one stage when every
 // rank runs th.Threads intra-rank workers.
+//
+// Communication enters through the overlap model: traffic sent through the
+// nonblocking layer (the stage's MaxOverlapBytes/MaxOverlapMsgs) hides
+// behind the compute term, so only its excess over the compute time is
+// charged — exposed = max(0, overlappable comm − overlappable compute) —
+// while the blocking remainder is charged in full:
+//
+//	T = max(compute, overlapComm) + exposedComm
+//
+// A blocking run has zero overlap counters, reducing T to the additive
+// compute + comm form, so sync and async runs of the same program differ
+// exactly by the hidden communication.
 func StageTimeT(sum *trace.Summary, stage string, cal Calibration, net Network, th Threading) float64 {
 	e := sum.Get(stage)
 	var t float64
@@ -129,8 +146,24 @@ func StageTimeT(sum *trace.Summary, stage string, cal Calibration, net Network, 
 		// the run used, so it must NOT be divided by the speedup again.
 		t = e.MaxDur.Seconds()
 	}
-	t += float64(e.MaxBytes)/net.Bandwidth + float64(e.MaxMsgs)*net.Latency
-	return t
+	overlapComm, exposedComm := CommSplit(e, net)
+	if overlapComm > t {
+		t = overlapComm
+	}
+	return t + exposedComm
+}
+
+// CommSplit returns the stage's modeled communication time split into the
+// overlappable share (sent nonblocking; can hide behind compute) and the
+// exposed share (blocking; always on the critical path). The two sum to the
+// stage's total modeled communication time.
+func CommSplit(e trace.SummaryEntry, net Network) (overlap, exposed float64) {
+	total := float64(e.MaxBytes)/net.Bandwidth + float64(e.MaxMsgs)*net.Latency
+	overlap = float64(e.MaxOverlapBytes)/net.Bandwidth + float64(e.MaxOverlapMsgs)*net.Latency
+	if overlap > total {
+		overlap = total
+	}
+	return overlap, total - overlap
 }
 
 // Total predicts the end-to-end runtime over the given stages.

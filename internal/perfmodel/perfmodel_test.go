@@ -97,3 +97,52 @@ func TestFormatScaling(t *testing.T) {
 		t.Fatalf("format: %q", out)
 	}
 }
+
+func TestStageTimeOverlapTerm(t *testing.T) {
+	// 1s of compute, 2s of overlappable bandwidth, 0.5s of exposed
+	// bandwidth: the overlappable share hides behind compute up to the
+	// compute time, so T = max(1, 2) + 0.5 = 2.5 — not 1 + 2.5.
+	sum := summary(t, func(tm *trace.Timers) {
+		tm.Add("s", time.Second)
+		tm.AddWork("s", 100)
+		tm.AddCommOverlap("s", 16e9, 0) // 2s on Aries bandwidth
+		tm.AddComm("s", 4e9, 0)         // 0.5s, blocking
+	})
+	cal := Calibration{"s": 100}
+	if got := StageTime(sum, "s", cal, Aries()); math.Abs(got-2.5) > 1e-6 {
+		t.Fatalf("comm-bound overlapped stage: got %f want 2.5", got)
+	}
+
+	// Compute-bound case: 4s of compute fully hides the 2s of overlappable
+	// comm; only the exposed 0.5s adds.
+	cal2 := Calibration{"s": 25}
+	if got := StageTime(sum, "s", cal2, Aries()); math.Abs(got-4.5) > 1e-6 {
+		t.Fatalf("compute-bound overlapped stage: got %f want 4.5", got)
+	}
+
+	// The same traffic fully blocking is strictly worse: 4 + 2.5.
+	blocking := summary(t, func(tm *trace.Timers) {
+		tm.Add("s", time.Second)
+		tm.AddWork("s", 100)
+		tm.AddComm("s", 20e9, 0)
+	})
+	if got := StageTime(blocking, "s", cal2, Aries()); math.Abs(got-6.5) > 1e-6 {
+		t.Fatalf("blocking stage: got %f want 6.5", got)
+	}
+}
+
+func TestCommSplitSumsToTotal(t *testing.T) {
+	sum := summary(t, func(tm *trace.Timers) {
+		tm.AddCommOverlap("s", 8e9, 2e6)
+		tm.AddComm("s", 8e9, 1e6)
+	})
+	e := sum.Get("s")
+	overlap, exposed := CommSplit(e, Aries())
+	total := float64(e.MaxBytes)/Aries().Bandwidth + float64(e.MaxMsgs)*Aries().Latency
+	if math.Abs(overlap+exposed-total) > 1e-9 {
+		t.Fatalf("overlap %f + exposed %f != total %f", overlap, exposed, total)
+	}
+	if overlap <= 0 || exposed <= 0 {
+		t.Fatalf("split degenerate: overlap %f exposed %f", overlap, exposed)
+	}
+}

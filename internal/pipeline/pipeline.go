@@ -68,6 +68,16 @@ type Options struct {
 	// PackSeqComm sends read sequences 2-bit packed during contig
 	// generation (§7 future work); false matches the paper's protocol.
 	PackSeqComm bool
+	// Async runs the communication-heavy loops on the nonblocking mpi layer
+	// so transfers overlap local computation: the SUMMA SpGEMM (overlap
+	// detection and transitive reduction) prefetches the next round's panels
+	// while multiplying, the k-mer exchange posts receives before packing
+	// sends, and contig generation pipelines the read-sequence exchange
+	// against edge routing and the DFS walks. Contigs and all byte/message
+	// counters are bit-identical with Async on or off; only the
+	// comm_overlap/comm_exposed split and wall time differ. Sync(false) is
+	// the paper's blocking baseline; DefaultOptions enables Async.
+	Async bool
 }
 
 // DefaultOptions returns the low-error configuration at P ranks.
@@ -83,6 +93,7 @@ func DefaultOptions(p int) Options {
 		MaxOverhang:  80,
 		TRFuzz:       150,
 		TRMaxIter:    10,
+		Async:        true,
 	}
 }
 
@@ -125,6 +136,7 @@ type Stats struct {
 	MinLoad        int64
 	Timers         *trace.Summary // per-stage aggregates across ranks
 	CommBytes      int64          // total bytes moved by all ranks
+	CommMsgs       int64          // total messages moved by all ranks
 	WallTime       time.Duration  // end-to-end wall clock of the mpi run
 }
 
@@ -160,6 +172,7 @@ func (o Options) overlapConfig(newAligner func() align.Aligner) overlap.Config {
 		MinScoreFrac: o.MinScoreFrac,
 		MaxOverhang:  o.MaxOverhang,
 		Threads:      o.EffectiveThreads(),
+		Async:        o.Async,
 	}
 }
 
@@ -204,14 +217,14 @@ func Run(reads [][]byte, opt Options) (*Output, error) {
 		var s = overlap.ToStringGraph(ores.R, opt.MaxOverhang)
 		var trStats tr.Stats
 		tm.Stage("TrReduction", c, func() {
-			trStats = tr.Reduce(s, opt.TRFuzz, opt.TRMaxIter)
+			trStats = tr.Reduce(s, opt.TRFuzz, opt.TRMaxIter, opt.Async)
 		})
 		tm.AddWork("TrReduction", trStats.Products)
 
 		var cres *core.Result
 		cgTimers := trace.New()
 		tm.Stage("ExtractContig", c, func() {
-			cres = core.ContigGeneration(s, store, cgTimers, opt.PackSeqComm)
+			cres = core.ContigGeneration(s, store, cgTimers, opt.PackSeqComm, opt.Async)
 		})
 		// ExtractContig's work units: edges routed plus bases assembled.
 		tm.AddWork("ExtractContig",
@@ -250,6 +263,7 @@ func Run(reads [][]byte, opt Options) (*Output, error) {
 	}
 	out.Stats.WallTime = time.Since(start)
 	out.Stats.CommBytes = w.TotalBytes()
+	out.Stats.CommMsgs = w.TotalMsgs()
 	return out, nil
 }
 

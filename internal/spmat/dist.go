@@ -214,6 +214,21 @@ func SpGEMM[A, B, C any](a *Dist[A], b *Dist[B], sr Semiring[A, B, C]) *Dist[C] 
 // SpGEMMCounted is SpGEMM with a semiring-product work counter for the
 // performance model (products may be nil).
 func SpGEMMCounted[A, B, C any](a *Dist[A], b *Dist[B], sr Semiring[A, B, C], products *int64) *Dist[C] {
+	return spgemm(a, b, sr, products, false)
+}
+
+// SpGEMMAsync is SpGEMMCounted with nonblocking SUMMA broadcasts: round
+// r+1's A/B panels are prefetched with IBcast while round r multiplies, so
+// panel transfer hides behind the local product. Accumulation order,
+// results, and byte/message counters are identical to the blocking form —
+// only the overlap attribution and wall time change.
+func SpGEMMAsync[A, B, C any](a *Dist[A], b *Dist[B], sr Semiring[A, B, C], products *int64) *Dist[C] {
+	return spgemm(a, b, sr, products, true)
+}
+
+// spgemm is the shared SUMMA body; async selects blocking broadcasts or the
+// IBcast prefetch pipeline.
+func spgemm[A, B, C any](a *Dist[A], b *Dist[B], sr Semiring[A, B, C], products *int64, async bool) *Dist[C] {
 	if a.G != b.G {
 		panic("spmat: SpGEMM operands on different grids")
 	}
@@ -223,19 +238,49 @@ func SpGEMMCounted[A, B, C any](a *Dist[A], b *Dist[B], sr Semiring[A, B, C], pr
 	g := a.G
 	out := newDistShell[C](g, a.NR, b.NC)
 	acc := make(map[int64]C)
-	for s := 0; s < g.Dim; s++ {
-		// Broadcast A(:, s-block) along grid rows.
+
+	// post starts the round-s panel broadcasts (nonblocking path only). The
+	// post order (A then B) matches the blocking call order, so tag sequences
+	// line up across ranks.
+	post := func(s int) (*mpi.BcastRequest[Triple[A]], *mpi.BcastRequest[Triple[B]]) {
 		var ablk []Triple[A]
 		if g.Col == s {
 			ablk = a.Local.Ts
 		}
-		ablk = mpi.Bcast(g.RowComm, s, ablk)
-		// Broadcast B(s-block, :) along grid columns.
 		var bblk []Triple[B]
 		if g.Row == s {
 			bblk = b.Local.Ts
 		}
-		bblk = mpi.Bcast(g.ColComm, s, bblk)
+		return mpi.IBcast(g.RowComm, s, ablk), mpi.IBcast(g.ColComm, s, bblk)
+	}
+	var reqA *mpi.BcastRequest[Triple[A]]
+	var reqB *mpi.BcastRequest[Triple[B]]
+	if async {
+		reqA, reqB = post(0)
+	}
+	for s := 0; s < g.Dim; s++ {
+		var ablk []Triple[A]
+		var bblk []Triple[B]
+		if async {
+			// Collect round s, then immediately post round s+1 so its panels
+			// travel while this round multiplies.
+			ablk = reqA.WaitValue()
+			bblk = reqB.WaitValue()
+			if s+1 < g.Dim {
+				reqA, reqB = post(s + 1)
+			}
+		} else {
+			// Broadcast A(:, s-block) along grid rows, B(s-block, :) along
+			// grid columns.
+			if g.Col == s {
+				ablk = a.Local.Ts
+			}
+			ablk = mpi.Bcast(g.RowComm, s, ablk)
+			if g.Row == s {
+				bblk = b.Local.Ts
+			}
+			bblk = mpi.Bcast(g.ColComm, s, bblk)
+		}
 		// Local product: bucket A by inner index, stream B.
 		kLo, kHi := grid.BlockRange(int(a.NC), g.Dim, s)
 		buckets := make([][]Triple[A], kHi-kLo)

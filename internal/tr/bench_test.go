@@ -19,7 +19,7 @@ func BenchmarkReduce(b *testing.B) {
 				g := grid.New(c)
 				for i := 0; i < b.N; i++ {
 					s := spmat.FromGlobalTriples(g, int32(n), int32(n), all, nil)
-					Reduce(s, 0, 10)
+					Reduce(s, 0, 10, false)
 				}
 			})
 			if err != nil {

@@ -49,7 +49,7 @@ func TestReduceChainLeavesOnlyConsecutiveEdges(t *testing.T) {
 			err := mpi.Run(p, func(c *mpi.Comm) {
 				g := grid.New(c)
 				s := spmat.FromGlobalTriples(g, int32(n), int32(n), all, nil)
-				st := Reduce(s, 0, 10)
+				st := Reduce(s, 0, 10, false)
 				got := s.GatherTriples(0)
 				if c.Rank() == 0 {
 					if st.EdgesRemoved == 0 {
@@ -80,7 +80,7 @@ func TestReduceKeepsSymmetry(t *testing.T) {
 	err := mpi.Run(4, func(c *mpi.Comm) {
 		g := grid.New(c)
 		s := spmat.FromGlobalTriples(g, int32(n), int32(n), all, nil)
-		Reduce(s, 5, 10)
+		Reduce(s, 5, 10, false)
 		got := s.GatherTriples(0)
 		if c.Rank() == 0 {
 			set := map[[2]int32]bool{}
@@ -109,7 +109,7 @@ func TestReduceAlreadyReducedIsNoop(t *testing.T) {
 	err := mpi.Run(4, func(c *mpi.Comm) {
 		g := grid.New(c)
 		s := spmat.FromGlobalTriples(g, int32(n), int32(n), all, nil)
-		st := Reduce(s, 0, 10)
+		st := Reduce(s, 0, 10, false)
 		if st.EdgesRemoved != 0 {
 			panic("removed edges from an already-reduced chain")
 		}
@@ -136,7 +136,7 @@ func TestReduceFuzzTolerance(t *testing.T) {
 		err := mpi.Run(1, func(c *mpi.Comm) {
 			g := grid.New(c)
 			s := spmat.FromGlobalTriples(g, int32(n), int32(n), all, nil)
-			Reduce(s, fuzz, 10)
+			Reduce(s, fuzz, 10, false)
 			left = s.Local.Nnz()
 		})
 		if err != nil {
@@ -197,7 +197,7 @@ func TestReducePreservesConnectivity(t *testing.T) {
 		err := mpi.Run(4, func(c *mpi.Comm) {
 			g := grid.New(c)
 			s := spmat.FromGlobalTriples(g, int32(n), int32(n), all, nil)
-			Reduce(s, 10, 10)
+			Reduce(s, 10, 10, false)
 			got := s.GatherTriples(0)
 			if c.Rank() == 0 {
 				after = components(n, got)
@@ -242,7 +242,7 @@ func TestReduceCircularGenomeChain(t *testing.T) {
 	err := mpi.Run(4, func(c *mpi.Comm) {
 		g := grid.New(c)
 		s := spmat.FromGlobalTriples(g, int32(n), int32(n), ts, nil)
-		Reduce(s, 0, 10)
+		Reduce(s, 0, 10, false)
 		if got := s.Nnz(); got != int64(2*n) {
 			panic(fmt.Sprintf("ring: %d edges left, want %d", got, 2*n))
 		}

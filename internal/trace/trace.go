@@ -3,6 +3,12 @@
 // model (package perfmodel) that reproduces the paper's scaling figures on
 // hosts with fewer cores than simulated ranks, and the runtime breakdowns of
 // Figures 5 and 6.
+//
+// Communication splits into comm_overlap (sent through the nonblocking mpi
+// layer, so it can hide behind computation) and comm_exposed (the blocking
+// remainder); the two always sum to the stage total, and perfmodel's
+// overlap term charges only the exposed share plus whatever overlappable
+// traffic exceeds the stage's compute time.
 package trace
 
 import (
@@ -14,13 +20,26 @@ import (
 	"repro/internal/mpi"
 )
 
-// Entry is one stage's accounting on one rank.
+// Entry is one stage's accounting on one rank. OverlapBytes/OverlapMsgs are
+// the subset of Bytes/Msgs sent through the nonblocking layer — traffic the
+// rank could hide behind computation; the exposed remainder is
+// Bytes−OverlapBytes (so comm_overlap + comm_exposed == comm_total by
+// construction). Blocking runs keep the overlap counters at zero.
 type Entry struct {
-	Dur   time.Duration // measured wall time on this rank
-	Bytes int64         // bytes this rank sent during the stage
-	Msgs  int64         // messages this rank sent during the stage
-	Work  int64         // abstract work units (stage-specific, e.g. DP cells)
+	Dur          time.Duration // measured wall time on this rank
+	Bytes        int64         // bytes this rank sent during the stage
+	Msgs         int64         // messages this rank sent during the stage
+	OverlapBytes int64         // of Bytes: sent nonblocking (overlappable)
+	OverlapMsgs  int64         // of Msgs: sent nonblocking (overlappable)
+	Work         int64         // abstract work units (stage-specific, e.g. DP cells)
 }
+
+// ExposedBytes returns the bytes whose transfer the rank had to wait for —
+// the comm_exposed counter (Bytes − OverlapBytes).
+func (e Entry) ExposedBytes() int64 { return e.Bytes - e.OverlapBytes }
+
+// ExposedMsgs returns the messages not sent through the nonblocking layer.
+func (e Entry) ExposedMsgs() int64 { return e.Msgs - e.OverlapMsgs }
 
 // Timers accumulates per-stage entries on one rank. Each rank owns its
 // Timers, but a rank's intra-rank worker pool (package par) may report work
@@ -51,9 +70,10 @@ func (t *Timers) entry(name string) *Entry {
 // interval to the stage. fn runs outside the lock, so stage bodies may
 // themselves report into the same Timers.
 func (t *Timers) Stage(name string, c *mpi.Comm, fn func()) {
-	var b0, m0 int64
+	var b0, m0, ob0, om0 int64
 	if c != nil {
 		b0, m0 = c.BytesSent(), c.MsgsSent()
+		ob0, om0 = c.BytesAsync(), c.MsgsAsync()
 	}
 	start := time.Now()
 	fn()
@@ -65,6 +85,8 @@ func (t *Timers) Stage(name string, c *mpi.Comm, fn func()) {
 	if c != nil {
 		e.Bytes += c.BytesSent() - b0
 		e.Msgs += c.MsgsSent() - m0
+		e.OverlapBytes += c.BytesAsync() - ob0
+		e.OverlapMsgs += c.MsgsAsync() - om0
 	}
 }
 
@@ -89,6 +111,18 @@ func (t *Timers) AddComm(name string, bytes, msgs int64) {
 	e := t.entry(name)
 	e.Bytes += bytes
 	e.Msgs += msgs
+}
+
+// AddCommOverlap accumulates traffic under name that was sent through the
+// nonblocking layer (also counted into the stage totals).
+func (t *Timers) AddCommOverlap(name string, bytes, msgs int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entry(name)
+	e.Bytes += bytes
+	e.Msgs += msgs
+	e.OverlapBytes += bytes
+	e.OverlapMsgs += msgs
 }
 
 // Get returns the accumulated duration of a stage.
@@ -125,19 +159,28 @@ func (t *Timers) Merge(other *Timers) {
 		e.Dur += src.Dur
 		e.Bytes += src.Bytes
 		e.Msgs += src.Msgs
+		e.OverlapBytes += src.OverlapBytes
+		e.OverlapMsgs += src.OverlapMsgs
 		e.Work += src.Work
 	}
 }
 
 // SummaryEntry aggregates a stage across ranks.
 type SummaryEntry struct {
-	MaxDur   time.Duration // critical-path convention for breakdowns
-	SumBytes int64
-	MaxBytes int64
-	MaxMsgs  int64
-	SumWork  int64
-	MaxWork  int64
+	MaxDur          time.Duration // critical-path convention for breakdowns
+	SumBytes        int64
+	MaxBytes        int64
+	MaxMsgs         int64
+	SumOverlapBytes int64
+	MaxOverlapBytes int64
+	MaxOverlapMsgs  int64
+	SumWork         int64
+	MaxWork         int64
 }
+
+// SumExposedBytes returns the non-overlappable share of the stage's summed
+// traffic (comm_exposed; SumBytes − SumOverlapBytes).
+func (e SummaryEntry) SumExposedBytes() int64 { return e.SumBytes - e.SumOverlapBytes }
 
 // Summary is the cross-rank aggregate of per-rank Timers.
 type Summary struct {
@@ -168,17 +211,20 @@ func (s *Summary) Total() time.Duration {
 // work are also summed (totals). Collective; returns nil on non-zero ranks.
 func MergeMax(c *mpi.Comm, t *Timers) *Summary {
 	type wire struct {
-		Name  string
-		Nanos int64
-		Bytes int64
-		Msgs  int64
-		Work  int64
+		Name    string
+		Nanos   int64
+		Bytes   int64
+		Msgs    int64
+		OvBytes int64
+		OvMsgs  int64
+		Work    int64
 	}
 	var mine []wire
 	t.mu.Lock()
 	for _, n := range t.order {
 		e := t.m[n]
-		mine = append(mine, wire{Name: n, Nanos: int64(e.Dur), Bytes: e.Bytes, Msgs: e.Msgs, Work: e.Work})
+		mine = append(mine, wire{Name: n, Nanos: int64(e.Dur), Bytes: e.Bytes, Msgs: e.Msgs,
+			OvBytes: e.OverlapBytes, OvMsgs: e.OverlapMsgs, Work: e.Work})
 	}
 	t.mu.Unlock()
 	parts := mpi.Gatherv(c, 0, mine)
@@ -201,6 +247,13 @@ func MergeMax(c *mpi.Comm, t *Timers) *Summary {
 			}
 			if w.Msgs > e.MaxMsgs {
 				e.MaxMsgs = w.Msgs
+			}
+			e.SumOverlapBytes += w.OvBytes
+			if w.OvBytes > e.MaxOverlapBytes {
+				e.MaxOverlapBytes = w.OvBytes
+			}
+			if w.OvMsgs > e.MaxOverlapMsgs {
+				e.MaxOverlapMsgs = w.OvMsgs
 			}
 			e.SumWork += w.Work
 			if w.Work > e.MaxWork {
@@ -229,8 +282,9 @@ func (s *Summary) Breakdown(stages []string) string {
 		if total > 0 {
 			pct = 100 * float64(e.MaxDur) / float64(total)
 		}
-		fmt.Fprintf(&b, "%-22s %12s  %5.1f%%  %9.2f MB  %8d msgs\n",
-			n, e.MaxDur.Round(time.Microsecond), pct, float64(e.SumBytes)/1e6, e.MaxMsgs)
+		fmt.Fprintf(&b, "%-22s %12s  %5.1f%%  %9.2f MB  %8d msgs  %9.2f MB overlap\n",
+			n, e.MaxDur.Round(time.Microsecond), pct, float64(e.SumBytes)/1e6, e.MaxMsgs,
+			float64(e.SumOverlapBytes)/1e6)
 	}
 	fmt.Fprintf(&b, "%-22s %12s\n", "Total", total.Round(time.Microsecond))
 	return b.String()

@@ -116,3 +116,61 @@ func TestNamesOrder(t *testing.T) {
 		t.Fatalf("names %v", names)
 	}
 }
+
+func TestStageSplitsOverlapAndExposed(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) {
+		tm := New()
+		tm.Stage("mix", c, func() {
+			// One blocking and one nonblocking send of the same size: half
+			// the stage traffic must land in the overlap counter.
+			if c.Rank() == 0 {
+				mpi.Send(c, 1, 0, make([]int64, 100))
+				mpi.Isend(c, 1, 1, make([]int64, 100)).Wait()
+			} else {
+				mpi.Recv[int64](c, 0, 0)
+				mpi.Irecv[int64](c, 0, 1).Wait()
+			}
+		})
+		e := tm.Entry("mix")
+		if c.Rank() == 0 {
+			if e.Bytes != 1600 || e.OverlapBytes != 800 || e.ExposedBytes() != 800 {
+				panic("overlap split wrong")
+			}
+			if e.Msgs != 2 || e.OverlapMsgs != 1 || e.ExposedMsgs() != 1 {
+				panic("message split wrong")
+			}
+		}
+		if e.OverlapBytes+e.ExposedBytes() != e.Bytes {
+			panic("overlap + exposed != total")
+		}
+		sum := MergeMax(c, tm)
+		if c.Rank() == 0 {
+			m := sum.Get("mix")
+			if m.SumOverlapBytes != 800 || m.MaxOverlapBytes != 800 || m.SumExposedBytes() != 800 {
+				panic("summary overlap aggregation wrong")
+			}
+			if m.MaxOverlapBytes > m.MaxBytes {
+				panic("max overlap exceeds max bytes")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddCommOverlapAndMerge(t *testing.T) {
+	a := New()
+	a.AddComm("s", 100, 2)
+	a.AddCommOverlap("s", 60, 1)
+	b := New()
+	b.AddCommOverlap("s", 40, 1)
+	a.Merge(b)
+	e := a.Entry("s")
+	if e.Bytes != 200 || e.OverlapBytes != 100 || e.ExposedBytes() != 100 {
+		panic("merge lost overlap accounting")
+	}
+	if e.Msgs != 4 || e.OverlapMsgs != 2 {
+		panic("merge lost message accounting")
+	}
+}
