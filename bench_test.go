@@ -281,6 +281,10 @@ func BenchmarkBackends_ErrorRates(b *testing.B) {
 		for _, backend := range pipeline.AlignBackends() {
 			backend := backend
 			b.Run(preset.String()+"/"+backend, func(b *testing.B) {
+				// Allocation metrics feed the benchguard alloc gate: for a
+				// pinned seed the hot kernels allocate near-deterministically,
+				// so allocs/op regressions mean a kernel lost its leanness.
+				b.ReportAllocs()
 				var out *pipeline.Output
 				for i := 0; i < b.N; i++ {
 					runMu.Lock()
@@ -321,6 +325,7 @@ func BenchmarkThreads(b *testing.B) {
 	for _, th := range []int{1, 2, 4, 8} {
 		th := th
 		b.Run("T="+itoa(th), func(b *testing.B) {
+			b.ReportAllocs()
 			var out *pipeline.Output
 			for i := 0; i < b.N; i++ {
 				runMu.Lock()

@@ -16,6 +16,14 @@
 // Wall-clock metrics (align_wall_ms & friends) are recorded in the JSON
 // artifact for trend reading but not gated.
 //
+// Allocation metrics get their own, tighter gate: -benchmem output is
+// normalized to allocs_per_op / bytes_per_op, and allocs_per_op fails on
+// more than -max-alloc-ratio growth (default 1.5x — allocation counts are
+// near-deterministic for a pinned seed, and the hot kernels are kept
+// allocation-lean on purpose, so churn creep must not ride in under the
+// loose work-counter ratio). bytes_per_op is recorded but not gated: heap
+// bytes shift with map/slice growth thresholds across Go versions.
+//
 // Absolute floors/ceilings — e.g. the nightly multi-core job asserting the
 // worker-pool speedup — are expressed with -assert:
 //
@@ -41,13 +49,15 @@ type Record struct {
 }
 
 var (
-	benchPath = flag.String("bench", "", "go test -bench output to parse (default: stdin)")
-	outPath   = flag.String("out", "", "write the parsed run as JSON here")
-	basePath  = flag.String("baseline", "", "baseline JSON to gate against (omit to skip the gate)")
-	maxRatio  = flag.Float64("max-ratio", 2.0, "fail when current/baseline of a gated metric exceeds this")
-	gateExpr  = flag.String("gate", `^(align_cells|comm_bytes|comm_messages)$`, "regexp of metric names the gate enforces")
-	asserts   = flag.String("assert", "", "comma-separated absolute assertions 'Benchmark/name:metric>=value' (also <=); checked against the current run")
-	note      = flag.String("note", "", "free-form note stored in the JSON")
+	benchPath     = flag.String("bench", "", "go test -bench output to parse (default: stdin)")
+	outPath       = flag.String("out", "", "write the parsed run as JSON here")
+	basePath      = flag.String("baseline", "", "baseline JSON to gate against (omit to skip the gate)")
+	maxRatio      = flag.Float64("max-ratio", 2.0, "fail when current/baseline of a gated metric exceeds this")
+	gateExpr      = flag.String("gate", `^(align_cells|comm_bytes|comm_messages)$`, "regexp of metric names the gate enforces")
+	maxAllocRatio = flag.Float64("max-alloc-ratio", 1.5, "fail when current/baseline of an alloc-gated metric exceeds this")
+	allocGateExpr = flag.String("alloc-gate", `^allocs_per_op$`, "regexp of metric names the allocation gate enforces")
+	asserts       = flag.String("assert", "", "comma-separated absolute assertions 'Benchmark/name:metric>=value' (also <=); checked against the current run")
+	note          = flag.String("note", "", "free-form note stored in the JSON")
 )
 
 func main() {
@@ -103,13 +113,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if bad := compare(&base, rec, gate, *maxRatio); len(bad) > 0 {
+	allocGate, err := regexp.Compile(*allocGateExpr)
+	if err != nil {
+		fatal(err)
+	}
+	rules := []gateRule{{gate, *maxRatio}, {allocGate, *maxAllocRatio}}
+	if bad := compare(&base, rec, rules); len(bad) > 0 {
 		for _, m := range bad {
 			fmt.Fprintln(os.Stderr, "benchguard: FAIL:", m)
 		}
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: gate passed")
+}
+
+// gateRule pairs a metric-name pattern with its allowed growth ratio.
+type gateRule struct {
+	re       *regexp.Regexp
+	maxRatio float64
 }
 
 // parse reads go test -bench output: lines of the form
@@ -135,7 +156,7 @@ func parse(f *os.File) (*Record, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s: bad value %q: %w", name, fields[i], err)
 			}
-			metrics[fields[i+1]] = v
+			metrics[metricName(fields[i+1])] = v
 		}
 		rec.Benchmarks[name] = metrics
 	}
@@ -146,12 +167,26 @@ var procsSuffix = regexp.MustCompile(`-\d+$`)
 
 func stripProcs(name string) string { return procsSuffix.ReplaceAllString(name, "") }
 
-// compare returns one message per gated metric that regressed past maxRatio
-// or disappeared. Benchmarks present only in the current run are fine (new
-// coverage); benchmarks present only in the baseline fail, so the gate
-// cannot be dodged by deleting the benchmark without refreshing the
+// metricName normalizes the -benchmem units to identifier-shaped metric
+// names so they can be gated and asserted like the custom counters; every
+// other unit is stored verbatim.
+func metricName(unit string) string {
+	switch unit {
+	case "B/op":
+		return "bytes_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	}
+	return unit
+}
+
+// compare returns one message per gated metric that regressed past its
+// rule's maxRatio or disappeared. The first rule whose pattern matches a
+// metric decides its ratio. Benchmarks present only in the current run are
+// fine (new coverage); benchmarks present only in the baseline fail, so the
+// gate cannot be dodged by deleting the benchmark without refreshing the
 // baseline.
-func compare(base, cur *Record, gate *regexp.Regexp, maxRatio float64) []string {
+func compare(base, cur *Record, rules []gateRule) []string {
 	var bad []string
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
@@ -160,7 +195,14 @@ func compare(base, cur *Record, gate *regexp.Regexp, maxRatio float64) []string 
 	sort.Strings(names)
 	for _, name := range names {
 		for metric, bv := range base.Benchmarks[name] {
-			if !gate.MatchString(metric) {
+			maxRatio := 0.0
+			for _, r := range rules {
+				if r.re.MatchString(metric) {
+					maxRatio = r.maxRatio
+					break
+				}
+			}
+			if maxRatio == 0 {
 				continue
 			}
 			curMetrics, ok := cur.Benchmarks[name]

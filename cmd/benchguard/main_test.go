@@ -61,25 +61,25 @@ func TestCompareGate(t *testing.T) {
 	gate := regexp.MustCompile(`^align_cells$`)
 	base := parseSample(t, sample)
 
-	if bad := compare(base, base, gate, 2.0); len(bad) != 0 {
+	if bad := compare(base, base, []gateRule{{gate, 2.0}}); len(bad) != 0 {
 		t.Fatalf("identical runs flagged: %v", bad)
 	}
 
 	reg := parseSample(t, strings.ReplaceAll(sample, "1792722574 align_cells", "9999999999 align_cells"))
-	bad := compare(base, reg, gate, 2.0)
+	bad := compare(base, reg, []gateRule{{gate, 2.0}})
 	if len(bad) != 2 {
 		t.Fatalf("5x work regression produced %d findings, want 2: %v", len(bad), bad)
 	}
 
 	// Wall-clock noise is not gated.
 	noisy := parseSample(t, strings.ReplaceAll(sample, "22218 align_wall_ms", "99999 align_wall_ms"))
-	if bad := compare(base, noisy, gate, 2.0); len(bad) != 0 {
+	if bad := compare(base, noisy, []gateRule{{gate, 2.0}}); len(bad) != 0 {
 		t.Fatalf("wall-clock noise gated: %v", bad)
 	}
 
 	// Deleting a gated benchmark without refreshing the baseline fails.
 	missing := parseSample(t, strings.Join(strings.Split(sample, "\n")[:5], "\n"))
-	if bad := compare(base, missing, gate, 2.0); len(bad) != 1 {
+	if bad := compare(base, missing, []gateRule{{gate, 2.0}}); len(bad) != 1 {
 		t.Fatalf("missing benchmark not flagged: %v", bad)
 	}
 }
@@ -87,12 +87,12 @@ func TestCompareGate(t *testing.T) {
 func TestCompareGatesCommCounters(t *testing.T) {
 	gate := regexp.MustCompile(`^(align_cells|comm_bytes|comm_messages)$`)
 	base := parseSample(t, sample)
-	if bad := compare(base, base, gate, 2.0); len(bad) != 0 {
+	if bad := compare(base, base, []gateRule{{gate, 2.0}}); len(bad) != 0 {
 		t.Fatalf("identical runs flagged: %v", bad)
 	}
 	// A collective going quadratic shows up as a message-count regression.
 	reg := parseSample(t, strings.ReplaceAll(sample, "22290 comm_messages", "99999 comm_messages"))
-	bad := compare(base, reg, gate, 2.0)
+	bad := compare(base, reg, []gateRule{{gate, 2.0}})
 	if len(bad) != 1 || !strings.Contains(bad[0], "comm_messages") {
 		t.Fatalf("comm_messages regression produced %v", bad)
 	}
@@ -105,12 +105,72 @@ func TestCompareFlagsZeroBaselineAppearance(t *testing.T) {
 	gate := regexp.MustCompile(`^comm_bytes$`)
 	zeroed := parseSample(t, strings.ReplaceAll(sample, "180029282 comm_bytes", "0 comm_bytes"))
 	appeared := parseSample(t, sample)
-	bad := compare(zeroed, appeared, gate, 2.0)
+	bad := compare(zeroed, appeared, []gateRule{{gate, 2.0}})
 	if len(bad) != 1 || !strings.Contains(bad[0], "appeared") {
 		t.Fatalf("zero-baseline appearance produced %v", bad)
 	}
-	if bad := compare(zeroed, zeroed, gate, 2.0); len(bad) != 0 {
+	if bad := compare(zeroed, zeroed, []gateRule{{gate, 2.0}}); len(bad) != 0 {
 		t.Fatalf("zero stayed zero but was flagged: %v", bad)
+	}
+}
+
+const memSample = `goos: linux
+BenchmarkCountAndBuildDistributed/P=1    2  114169832 ns/op  41414656 B/op  222 allocs/op
+BenchmarkSpGEMMDistributed/P=1           2  8132181 ns/op  12736992 B/op  68 allocs/op
+PASS
+`
+
+func TestParseNormalizesBenchmemUnits(t *testing.T) {
+	rec := parseSample(t, memSample)
+	m := rec.Benchmarks["BenchmarkCountAndBuildDistributed/P=1"]
+	if m["allocs_per_op"] != 222 || m["bytes_per_op"] != 41414656 {
+		t.Fatalf("benchmem units not normalized: %v", m)
+	}
+	if _, stale := m["B/op"]; stale {
+		t.Fatalf("raw B/op unit leaked through: %v", m)
+	}
+}
+
+func TestCompareAllocGateIsTighter(t *testing.T) {
+	// The allocation gate trips at its own (tighter) ratio: a 1.6x allocs
+	// growth passes the 2.0x work gate but must fail the 1.5x alloc gate,
+	// and bytes_per_op is recorded but never gated.
+	rules := []gateRule{
+		{regexp.MustCompile(`^align_cells$`), 2.0},
+		{regexp.MustCompile(`^allocs_per_op$`), 1.5},
+	}
+	base := parseSample(t, memSample)
+	if bad := compare(base, base, rules); len(bad) != 0 {
+		t.Fatalf("identical runs flagged: %v", bad)
+	}
+	grew := parseSample(t, strings.ReplaceAll(memSample, "222 allocs/op", "356 allocs/op"))
+	bad := compare(base, grew, rules)
+	if len(bad) != 1 || !strings.Contains(bad[0], "allocs_per_op") {
+		t.Fatalf("1.6x alloc growth produced %v", bad)
+	}
+	bytes := parseSample(t, strings.ReplaceAll(memSample, "41414656 B/op", "999999999 B/op"))
+	if bad := compare(base, bytes, rules); len(bad) != 0 {
+		t.Fatalf("ungated bytes_per_op growth flagged: %v", bad)
+	}
+	// An allocation reduction (the point of the lean kernels) passes.
+	lean := parseSample(t, strings.ReplaceAll(memSample, "222 allocs/op", "50 allocs/op"))
+	if bad := compare(base, lean, rules); len(bad) != 0 {
+		t.Fatalf("alloc reduction flagged: %v", bad)
+	}
+}
+
+func TestCompareFirstMatchingRuleWins(t *testing.T) {
+	// A metric matching several rules uses the first: listing the alloc rule
+	// first pins allocs_per_op to 1.2x even if a broad rule would allow 10x.
+	rules := []gateRule{
+		{regexp.MustCompile(`^allocs_per_op$`), 1.2},
+		{regexp.MustCompile(`per_op`), 10.0},
+	}
+	base := parseSample(t, memSample)
+	grew := parseSample(t, strings.ReplaceAll(memSample, "222 allocs/op", "300 allocs/op"))
+	bad := compare(base, grew, rules)
+	if len(bad) != 1 || !strings.Contains(bad[0], "limit 1.2x") {
+		t.Fatalf("rule precedence broken: %v", bad)
 	}
 }
 

@@ -15,6 +15,12 @@
 // ranks), with nonblocking communication overlapping the SUMMA, k-mer and
 // sequence exchanges against local computation (-comm sync for the blocking
 // baseline). Contigs are bit-identical for every -threads and -comm value.
+//
+// Profile capture needs no throwaway harness: -cpuprofile and -memprofile
+// write standard pprof files covering the whole assembly, e.g.
+//
+//	elba -preset celegans -p 4 -cpuprofile cpu.pb.gz -memprofile heap.pb.gz
+//	go tool pprof cpu.pb.gz
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/elba"
@@ -48,6 +56,8 @@ func main() {
 		refPath   = flag.String("ref", "", "reference FASTA for a quality report")
 		breakdown = flag.Bool("breakdown", false, "print the per-stage runtime breakdown")
 		doPolish  = flag.Bool("polish", false, "merge overlapping contigs (the paper's future-work pass)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the assembly here")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile (post-assembly, after GC) here")
 	)
 	flag.Parse()
 
@@ -105,7 +115,49 @@ func main() {
 		}
 	}
 
+	// Profiling brackets the assembly call directly (no defers): every
+	// log.Fatal in this command exits through os.Exit, which would skip a
+	// deferred StopCPUProfile and leave a truncated, unreadable profile.
+	// Opening both files first means a bad -memprofile path fails before
+	// CPU profiling ever starts.
+	var cpuFile, memFile *os.File
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpuFile = f
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		memFile = f
+	}
+	if cpuFile != nil {
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			log.Fatal(err)
+		}
+	}
 	result, err := elba.Assemble(reads, opt)
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if cerr := cpuFile.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+	}
+	if memFile != nil {
+		// Post-assembly heap snapshot: GC first so it shows live data (the
+		// contigs and stats just produced), not collectible garbage.
+		runtime.GC()
+		if werr := pprof.WriteHeapProfile(memFile); werr != nil {
+			log.Fatal(werr)
+		}
+		if cerr := memFile.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

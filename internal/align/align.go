@@ -153,13 +153,28 @@ func extend(s, t []byte, p Params) (score, si, ti int32) {
 	return best, bi, bj
 }
 
-// reverse returns a reversed copy of b.
-func reverse(b []byte) []byte {
-	out := make([]byte, len(b))
-	for i := range b {
-		out[len(b)-1-i] = b[i]
+// Scratch holds the reusable byte buffers of the seed-extension wrapper: the
+// reverse complement of v for RC seeds and the two reversed prefixes of the
+// left extension. Aligner backends embed one per instance (instances are
+// single-goroutine by contract), so the per-alignment RevComp/reverse copies
+// of SeedExtendWith stop allocating on the Alignment hot path. The audited
+// alternative — dna.RevCompInPlace on v itself — is off the table because u
+// and v alias the rank's shared row/column sequence stores.
+type Scratch struct {
+	rc, ru, rv []byte
+}
+
+// reverseInto writes the reverse of src into buf and returns the filled
+// slice.
+func reverseInto(buf, src []byte) []byte {
+	if cap(buf) < len(src) {
+		buf = make([]byte, len(src))
 	}
-	return out
+	buf = buf[:len(src)]
+	for i, b := range src {
+		buf[len(src)-1-i] = b
+	}
+	return buf
 }
 
 // Seed is a shared k-mer occurrence: the window starts at PU on u (forward
@@ -189,20 +204,32 @@ func SeedExtend(u, v []byte, k int32, seed Seed, p Params) bidir.Aln {
 // arbitrary extension primitive: right extension from the seed end, left
 // extension on the reversed prefixes, reverse-complement handling for RC
 // seeds. Backends share this wrapper so their coordinate semantics (and the
-// agreement tests built on them) are identical by construction.
+// agreement tests built on them) are identical by construction. It allocates
+// fresh working copies per call; backends hold a Scratch and call
+// SeedExtendWithScratch instead.
 func SeedExtendWith(u, v []byte, k int32, seed Seed, matchScore int32, ext ExtendFunc) bidir.Aln {
+	return SeedExtendWithScratch(new(Scratch), u, v, k, seed, matchScore, ext)
+}
+
+// SeedExtendWithScratch is SeedExtendWith with caller-owned buffers: the
+// reverse-complement and reversed-prefix copies land in sc and are reused
+// across calls.
+func SeedExtendWithScratch(sc *Scratch, u, v []byte, k int32, seed Seed, matchScore int32, ext ExtendFunc) bidir.Aln {
 	work := v
 	pv := seed.PV
 	if seed.RC {
 		// Align u against revcomp(v); the seed window [PV, PV+k) on v maps
 		// to [LV-PV-k, LV-PV) on revcomp(v).
-		work = dna.RevComp(v)
+		sc.rc = dna.RevCompInto(sc.rc, v)
+		work = sc.rc
 		pv = int32(len(v)) - seed.PV - k
 	}
 	// Right extension from the seed end.
 	rs, rExtU, rExtV := ext(u[seed.PU+k:], work[pv+k:])
 	// Left extension: reverse the prefixes.
-	ls, lExtU, lExtV := ext(reverse(u[:seed.PU]), reverse(work[:pv]))
+	sc.ru = reverseInto(sc.ru, u[:seed.PU])
+	sc.rv = reverseInto(sc.rv, work[:pv])
+	ls, lExtU, lExtV := ext(sc.ru, sc.rv)
 	score := rs + ls + k*matchScore
 	bu, eu := seed.PU-lExtU, seed.PU+k+rExtU
 	bw, ew := pv-lExtV, pv+k+rExtV

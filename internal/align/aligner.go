@@ -37,10 +37,14 @@ func BestOf(al Aligner, u, v []byte, k int32, seeds []Seed) Result {
 }
 
 // XDropAligner adapts the banded antidiagonal x-drop DP of this package to
-// the Aligner interface.
+// the Aligner interface. Instances keep a Scratch (and a pre-bound extension
+// func, so the hot loop closes over nothing per call) and are not safe for
+// concurrent use — the overlap stage builds one per pool worker.
 type XDropAligner struct {
-	p     Params
-	cells int64
+	p       Params
+	cells   int64
+	scratch Scratch
+	ext     ExtendFunc
 }
 
 // NewXDrop builds the x-drop backend; any Cells pointer in p is replaced by
@@ -48,6 +52,7 @@ type XDropAligner struct {
 func NewXDrop(p Params) *XDropAligner {
 	a := &XDropAligner{p: p}
 	a.p.Cells = &a.cells
+	a.ext = a.Extend
 	return a
 }
 
@@ -59,7 +64,7 @@ func (a *XDropAligner) Work() int64 { return a.cells }
 
 // SeedExtend implements Aligner.
 func (a *XDropAligner) SeedExtend(u, v []byte, k int32, seed Seed) Result {
-	return SeedExtend(u, v, k, seed, a.p)
+	return SeedExtendWithScratch(&a.scratch, u, v, k, seed, a.p.Match, a.ext)
 }
 
 // Extend is the backend's extension primitive (an ExtendFunc), exposed so

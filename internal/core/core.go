@@ -645,8 +645,12 @@ func assembleChain(lg *LocalGraph, seqs map[int32][]byte, steps []step, circular
 }
 
 // appendPiece appends the inclusive walk-ordered slice l[from..to]: forward
-// slices ascend; reverse slices descend and are complemented (the paper's
-// l[j:i] notation).
+// slices ascend and copy in bulk; reverse slices descend and are
+// complemented through the dna package's table (the paper's l[j:i]
+// notation). Audit note for the RevComp call-site sweep: this is the one
+// reverse-complement loop of contig generation, and it already writes
+// straight into the contig buffer — dna.RevCompRange here would allocate a
+// temporary per read piece.
 func appendPiece(dst, l []byte, from, to int32, fwd bool) []byte {
 	if fwd {
 		if from < 0 {
@@ -655,10 +659,10 @@ func appendPiece(dst, l []byte, from, to int32, fwd bool) []byte {
 		if to >= int32(len(l)) {
 			to = int32(len(l)) - 1
 		}
-		for i := from; i <= to; i++ {
-			dst = append(dst, l[i])
+		if from > to {
+			return dst
 		}
-		return dst
+		return append(dst, l[from:to+1]...)
 	}
 	if from >= int32(len(l)) {
 		from = int32(len(l)) - 1
@@ -667,21 +671,7 @@ func appendPiece(dst, l []byte, from, to int32, fwd bool) []byte {
 		to = 0
 	}
 	for i := from; i >= to; i-- {
-		dst = append(dst, complement(l[i]))
+		dst = append(dst, dna.Complement(l[i]))
 	}
 	return dst
-}
-
-func complement(b byte) byte {
-	switch b {
-	case 'A', 'a':
-		return 'T'
-	case 'C', 'c':
-		return 'G'
-	case 'G', 'g':
-		return 'C'
-	case 'T', 't':
-		return 'A'
-	}
-	return 'N'
 }

@@ -55,6 +55,21 @@ func RevComp(seq []byte) []byte {
 	return out
 }
 
+// RevCompInto writes the reverse complement of src into buf (grown only when
+// too small) and returns the filled slice — the allocation-free variant hot
+// loops use with a reusable buffer (e.g. align.Scratch). buf and src must
+// not overlap.
+func RevCompInto(buf, src []byte) []byte {
+	if cap(buf) < len(src) {
+		buf = make([]byte, len(src))
+	}
+	buf = buf[:len(src)]
+	for i, b := range src {
+		buf[len(src)-1-i] = compTab[b]
+	}
+	return buf
+}
+
 // RevCompInPlace reverse-complements seq in place.
 func RevCompInPlace(seq []byte) {
 	i, j := 0, len(seq)-1

@@ -128,3 +128,19 @@ func TestValid(t *testing.T) {
 		t.Fatal("empty must be valid")
 	}
 }
+
+func TestRevCompIntoMatchesRevComp(t *testing.T) {
+	var buf []byte
+	for _, s := range [][]byte{nil, []byte("A"), []byte("ATTCG"), []byte("acgtNxACGT")} {
+		buf = RevCompInto(buf, s)
+		if want := RevComp(s); !bytes.Equal(buf, want) {
+			t.Fatalf("RevCompInto(%q) = %q, want %q", s, buf, want)
+		}
+	}
+	// The buffer is reused when large enough: shrinking input must not
+	// leave stale bytes visible.
+	buf = RevCompInto(buf, []byte("GGGGGGGG"))
+	if buf = RevCompInto(buf, []byte("AT")); string(buf) != "AT" {
+		t.Fatalf("reused buffer = %q, want AT", buf)
+	}
+}

@@ -13,6 +13,7 @@ func BenchmarkExtract(b *testing.B) {
 	g := readsim.Genome(readsim.GenomeConfig{Length: 100000, Seed: 1})
 	for _, k := range []int{17, 31} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(len(g)))
 			for i := 0; i < b.N; i++ {
 				Extract(g, k)
@@ -21,13 +22,55 @@ func BenchmarkExtract(b *testing.B) {
 	}
 }
 
+// BenchmarkExtractInto is the scratch-reusing scan the pool workers and
+// CountSerial run: steady-state it must not allocate at all.
+func BenchmarkExtractInto(b *testing.B) {
+	g := readsim.Genome(readsim.GenomeConfig{Length: 100000, Seed: 1})
+	var sc ExtractScratch
+	sc.ExtractInto(g, 31) // warm the scratch
+	b.ReportAllocs()
+	b.SetBytes(int64(len(g)))
+	for i := 0; i < b.N; i++ {
+		sc.ExtractInto(g, 31)
+	}
+}
+
 func BenchmarkCountSerial(b *testing.B) {
 	g := readsim.Genome(readsim.GenomeConfig{Length: 50000, Seed: 2})
 	reads := readsim.Seqs(readsim.Simulate(g, readsim.ReadConfig{Depth: 10, MeanLen: 3000, Seed: 3}))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		CountSerial(reads, 31)
 	}
+}
+
+// BenchmarkCountOccurrences is the owner-side counting kernel head-to-head:
+// the retained map reference vs the blocked-Bloom two-phase scheme, on the
+// occurrence stream CountAndBuild routes at P=1.
+func BenchmarkCountOccurrences(b *testing.B) {
+	g := readsim.Genome(readsim.GenomeConfig{Length: 50000, Seed: 2})
+	reads := readsim.Seqs(readsim.Simulate(g, readsim.ReadConfig{Depth: 10, MeanLen: 3000, Seed: 3}))
+	var occs []uint64
+	var sc ExtractScratch
+	for _, r := range reads {
+		for _, kp := range sc.ExtractInto(r, 31) {
+			occs = append(occs, uint64(kp.Kmer))
+		}
+	}
+	parts := [][]uint64{occs}
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			CountOccurrencesMap(parts)
+		}
+	})
+	b.Run("bloom", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			CountOccurrences(parts, 2)
+		}
+	})
 }
 
 func BenchmarkCountAndBuildDistributed(b *testing.B) {
@@ -35,6 +78,7 @@ func BenchmarkCountAndBuildDistributed(b *testing.B) {
 	reads := readsim.Seqs(readsim.Simulate(g, readsim.ReadConfig{Depth: 10, MeanLen: 3000, Seed: 5}))
 	for _, p := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			err := mpi.Run(p, func(c *mpi.Comm) {
 				store := fasta.FromGlobal(c, reads)
 				for i := 0; i < b.N; i++ {

@@ -1,7 +1,7 @@
 package kmer
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/fasta"
 	"repro/internal/mpi"
@@ -31,7 +31,10 @@ type Result struct {
 //     record per (read, k-mer) occurrence to the k-mer's hash owner
 //     (Alltoallv #1).
 //  2. Owners count occurrences, select reliable k-mers in [low, high], sort
-//     them, and assign globally consecutive column ids via Exscan.
+//     them, and assign globally consecutive column ids via Exscan. Counting
+//     is the two-phase Bloom-filtered scheme of count.go when low ≥ 2
+//     (singletons never enter the table); low < 2 bypasses the filter so
+//     every count is taken exactly.
 //  3. Owners answer every received occurrence with its column id or -1
 //     (Alltoallv #2, reply shape mirrors the request shape).
 //  4. Ranks assemble local A-matrix triples from the replies.
@@ -44,9 +47,10 @@ type Result struct {
 // async selects the nonblocking exchange schedule: receives for Alltoallv #1
 // are posted before the extraction scan and the packing loop even start, so
 // remote occurrence records land while this rank is still packing, and the
-// owner-side counting of step 2 consumes each incoming part as it arrives
-// instead of blocking for the full exchange. Counts, column ids, triples,
-// and byte/message counters are identical in both modes.
+// owner-side admission pass of step 2 consumes each incoming part as it
+// arrives instead of blocking for the full exchange (the exact tally runs
+// over the retained parts in rank order in both modes). Counts, column ids,
+// triples, and byte/message counters are identical in both modes.
 func CountAndBuild(store *fasta.DistStore, k int, low, high int32, threads int, async bool) *Result {
 	c := store.Comm
 	p := c.Size()
@@ -66,19 +70,35 @@ func CountAndBuild(store *fasta.DistStore, k int, low, high int32, threads int, 
 	}
 
 	// 1. Extract (in parallel, indexed by read) and route (serially, in read
-	// order — the fold keeps the wire layout deterministic).
+	// order — the fold keeps the wire layout deterministic). Workers reuse
+	// their scratch across reads and retain each read's k-mers in one
+	// exact-size copy.
 	type occRec struct {
 		Read int32
 		Pos  int32
 		RC   bool
 	}
 	perRead := make([][]KPos, store.Hi-store.Lo)
-	pool := par.NewPool(threads, func(int) struct{} { return struct{}{} })
-	par.ForEach(pool, len(perRead), func(_ struct{}, i int) {
-		perRead[i] = Extract(store.Seqs[i], k)
+	pool := par.NewPool(threads, func(int) *ExtractScratch { return new(ExtractScratch) })
+	par.ForEach(pool, len(perRead), func(sc *ExtractScratch, i int) {
+		if kps := sc.ExtractInto(store.Seqs[i], k); len(kps) > 0 {
+			perRead[i] = append(make([]KPos, 0, len(kps)), kps...)
+		}
 	})
+	// Counting pre-pass sizes the per-destination buffers exactly — the
+	// routing loop never append-grows.
+	destOcc := make([]int, p)
+	for i := range perRead {
+		for _, kp := range perRead[i] {
+			destOcc[Owner(kp.Kmer, p)]++
+		}
+	}
 	sendKmers := make([][]uint64, p)
 	sendMeta := make([][]occRec, p) // stays local, parallel to sendKmers
+	for r := 0; r < p; r++ {
+		sendKmers[r] = make([]uint64, 0, destOcc[r])
+		sendMeta[r] = make([]occRec, 0, destOcc[r])
+	}
 	for g := store.Lo; g < store.Hi; g++ {
 		for _, kp := range perRead[g-store.Lo] {
 			o := Owner(kp.Kmer, p)
@@ -87,15 +107,19 @@ func CountAndBuild(store *fasta.DistStore, k int, low, high int32, threads int, 
 		}
 	}
 
-	// 2. Count and select on owners. The async path streams: the local part
-	// first, then each remote part in rank order as its posted receive
-	// drains — counting part r overlaps the transfer of parts after r.
-	counts := make(map[Kmer]int32)
-	countPart := func(part []uint64) {
-		for _, km := range part {
-			counts[Kmer(km)]++
-		}
+	// 2. Count and select on owners. Phase 1 (admission) streams: the async
+	// path observes the local part first, then each remote part in rank order
+	// as its posted receive drains — admission of part r overlaps the
+	// transfer of parts after r. Phase 2 (the exact tally) runs over the
+	// retained parts in rank order in both modes, so stored counts never
+	// depend on the arrival schedule.
+	var occ int64
+	for r := 0; r < p; r++ {
+		occ += int64(len(sendKmers[r]))
 	}
+	// The rank's own outgoing total is the sizing proxy for what it will
+	// receive: the k-mer hash spreads occurrences uniformly across owners.
+	cnt := newCounter(low, int(occ))
 	recvKmers := make([][]uint64, p)
 	if async {
 		for off := 1; off < p; off++ {
@@ -103,35 +127,45 @@ func CountAndBuild(store *fasta.DistStore, k int, low, high int32, threads int, 
 			mpi.Isend(c, dst, tag, sendKmers[dst]).Wait()
 		}
 		recvKmers[c.Rank()] = sendKmers[c.Rank()]
-		countPart(recvKmers[c.Rank()])
+		cnt.observe(recvKmers[c.Rank()])
 		for src := 0; src < p; src++ {
 			if pending[src] == nil {
 				continue
 			}
 			recvKmers[src] = pending[src].WaitValue()
-			countPart(recvKmers[src])
+			cnt.observe(recvKmers[src])
 		}
 	} else {
 		recvKmers = mpi.Alltoallv(c, sendKmers)
 		for _, part := range recvKmers {
-			countPart(part)
+			cnt.observe(part)
 		}
 	}
-	reliable := SelectReliable(counts, low, high)
+	for _, part := range recvKmers {
+		cnt.tally(part)
+	}
+	reliable := cnt.table.SelectReliable(low, high)
 	nLocal := len(reliable)
 	offset := mpi.Exscan(c, nLocal, func(a, b int) int { return a + b })
 	total := mpi.Allreduce(c, nLocal, func(a, b int) int { return a + b })
-	colOf := make(map[Kmer]int32, nLocal)
+	colOf := NewCountTable(nLocal)
 	for i, km := range reliable {
-		colOf[km] = int32(offset + i)
+		colOf.Put(km, int32(offset+i))
 	}
 
-	// 3. Reply with column ids, mirroring the request shape.
+	// 3. Reply with column ids, mirroring the request shape — including
+	// parts whose entries are all -1 (no reliable k-mer matched). The shape
+	// mirror is load-bearing: the requester indexes replies positionally
+	// against its retained sendMeta, so compacting all-miss parts would need
+	// an extra index channel that costs more than the -1 words it saves, and
+	// would change the wire traffic between runs with different [low, high].
+	// TestReplyShapeMirrorsRequests pins this: both comm modes produce the
+	// same reply shape even when every part is all-miss.
 	reply := make([][]int32, p)
 	for r := 0; r < p; r++ {
 		reply[r] = make([]int32, len(recvKmers[r]))
 		for i, km := range recvKmers[r] {
-			if col, ok := colOf[Kmer(km)]; ok {
+			if col, ok := colOf.Get(Kmer(km)); ok {
 				reply[r][i] = col
 			} else {
 				reply[r][i] = -1
@@ -145,8 +179,16 @@ func CountAndBuild(store *fasta.DistStore, k int, low, high int32, threads int, 
 		cols = mpi.Alltoallv(c, reply)
 	}
 
-	// 4. Assemble triples.
-	var triples []ATriple
+	// 4. Assemble triples (sized exactly by a survivor pre-pass).
+	var nTriples int
+	for r := 0; r < p; r++ {
+		for _, col := range cols[r] {
+			if col >= 0 {
+				nTriples++
+			}
+		}
+	}
+	triples := make([]ATriple, 0, nTriples)
 	for r := 0; r < p; r++ {
 		for i, col := range cols[r] {
 			if col < 0 {
@@ -156,15 +198,11 @@ func CountAndBuild(store *fasta.DistStore, k int, low, high int32, threads int, 
 			triples = append(triples, ATriple{Row: m.Read, Col: col, Val: Occur{Pos: m.Pos, RC: m.RC}})
 		}
 	}
-	sort.Slice(triples, func(i, j int) bool {
-		if triples[i].Row != triples[j].Row {
-			return triples[i].Row < triples[j].Row
+	slices.SortFunc(triples, func(a, b ATriple) int {
+		if a.Row != b.Row {
+			return int(a.Row - b.Row)
 		}
-		return triples[i].Col < triples[j].Col
+		return int(a.Col - b.Col)
 	})
-	var occ int64
-	for r := 0; r < p; r++ {
-		occ += int64(len(sendKmers[r]))
-	}
 	return &Result{K: k, NumCols: total, Triples: triples, Occurrences: occ}
 }

@@ -70,19 +70,80 @@ type KPos struct {
 
 // Extract lists the canonical k-mers of seq with a rolling encoder,
 // deduplicated so that each canonical k-mer appears at most once per read
-// (first occurrence wins — a deterministic choice).
+// (first occurrence wins — a deterministic choice). The result is freshly
+// allocated; hot loops that process one read at a time should hold an
+// ExtractScratch and call ExtractInto instead.
 func Extract(seq []byte, k int) []KPos {
+	var sc ExtractScratch
+	return sc.ExtractInto(seq, k)
+}
+
+// ExtractScratch is the reusable state of the extraction scan: the output
+// buffer and an open-addressing per-read dedup set whose slots are
+// invalidated in O(1) between reads by a generation tag instead of a clear.
+// A scratch is single-goroutine state; the distributed counter gives each
+// pool worker its own (package par's per-worker state).
+type ExtractScratch struct {
+	out  []KPos
+	kms  []Kmer
+	gens []uint32
+	gen  uint32
+	mask uint64
+}
+
+// ensure sizes the dedup set for up to n distinct k-mers and opens a fresh
+// generation.
+func (sc *ExtractScratch) ensure(n int) {
+	need := 1024
+	for need < 2*n {
+		need <<= 1
+	}
+	if len(sc.kms) < need {
+		sc.kms = make([]Kmer, need)
+		sc.gens = make([]uint32, need)
+		sc.mask = uint64(need - 1)
+		sc.gen = 0
+	}
+	sc.gen++
+	if sc.gen == 0 { // generation counter wrapped: hard-reset the tags
+		clear(sc.gens)
+		sc.gen = 1
+	}
+}
+
+// seen reports whether km was already recorded this generation, recording it
+// otherwise.
+func (sc *ExtractScratch) seen(km Kmer) bool {
+	i := hash(km) & sc.mask
+	for sc.gens[i] == sc.gen {
+		if sc.kms[i] == km {
+			return true
+		}
+		i = (i + 1) & sc.mask
+	}
+	sc.kms[i], sc.gens[i] = km, sc.gen
+	return false
+}
+
+// ExtractInto is Extract with scratch reuse: the returned slice aliases the
+// scratch's buffer and is valid until the next call. Callers that retain
+// results across calls must copy.
+func (sc *ExtractScratch) ExtractInto(seq []byte, k int) []KPos {
 	if k <= 0 || k > MaxK {
 		panic(fmt.Sprintf("kmer: k=%d out of range (1..%d)", k, MaxK))
 	}
 	if len(seq) < k {
 		return nil
 	}
+	windows := len(seq) - k + 1
+	if cap(sc.out) < windows {
+		sc.out = make([]KPos, 0, windows)
+	}
+	sc.ensure(windows)
+	out := sc.out[:0]
 	mask := Kmer(1)<<(2*uint(k)) - 1
 	shift := 2 * uint(k-1)
 	var fwd, rc Kmer
-	out := make([]KPos, 0, len(seq)-k+1)
-	seen := make(map[Kmer]struct{}, len(seq)-k+1)
 	valid := 0
 	for i := 0; i < len(seq); i++ {
 		c := dna.Code(seq[i])
@@ -101,12 +162,12 @@ func Extract(seq []byte, k int) []KPos {
 		if rc < fwd {
 			canon, isRC = rc, true
 		}
-		if _, dup := seen[canon]; dup {
+		if sc.seen(canon) {
 			continue
 		}
-		seen[canon] = struct{}{}
 		out = append(out, KPos{Kmer: canon, Pos: int32(i - k + 1), RC: isRC})
 	}
+	sc.out = out
 	return out
 }
 
@@ -123,11 +184,12 @@ func Owner(km Kmer, p int) int { return int(hash(km) % uint64(p)) }
 
 // CountSerial counts, for each canonical k-mer, in how many reads it occurs.
 // Shared-memory reference used by the baselines and by tests of the
-// distributed counter.
+// distributed counter; the extraction scan reuses one scratch across reads.
 func CountSerial(reads [][]byte, k int) map[Kmer]int32 {
 	counts := make(map[Kmer]int32)
+	var sc ExtractScratch
 	for _, seq := range reads {
-		for _, kp := range Extract(seq, k) {
+		for _, kp := range sc.ExtractInto(seq, k) {
 			counts[kp.Kmer]++
 		}
 	}

@@ -227,7 +227,12 @@ func SpGEMMAsync[A, B, C any](a *Dist[A], b *Dist[B], sr Semiring[A, B, C], prod
 }
 
 // spgemm is the shared SUMMA body; async selects blocking broadcasts or the
-// IBcast prefetch pipeline.
+// IBcast prefetch pipeline. The local product of each round is a Gustavson
+// pass with the generation-tagged sparse accumulator of local.go over the
+// block's row span; per-round emissions are column-clustered, so the final
+// cross-round merge is the radix path of NewCOO with the semiring Add as the
+// combiner (Add is associative and commutative — the precondition SUMMA's
+// stage-order-independent accumulation already imposes).
 func spgemm[A, B, C any](a *Dist[A], b *Dist[B], sr Semiring[A, B, C], products *int64, async bool) *Dist[C] {
 	if a.G != b.G {
 		panic("spmat: SpGEMM operands on different grids")
@@ -237,7 +242,8 @@ func spgemm[A, B, C any](a *Dist[A], b *Dist[B], sr Semiring[A, B, C], products 
 	}
 	g := a.G
 	out := newDistShell[C](g, a.NR, b.NC)
-	acc := make(map[int64]C)
+	acc := newSPA[C](out.RowHi - out.RowLo)
+	var ts []Triple[C]
 
 	// post starts the round-s panel broadcasts (nonblocking path only). The
 	// post order (A then B) matches the blocking call order, so tag sequences
@@ -281,35 +287,55 @@ func spgemm[A, B, C any](a *Dist[A], b *Dist[B], sr Semiring[A, B, C], products 
 			}
 			bblk = mpi.Bcast(g.ColComm, s, bblk)
 		}
-		// Local product: bucket A by inner index, stream B.
+		// Local product: bucket A by inner index with a counting scatter
+		// (exact sizes, no per-bucket append growth), then walk B's column
+		// runs — bblk is canonical column-major — accumulating each output
+		// column in the SPA.
 		kLo, kHi := grid.BlockRange(int(a.NC), g.Dim, s)
-		buckets := make([][]Triple[A], kHi-kLo)
+		span := kHi - kLo
+		starts := make([]int32, span+1)
 		for _, t := range ablk {
-			buckets[int(t.Col)-kLo] = append(buckets[int(t.Col)-kLo], t)
+			starts[int(t.Col)-kLo+1]++
 		}
-		for _, bt := range bblk {
-			for _, at := range buckets[int(bt.Row)-kLo] {
-				if products != nil {
-					*products++
-				}
-				cv, ok := sr.Mul(at.Val, bt.Val)
-				if !ok {
-					continue
-				}
-				key := int64(at.Row)<<32 | int64(uint32(bt.Col))
-				if old, exists := acc[key]; exists {
-					acc[key] = sr.Add(old, cv)
-				} else {
-					acc[key] = cv
+		for i := 0; i < span; i++ {
+			starts[i+1] += starts[i]
+		}
+		flat := make([]Triple[A], len(ablk))
+		next := make([]int32, span)
+		copy(next, starts[:span])
+		for _, t := range ablk {
+			idx := int(t.Col) - kLo
+			flat[next[idx]] = t
+			next[idx]++
+		}
+		for lo := 0; lo < len(bblk); {
+			j := bblk[lo].Col
+			hi := lo + 1
+			for hi < len(bblk) && bblk[hi].Col == j {
+				hi++
+			}
+			acc.reset()
+			for _, bt := range bblk[lo:hi] {
+				kidx := int(bt.Row) - kLo
+				for q := starts[kidx]; q < starts[kidx+1]; q++ {
+					at := flat[q]
+					if products != nil {
+						*products++
+					}
+					if cv, ok := sr.Mul(at.Val, bt.Val); ok {
+						acc.accumulate(at.Row-out.RowLo, cv, sr.Add)
+					}
 				}
 			}
+			nBefore := len(ts)
+			ts = acc.emit(ts, j)
+			for i := nBefore; i < len(ts); i++ {
+				ts[i].Row += out.RowLo // SPA indices are span-relative
+			}
+			lo = hi
 		}
 	}
-	ts := make([]Triple[C], 0, len(acc))
-	for key, v := range acc {
-		ts = append(ts, Triple[C]{Row: int32(key >> 32), Col: int32(uint32(key)), Val: v})
-	}
-	out.Local = NewCOO(a.NR, b.NC, ts, nil)
+	out.Local = NewCOO(a.NR, b.NC, ts, sr.Add)
 	return out
 }
 

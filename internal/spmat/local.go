@@ -11,7 +11,7 @@ package spmat
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Triple is one nonzero. Distributed matrices store triples with global
@@ -30,19 +30,17 @@ type COO[T any] struct {
 
 // NewCOO builds a canonical COO from arbitrary triples, combining duplicates
 // with combine (which must be associative and commutative; nil panics on
-// duplicates).
+// duplicates). Ordering is stable: duplicates combine in input order. The
+// column-major sort takes a radix-style path for the two shapes the pipeline
+// actually produces (see sortColumnMajor) instead of a global comparison
+// sort.
 func NewCOO[T any](nr, nc int32, ts []Triple[T], combine func(T, T) T) COO[T] {
 	for _, t := range ts {
 		if t.Row < 0 || t.Row >= nr || t.Col < 0 || t.Col >= nc {
 			panic(fmt.Sprintf("spmat: triple (%d,%d) outside %dx%d", t.Row, t.Col, nr, nc))
 		}
 	}
-	sort.Slice(ts, func(i, j int) bool {
-		if ts[i].Col != ts[j].Col {
-			return ts[i].Col < ts[j].Col
-		}
-		return ts[i].Row < ts[j].Row
-	})
+	sortColumnMajor(ts, nc)
 	out := ts[:0]
 	for _, t := range ts {
 		if n := len(out); n > 0 && out[n-1].Row == t.Row && out[n-1].Col == t.Col {
@@ -58,6 +56,86 @@ func NewCOO[T any](nr, nc int32, ts []Triple[T], combine func(T, T) T) COO[T] {
 		out = nil // canonical form: empty is nil, so equality is structural
 	}
 	return COO[T]{NR: nr, NC: nc, Ts: out}
+}
+
+// sortColumnMajor orders ts by (Col, Row), stably. Three paths, cheapest
+// first:
+//
+//   - already column-clustered (columns non-decreasing — SPA kernel output,
+//     concatenations of per-column emissions): only the row runs within each
+//     column need sorting, no global movement at all;
+//   - column-bucketing radix when the column count is of the order of the
+//     triple count (one counting pass, one stable scatter, then per-column
+//     row sorts) — the local blocks routed by NewDist/Transpose/Add;
+//   - a global stable comparison sort otherwise (hypersparse inputs where a
+//     per-column counting array would dwarf the triples).
+func sortColumnMajor[T any](ts []Triple[T], nc int32) {
+	if len(ts) < 2 {
+		return
+	}
+	clustered := true
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Col < ts[i-1].Col {
+			clustered = false
+			break
+		}
+	}
+	if !clustered {
+		if int(nc) > 2*len(ts)+1024 {
+			slices.SortStableFunc(ts, func(a, b Triple[T]) int {
+				if a.Col != b.Col {
+					return int(a.Col - b.Col)
+				}
+				return int(a.Row - b.Row)
+			})
+			return
+		}
+		// Stable counting scatter by column.
+		starts := make([]int32, nc+1)
+		for _, t := range ts {
+			starts[t.Col+1]++
+		}
+		for j := int32(0); j < nc; j++ {
+			starts[j+1] += starts[j]
+		}
+		tmp := make([]Triple[T], len(ts))
+		next := starts[:nc:nc]
+		for _, t := range ts {
+			tmp[next[t.Col]] = t
+			next[t.Col]++
+		}
+		copy(ts, tmp)
+	}
+	sortRowRuns(ts)
+}
+
+// sortRowRuns stably sorts each equal-column run of a column-clustered slice
+// by row: insertion sort for the short runs that dominate sparse matrices, a
+// stable merge sort above that.
+func sortRowRuns[T any](ts []Triple[T]) {
+	for lo := 0; lo < len(ts); {
+		hi := lo + 1
+		for hi < len(ts) && ts[hi].Col == ts[lo].Col {
+			hi++
+		}
+		run := ts[lo:hi]
+		if len(run) > 1 {
+			if len(run) <= 24 {
+				for i := 1; i < len(run); i++ {
+					t := run[i]
+					j := i - 1
+					for j >= 0 && run[j].Row > t.Row {
+						run[j+1] = run[j]
+						j--
+					}
+					run[j+1] = t
+				}
+			} else {
+				slices.SortStableFunc(run, func(a, b Triple[T]) int { return int(a.Row - b.Row) })
+			}
+		}
+		lo = hi
+	}
 }
 
 // Nnz returns the number of stored nonzeros.
@@ -171,9 +249,93 @@ type Semiring[A, B, C any] struct {
 	Add func(C, C) C
 }
 
+// spa is a generation-tagged sparse accumulator over a dense row span — the
+// classic Gustavson SPA: vals and gen are allocated once for the whole
+// multiply and invalidated per column by bumping cur instead of clearing, so
+// the per-column cost is proportional to the rows actually touched.
+type spa[C any] struct {
+	vals []C
+	gen  []uint32
+	cur  uint32
+	rows []int32 // rows touched this generation, insertion order
+}
+
+func newSPA[C any](n int32) *spa[C] {
+	return &spa[C]{vals: make([]C, n), gen: make([]uint32, n), cur: 1}
+}
+
+// reset opens a fresh generation (O(1); a hard clear only on tag wraparound).
+func (s *spa[C]) reset() {
+	s.rows = s.rows[:0]
+	s.cur++
+	if s.cur == 0 {
+		clear(s.gen)
+		s.cur = 1
+	}
+}
+
+// accumulate folds v into row i under add, first touch stores v directly.
+func (s *spa[C]) accumulate(i int32, v C, add func(C, C) C) {
+	if s.gen[i] == s.cur {
+		s.vals[i] = add(s.vals[i], v)
+		return
+	}
+	s.gen[i], s.vals[i] = s.cur, v
+	s.rows = append(s.rows, i)
+}
+
+// emit appends this generation's entries for column j to ts in ascending row
+// order and returns the extended slice.
+func (s *spa[C]) emit(ts []Triple[C], j int32) []Triple[C] {
+	if len(s.rows) == 0 {
+		return ts
+	}
+	slices.Sort(s.rows)
+	for _, i := range s.rows {
+		ts = append(ts, Triple[C]{Row: i, Col: j, Val: s.vals[i]})
+	}
+	return ts
+}
+
 // Multiply computes a ⊗ b over the semiring with Gustavson's column
-// algorithm and a sparse (hash) accumulator. a is NR×K, b is K×NC.
+// algorithm and a reusable sparse accumulator (dense values plus
+// generation-tagged flags — no per-column map). a is NR×K, b is K×NC. The
+// output is emitted column by column with sorted rows, so it is canonical by
+// construction and skips the NewCOO sort entirely.
 func Multiply[A, B, C any](a CSC[A], b CSC[B], sr Semiring[A, B, C]) COO[C] {
+	if a.NC != b.NR {
+		panic(fmt.Sprintf("spmat: inner dims %d != %d", a.NC, b.NR))
+	}
+	acc := newSPA[C](a.NR)
+	cap0 := len(a.V)
+	if len(b.V) > cap0 {
+		cap0 = len(b.V)
+	}
+	ts := make([]Triple[C], 0, cap0)
+	for j := int32(0); j < b.NC; j++ {
+		acc.reset()
+		for p := b.JC[j]; p < b.JC[j+1]; p++ {
+			k := b.IR[p]
+			bv := b.V[p]
+			for q := a.JC[k]; q < a.JC[k+1]; q++ {
+				if cv, ok := sr.Mul(a.V[q], bv); ok {
+					acc.accumulate(a.IR[q], cv, sr.Add)
+				}
+			}
+		}
+		ts = acc.emit(ts, j)
+	}
+	if len(ts) == 0 {
+		ts = nil
+	}
+	return COO[C]{NR: a.NR, NC: b.NC, Ts: ts}
+}
+
+// MultiplyMap is the retained map-accumulator reference kernel Multiply
+// replaced: the randomized differential tests pin the SPA kernel to it, and
+// cmd/experiments -exp mem prints the before/after allocation table from the
+// pair. Not used on any hot path.
+func MultiplyMap[A, B, C any](a CSC[A], b CSC[B], sr Semiring[A, B, C]) COO[C] {
 	if a.NC != b.NR {
 		panic(fmt.Sprintf("spmat: inner dims %d != %d", a.NC, b.NR))
 	}

@@ -87,6 +87,10 @@ type Aligner struct {
 	// Wavefront components indexed by penalty: match/mismatch (m),
 	// insertion-in-t (i) and deletion-from-t (d), reused across calls.
 	m, i, d []wave
+	// scratch backs the wrapper's reverse-complement/reversed-prefix copies;
+	// ext is the pre-bound extension func so SeedExtend closes over nothing.
+	scratch align.Scratch
+	ext     align.ExtendFunc
 }
 
 // New builds a wavefront backend. Any Cells pointer in p is replaced by the
@@ -97,6 +101,7 @@ func New(p Params) *Aligner {
 	}
 	a := &Aligner{p: p}
 	a.p.Cells = &a.cells
+	a.ext = a.Extend
 	return a
 }
 
@@ -107,9 +112,10 @@ func (a *Aligner) Name() string { return "wfa" }
 // cells visited, the WFA equivalent of the x-drop's DP-cell counter.
 func (a *Aligner) Work() int64 { return a.cells }
 
-// SeedExtend implements align.Aligner via the shared bidirectional wrapper.
+// SeedExtend implements align.Aligner via the shared bidirectional wrapper,
+// with the instance's scratch buffers.
 func (a *Aligner) SeedExtend(u, v []byte, k int32, seed align.Seed) align.Result {
-	return align.SeedExtendWith(u, v, k, seed, a.p.Match, a.Extend)
+	return align.SeedExtendWithScratch(&a.scratch, u, v, k, seed, a.p.Match, a.ext)
 }
 
 // Extend is the extension primitive (align.ExtendFunc): the best local
