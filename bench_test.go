@@ -12,6 +12,7 @@
 package repro
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -438,4 +439,70 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkStageSweep pins the stage-graph engine's artifact-reuse claim: a
+// TR-fuzz sweep resumed from one RunUntil(Alignment) snapshot must align
+// every candidate pair exactly once, where N independent full runs align N
+// times — so align_cells_ratio (swept / full) must stay well under 1 (CI
+// asserts ≤ 0.5; with three sweep points it sits near 1/3), with contig
+// sets identical point for point.
+func BenchmarkStageSweep(b *testing.B) {
+	ds := readsim.Generate(readsim.CElegansLike, 30000, benchSeed)
+	reads := readsim.Seqs(ds.Reads)
+	base := pipeline.PresetOptions(readsim.CElegansLike, 4)
+	base.AlignBackend = pipeline.BackendWFA
+	fuzzes := []int32{0, 150, 500}
+
+	var sweptCells, fullCells int64
+	identical := 1.0
+	for i := 0; i < b.N; i++ {
+		sweptCells, fullCells = 0, 0
+		eng, err := pipeline.Plan(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arts, err := eng.RunUntil(context.Background(), reads, pipeline.StageAlignment)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweptCells = arts.Aggregate().Get("Alignment").SumWork
+		for _, fz := range fuzzes {
+			opt := base
+			opt.TRFuzz = fz
+			swept, err := pipeline.Plan(opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chain, err := swept.ResumeFrom(context.Background(), arts, pipeline.StageExtractContig)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sweptOut, err := chain.Output()
+			if err != nil {
+				b.Fatal(err)
+			}
+			full, err := pipeline.Run(reads, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fullCells += full.Stats.Timers.Get("Alignment").SumWork
+			if len(sweptOut.Contigs) != len(full.Contigs) {
+				identical = 0
+			} else {
+				for i := range full.Contigs {
+					if string(sweptOut.Contigs[i].Seq) != string(full.Contigs[i].Seq) {
+						identical = 0
+						break
+					}
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(sweptCells), "align_cells_swept")
+	b.ReportMetric(float64(fullCells), "align_cells_full")
+	if fullCells > 0 {
+		b.ReportMetric(float64(sweptCells)/float64(fullCells), "align_cells_ratio")
+	}
+	b.ReportMetric(identical, "contigs_identical")
 }

@@ -15,6 +15,10 @@
 // ranks), with nonblocking communication overlapping the SUMMA, k-mer and
 // sequence exchanges against local computation (-comm sync for the blocking
 // baseline). Contigs are bit-identical for every -threads and -comm value.
+// The run is driven through the elba.Assembler facade, so an interrupt
+// (Ctrl-C) cancels the stage graph cleanly: every simulated rank unwinds
+// and the command exits with the cancellation error instead of hanging.
+// -progress prints each stage as it starts and finishes.
 //
 // Profile capture needs no throwaway harness: -cpuprofile and -memprofile
 // write standard pprof files covering the whole assembly, e.g.
@@ -24,67 +28,62 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"strings"
+	"time"
 
 	"repro/elba"
-	"repro/internal/fasta"
 	"repro/internal/pipeline"
-	"repro/internal/readsim"
+	"repro/internal/trace"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("elba: ")
+	var common elba.Flags
+	common.Register(flag.CommandLine)
 	var (
 		in        = flag.String("in", "", "input reads FASTA (mutually exclusive with -preset)")
 		preset    = flag.String("preset", "", "simulate a dataset: celegans | osativa | hsapiens")
 		size      = flag.Int("size", 100000, "genome length for -preset")
 		seed      = flag.Int64("seed", 1, "seed for -preset")
 		p         = flag.Int("p", 4, "simulated ranks (perfect square: 1,4,9,16,…)")
-		threads   = flag.Int("threads", 0, "intra-rank workers for the alignment/k-mer hot paths (0 = GOMAXPROCS split across ranks)")
 		k         = flag.Int("k", 0, "k-mer length override (default: preset/paper value)")
 		xdrop     = flag.Int("x", 0, "x-drop / wavefront-prune threshold override")
-		backend   = flag.String("backend", "xdrop", "alignment backend: "+strings.Join(elba.AlignBackends(), " | "))
-		commMode  = flag.String("comm", "async", "communication mode: async (nonblocking, comm/compute overlap) | sync (blocking); contigs are identical either way")
 		outPath   = flag.String("out", "", "write contigs FASTA here")
 		refPath   = flag.String("ref", "", "reference FASTA for a quality report")
 		breakdown = flag.Bool("breakdown", false, "print the per-stage runtime breakdown")
+		progress  = flag.Bool("progress", false, "print each pipeline stage as it starts and finishes")
 		doPolish  = flag.Bool("polish", false, "merge overlapping contigs (the paper's future-work pass)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the assembly here")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile (post-assembly, after GC) here")
 	)
 	flag.Parse()
 
-	var reads [][]byte
+	var src elba.Source
 	var reference []byte
 	opt := elba.DefaultOptions(*p)
 	switch {
 	case *preset != "" && *in != "":
 		log.Fatal("-in and -preset are mutually exclusive")
 	case *preset != "":
-		pr, err := parsePreset(*preset)
+		pr, err := elba.ParsePreset(*preset)
 		if err != nil {
 			log.Fatal(err)
 		}
 		ds := elba.SimulateDataset(pr, *size, *seed)
 		fmt.Println(ds.Table2Row())
-		reads = elba.ReadSeqs(ds.Reads)
+		src = elba.FromDataset(ds)
 		reference = ds.Genome
 		opt = elba.PresetOptions(pr, *p)
 	case *in != "":
-		recs, err := loadFasta(*in)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, r := range recs {
-			reads = append(reads, r.Seq)
-		}
+		src = elba.FromFastaFile(*in)
 	default:
 		log.Fatal("need -in or -preset")
 	}
@@ -94,26 +93,42 @@ func main() {
 	if *xdrop > 0 {
 		opt.XDrop = int32(*xdrop)
 	}
-	opt.AlignBackend = *backend
-	opt.Threads = *threads
-	switch *commMode {
-	case "async":
-		opt.Async = true
-	case "sync":
-		opt.Async = false
-	default:
-		log.Fatalf("unknown -comm mode %q (want async|sync)", *commMode)
+	if err := common.Apply(&opt); err != nil {
+		log.Fatal(err)
 	}
 	if *refPath != "" {
-		recs, err := loadFasta(*refPath)
+		ref, err := elba.FromFastaFile(*refPath).Reads()
 		if err != nil {
 			log.Fatal(err)
 		}
 		reference = nil
-		for _, r := range recs {
-			reference = append(reference, r.Seq...)
+		for _, r := range ref {
+			reference = append(reference, r...)
 		}
 	}
+
+	asmOpts := []elba.Option{elba.WithOptions(opt)}
+	if *progress {
+		asmOpts = append(asmOpts, elba.WithObserver(elba.Observer{
+			StageStart: func(stage string, i, n int) {
+				fmt.Printf("stage %d/%d %s...\n", i+1, n, stage)
+			},
+			StageEnd: func(stage string, sum *trace.Summary, wall time.Duration) {
+				e := sum.Get(stage)
+				fmt.Printf("stage %s done in %v (%.2f MB total, max %d msgs/rank)\n",
+					stage, wall.Round(time.Millisecond), float64(e.SumBytes)/1e6, e.MaxMsgs)
+			},
+		}))
+	}
+	asm, err := elba.New(asmOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ctrl-C cancels the stage graph: the context threads through the
+	// simulated mpi world and unwinds every rank.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	// Profiling brackets the assembly call directly (no defers): every
 	// log.Fatal in this command exits through os.Exit, which would skip a
@@ -140,7 +155,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	result, err := elba.Assemble(reads, opt)
+	result, err := asm.Assemble(ctx, src)
 	if cpuFile != nil {
 		pprof.StopCPUProfile()
 		if cerr := cpuFile.Close(); cerr != nil {
@@ -190,27 +205,6 @@ func main() {
 		}
 		fmt.Printf("wrote %d contigs to %s\n", len(result.Contigs), *outPath)
 	}
-}
-
-func parsePreset(s string) (readsim.Preset, error) {
-	switch s {
-	case "celegans":
-		return readsim.CElegansLike, nil
-	case "osativa":
-		return readsim.OSativaLike, nil
-	case "hsapiens":
-		return readsim.HSapiensLike, nil
-	}
-	return 0, fmt.Errorf("unknown preset %q (want celegans|osativa|hsapiens)", s)
-}
-
-func loadFasta(path string) ([]fasta.Record, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return fasta.Read(f)
 }
 
 func printSummary(out *elba.Output) {

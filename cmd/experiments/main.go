@@ -10,11 +10,14 @@
 // worker-pool scaling of the Alignment stage), commoverlap (blocking vs
 // nonblocking communication and the comm_overlap/comm_exposed split), mem
 // (before/after allocation audit of the hot kernels: map-based reference vs
-// the Bloom-filtered / SPA / scratch-reusing paths).
+// the Bloom-filtered / SPA / scratch-reusing paths), stages (stage-graph
+// artifact reuse: a TR-parameter sweep resumed from one post-Alignment
+// snapshot versus independent full runs).
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +27,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/elba"
 
 	"repro/internal/align"
 	"repro/internal/baseline"
@@ -42,11 +47,11 @@ import (
 var (
 	scale   = flag.Float64("scale", 1.0, "dataset size multiplier")
 	seed    = flag.Int64("seed", 7, "dataset seed")
-	exp     = flag.String("exp", "all", "env|table2|fig4|fig5|fig6|table3|table4|contigphase|ablation|backends|threads|commoverlap|mem|all")
+	exp     = flag.String("exp", "all", "env|table2|fig4|fig5|fig6|table3|table4|contigphase|ablation|backends|threads|commoverlap|mem|stages|all")
 	network = flag.String("net", "aries", "network model: aries|infiniband")
-	backend = flag.String("backend", "xdrop", "alignment backend for the figures: "+strings.Join(pipeline.AlignBackends(), "|"))
-	threads = flag.Int("threads", 0, "intra-rank workers for the figures (0 = GOMAXPROCS split across ranks); -exp threads sweeps 1/2/4/8 regardless")
-	comm    = flag.String("comm", "async", "communication mode for the figures: async (nonblocking, overlapped) | sync (blocking); -exp commoverlap runs both regardless")
+	// common holds the -backend/-threads/-comm execution knobs shared with
+	// cmd/elba (elba.Flags, registered in main).
+	common elba.Flags
 )
 
 func net() perfmodel.Network {
@@ -76,9 +81,10 @@ var scalingP = []int{1, 4, 16, 36}
 
 func main() {
 	log.SetFlags(0)
+	common.Register(flag.CommandLine)
 	flag.Parse()
-	if *comm != "async" && *comm != "sync" {
-		log.Fatalf("unknown -comm mode %q (want async|sync)", *comm)
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
 	}
 	which := strings.Split(*exp, ",")
 	run := func(name string) bool {
@@ -131,6 +137,9 @@ func main() {
 	if run("mem") {
 		memTable()
 	}
+	if run("stages") {
+		stagesTable()
+	}
 }
 
 func header(title string) {
@@ -179,15 +188,15 @@ var runCache = map[string]*pipeline.Output{}
 // runPreset assembles one preset dataset at P ranks with the -backend
 // aligner (cached).
 func runPreset(preset readsim.Preset, p int) (*pipeline.Output, *readsim.Dataset) {
-	return runPresetBackend(preset, p, *backend)
+	return runPresetBackend(preset, p, common.Backend)
 }
 
 func runPresetBackend(preset readsim.Preset, p int, be string) (*pipeline.Output, *readsim.Dataset) {
-	return runPresetThreads(preset, p, be, *threads)
+	return runPresetThreads(preset, p, be, common.Threads)
 }
 
 func runPresetThreads(preset readsim.Preset, p int, be string, th int) (*pipeline.Output, *readsim.Dataset) {
-	return runPresetMode(preset, p, be, th, *comm != "sync")
+	return runPresetMode(preset, p, be, th, common.AsyncMode())
 }
 
 func runPresetMode(preset readsim.Preset, p int, be string, th int, async bool) (*pipeline.Output, *readsim.Dataset) {
@@ -226,7 +235,7 @@ func scalingFigure(title string, preset readsim.Preset) {
 	header(title)
 	stages := pipeline.MainStages
 	var rows []perfmodel.ScalingRow
-	cal := calibration(preset, *backend, stages)
+	cal := calibration(preset, common.Backend, stages)
 	var baseT float64
 	for _, p := range scalingP {
 		out, _ := runPreset(preset, p)
@@ -252,7 +261,7 @@ func scalingFigure(title string, preset readsim.Preset) {
 func breakdownFigure(title string, preset readsim.Preset) {
 	header(title)
 	stages := pipeline.MainStages
-	cal := calibration(preset, *backend, stages)
+	cal := calibration(preset, common.Backend, stages)
 	fmt.Printf("| P | %s |\n", strings.Join(stages, " | "))
 	fmt.Printf("|---|%s\n", strings.Repeat("---|", len(stages)))
 	for _, p := range scalingP {
@@ -289,12 +298,12 @@ func table3() {
 		bTime := time.Since(t0).Seconds()
 
 		stages := pipeline.MainStages
-		cal := calibration(preset, *backend, stages)
+		cal := calibration(preset, common.Backend, stages)
 		var speeds []string
 		for _, p := range []int{scalingP[0], scalingP[len(scalingP)-1]} {
 			popt := pipeline.PresetOptions(preset, p)
-			popt.AlignBackend = *backend
-			popt.Threads = *threads
+			popt.AlignBackend = common.Backend
+			popt.Threads = common.Threads
 			out, err := pipeline.Run(reads, popt)
 			if err != nil {
 				log.Fatal(err)
@@ -409,7 +418,7 @@ func threadsTable() {
 
 	runAt := func(threads int) *pipeline.Output {
 		opt := pipeline.PresetOptions(preset, p)
-		opt.AlignBackend = *backend
+		opt.AlignBackend = common.Backend
 		opt.Threads = threads
 		out, err := pipeline.Run(reads, opt)
 		if err != nil {
@@ -439,7 +448,7 @@ func threadsTable() {
 			sameContigs(base.Contigs, out.Contigs))
 	}
 	fmt.Printf("\nHost: %d CPUs, GOMAXPROCS=%d; ranks=%d, backend=%s.\n",
-		runtime.NumCPU(), runtime.GOMAXPROCS(0), p, *backend)
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), p, common.Backend)
 	fmt.Println("Paper: pairwise alignment dominates runtime and runs multithreaded inside each rank.")
 }
 
@@ -455,9 +464,9 @@ func commOverlapTable() {
 	preset := readsim.CElegansLike
 	const p = 16
 	stages := append(append([]string{}, pipeline.MainStages...), pipeline.ContigStages...)
-	cal := calibration(preset, *backend, stages)
-	syncOut, _ := runPresetMode(preset, p, *backend, *threads, false)
-	asyncOut, ds := runPresetMode(preset, p, *backend, *threads, true)
+	cal := calibration(preset, common.Backend, stages)
+	syncOut, _ := runPresetMode(preset, p, common.Backend, common.Threads, false)
+	asyncOut, ds := runPresetMode(preset, p, common.Backend, common.Threads, true)
 
 	if !sameContigs(syncOut.Contigs, asyncOut.Contigs) {
 		log.Fatalf("commoverlap: contigs differ between blocking and nonblocking runs")
@@ -468,7 +477,7 @@ func commOverlapTable() {
 	}
 
 	fmt.Printf("dataset %s, P=%d, backend=%s; %d reads, %.2f MB traffic, %d messages (identical in both modes)\n\n",
-		ds.Name, p, *backend, asyncOut.Stats.NumReads, float64(asyncOut.Stats.CommBytes)/1e6, asyncOut.Stats.CommMsgs)
+		ds.Name, p, common.Backend, asyncOut.Stats.NumReads, float64(asyncOut.Stats.CommBytes)/1e6, asyncOut.Stats.CommMsgs)
 	fmt.Printf("| stage | comm (MB) | msgs | overlap (MB) | exposed (MB) | modeled sync (ms) | modeled async (ms) | hidden |\n")
 	fmt.Printf("|---|---|---|---|---|---|---|---|\n")
 	var tSync, tAsync float64
@@ -528,7 +537,7 @@ func sameContigs(a, b []core.Contig) bool {
 // cost at scale, which the simulator's measured durations understate).
 func contigPhase() {
 	header("§6.1 claims: contig-phase breakdown")
-	cal := calibration(readsim.CElegansLike, *backend,
+	cal := calibration(readsim.CElegansLike, common.Backend,
 		append(append([]string{}, pipeline.MainStages...), pipeline.ContigStages...))
 	fmt.Printf("| P | induced subgraph (+seq comm) share of contig phase | ExtractContig share of total |\n|---|---|---|\n")
 	for _, p := range scalingP[1:] {
@@ -716,8 +725,8 @@ func ablation() {
 	ds := readsim.Generate(readsim.CElegansLike, sizeOf(readsim.CElegansLike)/2, *seed)
 	for _, fuzz := range []int32{0, 150, 500} {
 		opt := pipeline.PresetOptions(readsim.CElegansLike, 4)
-		opt.AlignBackend = *backend
-		opt.Threads = *threads
+		opt.AlignBackend = common.Backend
+		opt.Threads = common.Threads
 		opt.TRFuzz = fuzz
 		out, err := pipeline.Run(readsim.Seqs(ds.Reads), opt)
 		if err != nil {
@@ -732,4 +741,92 @@ func ablation() {
 			out.Stats.BranchVertices, out.Stats.NumContigs, longest)
 	}
 	fmt.Fprintln(os.Stdout)
+}
+
+// stagesTable is the stage-graph artifact-reuse experiment: a transitive-
+// reduction parameter sweep executed twice — once as independent full
+// pipeline runs (each re-counting k-mers, re-multiplying A·Aᵀ and
+// re-aligning every candidate pair) and once as a single RunUntil(Alignment)
+// snapshot resumed per parameter point. Contigs must agree point for point;
+// the sweep's win is the overlap phase executing once, which the alignment
+// work counters make exact (align_cells swept vs full) and the wall clocks
+// make visible.
+func stagesTable() {
+	header("Stage-graph artifact reuse: TR-fuzz sweep, full runs vs resumed snapshot")
+	preset := readsim.CElegansLike
+	const p = 4
+	fuzzes := []int32{0, 150, 500}
+	ds := readsim.Generate(preset, sizeOf(preset), *seed)
+	reads := readsim.Seqs(ds.Reads)
+	base := pipeline.PresetOptions(preset, p)
+	base.AlignBackend = common.Backend
+	base.Threads = common.Threads
+	base.Async = common.AsyncMode()
+
+	// Independent full runs (no runCache: the point is the recompute cost).
+	fullOuts := make(map[int32]*pipeline.Output, len(fuzzes))
+	var fullWall time.Duration
+	var fullAlign int64
+	for _, fz := range fuzzes {
+		opt := base
+		opt.TRFuzz = fz
+		t0 := time.Now()
+		out, err := pipeline.Run(reads, opt)
+		if err != nil {
+			log.Fatalf("stages: full run fuzz=%d: %v", fz, err)
+		}
+		fullWall += time.Since(t0)
+		fullAlign += out.Stats.Timers.Get("Alignment").SumWork
+		fullOuts[fz] = out
+	}
+
+	// Swept: one overlap phase, then one resume per parameter point.
+	eng, err := pipeline.Plan(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	arts, err := eng.RunUntil(context.Background(), reads, pipeline.StageAlignment)
+	if err != nil {
+		log.Fatalf("stages: RunUntil: %v", err)
+	}
+	snapshotWall := time.Since(t0)
+	sweptAlign := arts.Aggregate().Get("Alignment").SumWork
+
+	fmt.Printf("dataset %s, P=%d, backend=%s; sweep over TRFuzz ∈ %v\n\n", ds.Name, p, common.Backend, fuzzes)
+	fmt.Printf("| TR fuzz | contigs | TR edges removed | full wall (ms) | resume wall (ms) | contigs ≡ full |\n")
+	fmt.Printf("|---|---|---|---|---|---|\n")
+	var resumeWall time.Duration
+	for _, fz := range fuzzes {
+		opt := base
+		opt.TRFuzz = fz
+		swept, err := pipeline.Plan(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r0 := time.Now()
+		chain, err := swept.ResumeFrom(context.Background(), arts, pipeline.StageExtractContig)
+		if err != nil {
+			log.Fatalf("stages: resume fuzz=%d: %v", fz, err)
+		}
+		rw := time.Since(r0)
+		resumeWall += rw
+		out, err := chain.Output()
+		if err != nil {
+			log.Fatal(err)
+		}
+		full := fullOuts[fz]
+		fmt.Printf("| %d | %d | %d | %.1f | %.1f | %v |\n",
+			fz, len(out.Contigs), out.Stats.TR.EdgesRemoved,
+			full.Stats.WallTime.Seconds()*1000, rw.Seconds()*1000,
+			sameContigs(out.Contigs, full.Contigs))
+	}
+	sweptWall := snapshotWall + resumeWall
+	fmt.Printf("\nalign_cells: %d swept vs %d across %d full runs (%.2fx fewer; the overlap phase ran once)\n",
+		sweptAlign, fullAlign, len(fuzzes), float64(fullAlign)/float64(sweptAlign))
+	fmt.Printf("wall: swept %v (snapshot %v + resumes %v) vs full %v — %.2fx speedup\n",
+		sweptWall.Round(time.Millisecond), snapshotWall.Round(time.Millisecond),
+		resumeWall.Round(time.Millisecond), fullWall.Round(time.Millisecond),
+		float64(fullWall)/float64(sweptWall))
+	fmt.Println("Snapshots are immutable: every resume forks, so one RunUntil feeds the whole sweep.")
 }

@@ -1,0 +1,222 @@
+package elba
+
+import (
+	"context"
+	"io"
+	"os"
+
+	"repro/internal/pipeline"
+	"repro/internal/readsim"
+)
+
+// Preset selects a Table 2 dataset substitute (CElegansLike, OSativaLike,
+// HSapiensLike).
+type Preset = readsim.Preset
+
+// Stage names of the pipeline graph, for Assembler.RunUntil/ResumeFrom, in
+// execution order.
+const (
+	StageFastaReader   = pipeline.StageFastaReader
+	StageCountKmer     = pipeline.StageCountKmer
+	StageDetectOverlap = pipeline.StageDetectOverlap
+	StageAlignment     = pipeline.StageAlignment
+	StageTrReduction   = pipeline.StageTrReduction
+	StageExtractContig = pipeline.StageExtractContig
+)
+
+// StageNames lists the pipeline's stages in execution order.
+func StageNames() []string { return pipeline.StageNames() }
+
+// Artifacts is a resume point: the typed bag of everything a partial run
+// produced (world, grid, read store, overlap result, string graph, contigs).
+// Produced by Assembler.RunUntil, consumed — any number of times — by
+// Assembler.ResumeFrom; call Output once the final stage has run.
+type Artifacts = pipeline.Artifacts
+
+// Observer streams per-stage progress (start callbacks, post-stage wall time
+// and cross-rank trace aggregates) from a running assembly.
+type Observer = pipeline.Observer
+
+// Option configures an Assembler. Options apply in the order given, so put
+// WithPreset first: it swaps in the whole per-dataset parameter set
+// (preserving a previously chosen rank count), and later options override
+// individual fields.
+type Option func(*Assembler)
+
+// WithPreset tunes all parameters for a Table 2 dataset substitute, like
+// PresetOptions (k=17 for the high-error preset, paper defaults otherwise).
+func WithPreset(p Preset) Option {
+	return func(a *Assembler) { a.opt = pipeline.PresetOptions(p, a.opt.P) }
+}
+
+// WithRanks sets the simulated rank count P (a perfect square: 1, 4, 9, …).
+func WithRanks(p int) Option { return func(a *Assembler) { a.opt.P = p } }
+
+// WithThreads sets the intra-rank worker count for the alignment and k-mer
+// hot paths (0 = GOMAXPROCS split across ranks).
+func WithThreads(n int) Option { return func(a *Assembler) { a.opt.Threads = n } }
+
+// WithBackend selects the alignment backend (BackendXDrop or BackendWFA).
+func WithBackend(name string) Option { return func(a *Assembler) { a.opt.AlignBackend = name } }
+
+// WithK overrides the k-mer length.
+func WithK(k int) Option { return func(a *Assembler) { a.opt.K = k } }
+
+// WithXDrop overrides the x-drop / wavefront-prune threshold.
+func WithXDrop(x int32) Option { return func(a *Assembler) { a.opt.XDrop = x } }
+
+// WithAsync selects nonblocking (true, the default) or blocking
+// communication; contigs are identical either way.
+func WithAsync(async bool) Option { return func(a *Assembler) { a.opt.Async = async } }
+
+// WithTRFuzz overrides the transitive-reduction fuzz — a downstream-only
+// parameter, so chains resumed from a post-Alignment snapshot may differ in
+// it freely.
+func WithTRFuzz(fuzz int32) Option { return func(a *Assembler) { a.opt.TRFuzz = fuzz } }
+
+// WithMaxOverhang overrides the dovetail overhang tolerance.
+func WithMaxOverhang(h int32) Option { return func(a *Assembler) { a.opt.MaxOverhang = h } }
+
+// WithOptions replaces the whole option set (the escape hatch for fields
+// without a dedicated Option).
+func WithOptions(o Options) Option { return func(a *Assembler) { a.opt = o } }
+
+// WithObserver attaches a progress observer to every run of the assembler.
+func WithObserver(obs Observer) Option {
+	return func(a *Assembler) { a.obs = append(a.obs, obs) }
+}
+
+// Assembler is the configured entry point of the public API: build one with
+// New (all parameter errors surface there, together), then Assemble — or
+// RunUntil / ResumeFrom for partial runs and parameter sweeps that reuse
+// the expensive overlap phase. An Assembler is immutable after New and safe
+// to reuse across inputs.
+type Assembler struct {
+	opt Options
+	obs []Observer
+}
+
+// New builds an Assembler from functional options over the low-error
+// defaults at P=1. It validates everything upfront: a bad rank count,
+// k-mer length, backend name and negative thresholds are all reported in
+// one error rather than surfacing deep inside a run.
+func New(opts ...Option) (*Assembler, error) {
+	a := &Assembler{opt: pipeline.DefaultOptions(1)}
+	for _, o := range opts {
+		o(a)
+	}
+	if err := a.opt.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Options returns the assembler's validated option set.
+func (a *Assembler) Options() Options { return a.opt }
+
+func (a *Assembler) engine() (*pipeline.Engine, error) {
+	return pipeline.Plan(a.opt, a.obs...)
+}
+
+// Assemble runs the full pipeline on the source's reads. Cancelling ctx
+// aborts the run promptly: every simulated rank unwinds and Assemble
+// returns ctx.Err().
+func (a *Assembler) Assemble(ctx context.Context, src Source) (*Output, error) {
+	reads, err := src.Reads()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := a.engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(ctx, reads)
+}
+
+// RunUntil executes the pipeline's stage graph up to and including stage
+// (e.g. StageAlignment) and returns the Artifacts snapshot for later
+// ResumeFrom calls.
+func (a *Assembler) RunUntil(ctx context.Context, src Source, stage string) (*Artifacts, error) {
+	reads, err := src.Reads()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := a.engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.RunUntil(ctx, reads, stage)
+}
+
+// ResumeFrom continues a snapshot through stage, under THIS assembler's
+// options — which may differ from the snapshot's in parameters downstream
+// of the resume point (TR fuzz, overhang, …). The snapshot is never
+// modified, so one RunUntil(…, StageAlignment) can seed a whole parameter
+// sweep without re-running k-mer counting, SpGEMM or alignment.
+func (a *Assembler) ResumeFrom(ctx context.Context, arts *Artifacts, stage string) (*Artifacts, error) {
+	eng, err := a.engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.ResumeFrom(ctx, arts, stage)
+}
+
+// Source abstracts where reads come from: in-memory sequences, FASTA
+// streams or files, and simulated datasets.
+type Source interface {
+	// Reads returns the read sequences to assemble.
+	Reads() ([][]byte, error)
+}
+
+type seqsSource [][]byte
+
+func (s seqsSource) Reads() ([][]byte, error) { return s, nil }
+
+// FromSeqs wraps in-memory read sequences as a Source.
+func FromSeqs(reads [][]byte) Source { return seqsSource(reads) }
+
+// FromReads wraps simulated reads (with ground-truth placements) as a
+// Source of their sequences.
+func FromReads(reads []Read) Source { return seqsSource(readsim.Seqs(reads)) }
+
+// FromDataset assembles a simulated dataset's reads.
+func FromDataset(ds *Dataset) Source { return seqsSource(readsim.Seqs(ds.Reads)) }
+
+type fastaSource struct{ r io.Reader }
+
+func (s fastaSource) Reads() ([][]byte, error) { return readFastaSeqs(s.r) }
+
+// FromFasta reads a FASTA stream as a Source. The stream is consumed on the
+// first Reads call.
+func FromFasta(r io.Reader) Source { return fastaSource{r: r} }
+
+type fastaFileSource string
+
+func (s fastaFileSource) Reads() ([][]byte, error) {
+	f, err := os.Open(string(s))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readFastaSeqs(f)
+}
+
+// FromFastaFile opens and reads a FASTA file on each Reads call.
+func FromFastaFile(path string) Source { return fastaFileSource(path) }
+
+type simSource struct {
+	preset    Preset
+	genomeLen int
+	seed      int64
+}
+
+func (s simSource) Reads() ([][]byte, error) {
+	return readsim.Seqs(readsim.Generate(s.preset, s.genomeLen, s.seed).Reads), nil
+}
+
+// FromSimulation generates a deterministic synthetic dataset on demand and
+// serves its reads (SimulateDataset as a Source; use FromDataset to also
+// keep the reference genome for evaluation).
+func FromSimulation(preset Preset, genomeLen int, seed int64) Source {
+	return simSource{preset: preset, genomeLen: genomeLen, seed: seed}
+}

@@ -1,0 +1,162 @@
+package elba_test
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/elba"
+)
+
+// TestNewValidatesUpfront: every bad option surfaces at New, together, with
+// field names.
+func TestNewValidatesUpfront(t *testing.T) {
+	_, err := elba.New(
+		elba.WithRanks(3),
+		elba.WithK(99),
+		elba.WithBackend("quantum"),
+		elba.WithThreads(-1),
+	)
+	if err == nil {
+		t.Fatal("invalid assembler built")
+	}
+	for _, want := range []string{"Options.P", "Options.K", "Options.AlignBackend", "Options.Threads"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error does not name %s:\n%v", want, err)
+		}
+	}
+}
+
+// TestAssemblerMatchesLegacyAssemble: the facade and the compat wrapper are
+// the same engine — byte-identical contigs, equal counters.
+func TestAssemblerMatchesLegacyAssemble(t *testing.T) {
+	ds := elba.SimulateDataset(elba.CElegansLike, 25_000, 11)
+	opt := elba.PresetOptions(elba.CElegansLike, 4)
+	opt.AlignBackend = elba.BackendWFA
+	legacy, err := elba.Assemble(elba.ReadSeqs(ds.Reads), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm, err := elba.New(
+		elba.WithPreset(elba.CElegansLike),
+		elba.WithRanks(4),
+		elba.WithBackend(elba.BackendWFA),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := asm.Assemble(context.Background(), elba.FromDataset(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Contigs) != len(legacy.Contigs) {
+		t.Fatalf("facade %d contigs, legacy %d", len(out.Contigs), len(legacy.Contigs))
+	}
+	for i := range legacy.Contigs {
+		if !bytes.Equal(out.Contigs[i].Seq, legacy.Contigs[i].Seq) {
+			t.Fatalf("contig %d differs between facade and legacy paths", i)
+		}
+	}
+	if out.Stats.CommBytes != legacy.Stats.CommBytes || out.Stats.CommMsgs != legacy.Stats.CommMsgs {
+		t.Fatalf("traffic differs: facade %d/%d, legacy %d/%d",
+			out.Stats.CommBytes, out.Stats.CommMsgs, legacy.Stats.CommBytes, legacy.Stats.CommMsgs)
+	}
+}
+
+// TestSourcesAgree: FASTA round-trip and in-memory sources feed identical
+// reads.
+func TestSourcesAgree(t *testing.T) {
+	ds := elba.SimulateDataset(elba.CElegansLike, 20_000, 13)
+	asm, err := elba.New(elba.WithPreset(elba.CElegansLike), elba.WithBackend(elba.BackendWFA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromMem, err := asm.Assemble(context.Background(), elba.FromReads(ds.Reads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip the reads through FASTA.
+	var buf bytes.Buffer
+	for i, r := range elba.ReadSeqs(ds.Reads) {
+		fmt.Fprintf(&buf, ">read_%d\n%s\n", i, r)
+	}
+	fromFasta, err := asm.Assemble(context.Background(), elba.FromFasta(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromMem.Contigs) != len(fromFasta.Contigs) {
+		t.Fatalf("source mismatch: %d vs %d contigs", len(fromMem.Contigs), len(fromFasta.Contigs))
+	}
+	for i := range fromMem.Contigs {
+		if !bytes.Equal(fromMem.Contigs[i].Seq, fromFasta.Contigs[i].Seq) {
+			t.Fatalf("contig %d differs between sources", i)
+		}
+	}
+}
+
+// TestOptionOrder: WithPreset preserves an earlier WithRanks, later options
+// override preset fields.
+func TestOptionOrder(t *testing.T) {
+	asm, err := elba.New(
+		elba.WithRanks(4),
+		elba.WithPreset(elba.HSapiensLike),
+		elba.WithK(19),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := asm.Options()
+	if o.P != 4 {
+		t.Fatalf("P = %d, want preserved 4", o.P)
+	}
+	if o.K != 19 {
+		t.Fatalf("K = %d, want overridden 19", o.K)
+	}
+	if o.XDrop != 30 {
+		t.Fatalf("XDrop = %d, want the hsapiens preset's 30", o.XDrop)
+	}
+}
+
+// TestFlagsApply: the shared flag helper round-trips onto Options and
+// rejects a bad -comm spelling.
+func TestFlagsApply(t *testing.T) {
+	var f elba.Flags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{"-backend", "wfa", "-threads", "3", "-comm", "sync"}); err != nil {
+		t.Fatal(err)
+	}
+	opt := elba.DefaultOptions(4)
+	if err := f.Apply(&opt); err != nil {
+		t.Fatal(err)
+	}
+	if opt.AlignBackend != elba.BackendWFA || opt.Threads != 3 || opt.Async {
+		t.Fatalf("Apply mismatch: %+v", opt)
+	}
+	if f.AsyncMode() {
+		t.Fatal("AsyncMode true for -comm sync")
+	}
+	f.Comm = "carrier-pigeon"
+	if err := f.Apply(&opt); err == nil {
+		t.Fatal("bad -comm accepted")
+	}
+}
+
+func TestParsePreset(t *testing.T) {
+	for name, want := range map[string]elba.Preset{
+		"celegans": elba.CElegansLike,
+		"osativa":  elba.OSativaLike,
+		"hsapiens": elba.HSapiensLike,
+	} {
+		got, err := elba.ParsePreset(name)
+		if err != nil || got != want {
+			t.Errorf("ParsePreset(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := elba.ParsePreset("ecoli"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}

@@ -12,21 +12,45 @@
 // redistributes each contig's reads to one rank via the induced-subgraph
 // communication, and assembles locally with a linear DFS walk.
 //
-// Quick start:
+// Quick start — configure an Assembler with functional options, then
+// assemble any Source (in-memory reads, FASTA, or a simulated dataset):
 //
 //	ds := elba.SimulateDataset(elba.CElegansLike, 100_000, 42)
-//	out, err := elba.Assemble(elba.ReadSeqs(ds.Reads), elba.PresetOptions(elba.CElegansLike, 4))
+//	asm, err := elba.New(elba.WithPreset(elba.CElegansLike), elba.WithRanks(4))
+//	out, err := asm.Assemble(ctx, elba.FromDataset(ds))
 //	rep := elba.Evaluate(ds.Genome, out.Contigs)
+//
+// New validates everything upfront: a bad rank count, k-mer length, backend
+// name and negative thresholds are reported together, each error naming its
+// field. Cancelling ctx aborts a running assembly promptly.
+//
+// The pipeline is a stage graph (FastaReader → CountKmer → DetectOverlap →
+// Alignment → TrReduction → ExtractContig), and the Assembler exposes it:
+// RunUntil stops after any stage and returns an Artifacts snapshot;
+// ResumeFrom continues a snapshot — any number of times, under different
+// downstream parameters — without re-running the expensive overlap phase.
+// A TR-parameter sweep therefore aligns once:
+//
+//	arts, err := asm.RunUntil(ctx, elba.FromDataset(ds), elba.StageAlignment)
+//	loose, _ := elba.New(elba.WithPreset(elba.CElegansLike), elba.WithRanks(4), elba.WithTRFuzz(500))
+//	chain, err := loose.ResumeFrom(ctx, arts, elba.StageExtractContig)
+//	out, err := chain.Output()
+//
+// Contigs are bit-identical between monolithic, staged and resumed
+// execution.
 //
 // The Alignment stage dispatches through a pluggable backend: the default
 // x-drop DP, or gap-affine wavefront alignment (much faster on low-error
-// reads) via Options.AlignBackend = elba.BackendWFA. Execution is hybrid
-// like the paper's MPI + threads design: each simulated rank drives the
+// reads) via elba.WithBackend(elba.BackendWFA). Execution is hybrid like
+// the paper's MPI + threads design: each simulated rank drives the
 // alignment and k-mer hot paths through an intra-rank worker pool of
-// Options.Threads workers, and with Options.Async (the default from
-// DefaultOptions/PresetOptions) the communication-heavy exchanges run on
-// the nonblocking mpi layer, overlapped against local computation. Contigs
-// are bit-identical at any thread count and in either communication mode.
+// WithThreads workers, and with WithAsync(true) (the default) the
+// communication-heavy exchanges run on the nonblocking mpi layer,
+// overlapped against local computation. Contigs are bit-identical at any
+// thread count and in either communication mode.
+//
+// The pre-Assembler entry points (Assemble, AssembleFasta, DefaultOptions,
+// PresetOptions) remain as thin wrappers over the same engine.
 package elba
 
 import (
@@ -111,13 +135,9 @@ func Assemble(reads [][]byte, opt Options) (*Output, error) {
 
 // AssembleFasta reads a FASTA stream and assembles it.
 func AssembleFasta(r io.Reader, opt Options) (*Output, error) {
-	recs, err := fasta.Read(r)
+	reads, err := readFastaSeqs(r)
 	if err != nil {
 		return nil, err
-	}
-	reads := make([][]byte, len(recs))
-	for i, rec := range recs {
-		reads[i] = rec.Seq
 	}
 	return Assemble(reads, opt)
 }

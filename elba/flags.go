@@ -1,0 +1,72 @@
+package elba
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/readsim"
+)
+
+// Flags is the flag→Options plumbing shared by cmd/elba and cmd/experiments
+// (previously copied between them): the execution knobs every command
+// exposes, with one Register/Apply pair so the flag names, defaults and help
+// strings cannot drift apart.
+type Flags struct {
+	Backend string // -backend: alignment backend name
+	Threads int    // -threads: intra-rank workers (0 = auto split)
+	Comm    string // -comm: async | sync
+}
+
+// Register declares the shared flags on fs (pass flag.CommandLine for the
+// process-wide set).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Backend, "backend", BackendXDrop,
+		"alignment backend: "+strings.Join(AlignBackends(), " | "))
+	fs.IntVar(&f.Threads, "threads", 0,
+		"intra-rank workers for the alignment/k-mer hot paths (0 = GOMAXPROCS split across ranks)")
+	fs.StringVar(&f.Comm, "comm", "async",
+		"communication mode: async (nonblocking, comm/compute overlap) | sync (blocking); contigs are identical either way")
+}
+
+// Validate checks the -comm spelling (flag syntax, not an Options field);
+// backend and thread values are validated with everything else by
+// Options.Validate at New/Run time.
+func (f *Flags) Validate() error {
+	switch f.Comm {
+	case "async", "sync":
+		return nil
+	}
+	return fmt.Errorf("unknown -comm mode %q (want async|sync)", f.Comm)
+}
+
+// Apply validates the flags and copies them onto opt.
+func (f *Flags) Apply(opt *Options) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	opt.Async = f.AsyncMode()
+	opt.AlignBackend = f.Backend
+	opt.Threads = f.Threads
+	return nil
+}
+
+// AsyncMode reports the parsed -comm flag as a boolean (async unless
+// "sync"); valid once Validate has accepted the spelling. Commands that
+// parameterize runs beyond the flag defaults (cmd/experiments sweeps) read
+// this instead of Apply.
+func (f *Flags) AsyncMode() bool { return f.Comm != "sync" }
+
+// ParsePreset resolves a preset name (celegans | osativa | hsapiens) — the
+// -preset flag spelling shared by the commands.
+func ParsePreset(name string) (Preset, error) {
+	switch name {
+	case "celegans":
+		return readsim.CElegansLike, nil
+	case "osativa":
+		return readsim.OSativaLike, nil
+	case "hsapiens":
+		return readsim.HSapiensLike, nil
+	}
+	return 0, fmt.Errorf("unknown preset %q (want celegans|osativa|hsapiens)", name)
+}

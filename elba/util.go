@@ -2,9 +2,24 @@ package elba
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/align"
+	"repro/internal/fasta"
 )
+
+// readFastaSeqs parses a FASTA stream into raw read sequences.
+func readFastaSeqs(r io.Reader) ([][]byte, error) {
+	recs, err := fasta.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	reads := make([][]byte, len(recs))
+	for i, rec := range recs {
+		reads[i] = rec.Seq
+	}
+	return reads, nil
+}
 
 // alignParams derives the aligner scoring from pipeline options.
 func alignParams(o Options) align.Params { return align.DefaultParams(o.XDrop) }

@@ -57,6 +57,11 @@ type World struct {
 	// receiver takes the message; a rank can read its communicator's gauge
 	// with Comm.InflightBytes.
 	inflight sync.Map
+	// Cancellation (see cancel.go): cancelCh is closed exactly once, after
+	// cancelErr is set, so readers woken by the close always see the cause.
+	cancelMu  sync.Mutex
+	cancelCh  chan struct{}
+	cancelErr error
 }
 
 // RankStats counts traffic originated by one rank. The Async counters are
@@ -82,6 +87,7 @@ func NewWorld(p int) *World {
 		mailboxes:   make([]*mailbox, p),
 		stats:       make([]RankStats, p),
 		recvTimeout: DefaultRecvTimeout,
+		cancelCh:    make(chan struct{}),
 	}
 	for i := range w.mailboxes {
 		w.mailboxes[i] = newMailbox()
@@ -188,7 +194,11 @@ func (w *World) Run(fn func(*Comm)) error {
 		go func(rank int, c *Comm) {
 			defer func() {
 				if v := recover(); v != nil {
-					errs <- &RankError{Rank: rank, Value: v, Stack: string(debug.Stack())}
+					// Cancellation unwinds ranks by design; only genuine
+					// panics become rank errors.
+					if _, cancelled := v.(cancelPanic); !cancelled {
+						errs <- &RankError{Rank: rank, Value: v, Stack: string(debug.Stack())}
+					}
 				}
 				if pending.Add(-1) == 0 {
 					close(done)
@@ -198,6 +208,9 @@ func (w *World) Run(fn func(*Comm)) error {
 		}(r, c)
 	}
 	<-done
+	if err := w.Err(); err != nil {
+		return err
+	}
 	select {
 	case e := <-errs:
 		return e
@@ -382,6 +395,7 @@ func (c *Comm) recvRawArmed(src int, tag int64, armed <-chan struct{}) any {
 	default:
 	}
 	for {
+		c.world.checkCancel()
 		msg, gen, ok := box.take(c.ctx, src, tag)
 		if ok {
 			atomic.AddInt64(c.world.inflightCounter(c.ctx), -msg.bytes)
@@ -409,6 +423,11 @@ func (c *Comm) recvRawArmed(src int, tag int64, armed <-chan struct{}) any {
 			deadline = time.Now().Add(c.world.recvTimeout)
 		case <-expire:
 			// Loop re-checks the queue, then panics via the deadline branch.
+		case <-c.world.cancelCh:
+			if timer != nil {
+				timer.Stop()
+			}
+			panic(cancelPanic{c.world.cancelErr})
 		}
 	}
 }

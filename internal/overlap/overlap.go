@@ -136,24 +136,38 @@ type Result struct {
 
 // Run executes k-mer counting, overlap detection and alignment. Stage timing
 // lands in tm under the paper's breakdown names (CountKmer, DetectOverlap,
-// Alignment).
+// Alignment). It is the monolithic composition of the three stage functions
+// below, which the pipeline engine also invokes one at a time.
 func Run(g *grid.Grid, store *fasta.DistStore, cfg Config, tm *trace.Timers) *Result {
 	res := &Result{NumReads: store.N}
+	kres := CountKmers(g, store, cfg, tm, res)
+	c := DetectCandidates(g, store, kres, cfg, tm, res)
+	AlignCandidates(g, store, c, cfg, tm, res)
+	return res
+}
 
-	// CountKmer: distributed counting and reliable-k-mer selection.
+// CountKmers is the CountKmer stage: distributed counting and reliable-k-mer
+// selection. It records the column count and work units into res and returns
+// the per-rank counting result consumed by DetectCandidates.
+func CountKmers(g *grid.Grid, store *fasta.DistStore, cfg Config, tm *trace.Timers, res *Result) *kmer.Result {
 	var kres *kmer.Result
 	tm.Stage("CountKmer", g.Comm, func() {
 		kres = kmer.CountAndBuild(store, cfg.K, cfg.ReliableLow, cfg.ReliableHigh, cfg.Threads, cfg.Async)
 	})
 	res.NumKmers = kres.NumCols
 	tm.AddWork("CountKmer", kres.Occurrences)
+	return kres
+}
 
-	// DetectOverlap: A, Aᵀ, C = A·Aᵀ. C is symmetric and each pair must be
-	// aligned exactly once; keeping only the upper triangle would idle the
-	// lower-triangle ranks of the grid, so the surviving direction of each
-	// pair is chosen checkerboard-style — (min,max) when i+j is even,
-	// (max,min) when odd — which splits the alignment work evenly across
-	// both triangles. The mirror entry is reconstructed after alignment.
+// DetectCandidates is the DetectOverlap stage: A, Aᵀ, C = A·Aᵀ. C is
+// symmetric and each pair must be aligned exactly once; keeping only the
+// upper triangle would idle the lower-triangle ranks of the grid, so the
+// surviving direction of each pair is chosen checkerboard-style — (min,max)
+// when i+j is even, (max,min) when odd — which splits the alignment work
+// evenly across both triangles. The mirror entry is reconstructed after
+// alignment. The returned candidate matrix is not mutated by
+// AlignCandidates, so one candidate set can feed several alignment runs.
+func DetectCandidates(g *grid.Grid, store *fasta.DistStore, kres *kmer.Result, cfg Config, tm *trace.Timers, res *Result) *spmat.Dist[Seeds] {
 	var c *spmat.Dist[Seeds]
 	var products int64
 	tm.Stage("DetectOverlap", g.Comm, func() {
@@ -180,12 +194,16 @@ func Run(g *grid.Grid, store *fasta.DistStore, cfg Config, tm *trace.Timers) *Re
 		res.CandidatePairs = c.Nnz()
 	})
 	tm.AddWork("DetectOverlap", products)
+	return c
+}
 
-	// Alignment: one backend extension per candidate (x-drop or wavefront,
-	// per cfg), classification, containment pruning, symmetrization. The
-	// candidates are spread over an intra-rank worker pool; each worker owns
-	// its aligner, and summing the per-worker counters afterwards gives the
-	// same total as a serial run (every pair is aligned exactly once).
+// AlignCandidates is the Alignment stage: one backend extension per
+// candidate (x-drop or wavefront, per cfg), classification, containment
+// pruning, symmetrization into res.R. The candidates are spread over an
+// intra-rank worker pool; each worker owns its aligner, and summing the
+// per-worker counters afterwards gives the same total as a serial run
+// (every pair is aligned exactly once).
+func AlignCandidates(g *grid.Grid, store *fasta.DistStore, c *spmat.Dist[Seeds], cfg Config, tm *trace.Timers, res *Result) {
 	pool := par.NewPool(cfg.Threads, func(int) align.Aligner { return cfg.aligner() })
 	tm.Stage("Alignment", g.Comm, func() {
 		res.R = alignAndPrune(g, store, c, pool, cfg, res)
@@ -195,7 +213,6 @@ func Run(g *grid.Grid, store *fasta.DistStore, cfg Config, tm *trace.Timers) *Re
 		work += al.Work()
 	}
 	tm.AddWork("Alignment", work)
-	return res
 }
 
 // alignAndPrune aligns every surviving candidate (one direction per pair)

@@ -1,0 +1,171 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bidir"
+	"repro/internal/core"
+	"repro/internal/fasta"
+	"repro/internal/grid"
+	"repro/internal/kmer"
+	"repro/internal/mpi"
+	"repro/internal/overlap"
+	"repro/internal/spmat"
+	"repro/internal/tr"
+	"repro/internal/trace"
+)
+
+// RankState is one simulated rank's slot of the Artifacts bag. Each field is
+// the output of the stage of the same position in the graph; a stage reads
+// the fields of its dependencies and replaces (never mutates) its own, which
+// is what makes a snapshot safe to resume from any number of times.
+type RankState struct {
+	Comm   *mpi.Comm        // this rank's world communicator (persistent across stages)
+	Grid   *grid.Grid       // FastaReader: √P×√P process grid
+	Store  *fasta.DistStore // FastaReader: block-distributed read store
+	Timers *trace.Timers    // per-rank stage accounting (forked on resume)
+
+	Kmers       *kmer.Result               // CountKmer: reliable k-mer columns + A-matrix triples
+	Candidates  *spmat.Dist[overlap.Seeds] // DetectOverlap: C = A·Aᵀ, one direction per pair
+	Overlap     *overlap.Result            // CountKmer…Alignment: accumulating counters, A and R
+	StringGraph *spmat.Dist[bidir.Edge]    // TrReduction: reduced bidirected string graph
+	TRStats     tr.Stats                   // TrReduction: iteration/edge counters
+	Contig      *core.Result               // ExtractContig: this rank's contigs + global stats
+}
+
+// Artifacts is the typed bag a (partial) pipeline run produces: the
+// simulated world, the per-rank stage outputs, and — once the final stage
+// has run — the gathered contigs and statistics. An Artifacts value is a
+// resume point: Engine.ResumeFrom continues the graph from the last
+// completed stage, under the same or downstream-modified options.
+//
+// Snapshot semantics: ResumeFrom never modifies the artifacts it is given
+// (it forks them), so one post-Alignment snapshot can seed an entire
+// TR-parameter sweep without re-running the expensive overlap phase. All
+// chains forked from one snapshot share the underlying simulated world;
+// their stage executions are serialized internally (communicator sequence
+// counters must advance identically on every rank), so forks may be resumed
+// from any goroutine, one run at a time. A cancelled world poisons every
+// chain sharing it — cancellation is for abandoning a run, not pausing it.
+type Artifacts struct {
+	Opt   Options    // options of the most recent engine to run stages
+	World *mpi.World // the simulated machine (shared by all forks)
+	Reads [][]byte   // FastaReader input
+	Ranks []*RankState
+
+	done []string // completed stage names, in graph order
+
+	// Chain-local accounting: deltas of the world's counters summed over
+	// this chain's stage executions only, so Output reports the same totals
+	// a dedicated monolithic run would even when sibling forks share the
+	// world.
+	commBytes int64
+	commMsgs  int64
+	wall      time.Duration
+
+	// exec serializes stage execution across all forks sharing the world.
+	exec *sync.Mutex
+
+	// Final-stage output, stored by rank 0 under mu.
+	mu      sync.Mutex
+	contigs []core.Contig
+	stats   Stats
+}
+
+// newArtifacts prepares the bag for a fresh run: a new world and one
+// RankState per rank holding its persistent communicator.
+func newArtifacts(opt Options, reads [][]byte) *Artifacts {
+	w := mpi.NewWorld(opt.P)
+	a := &Artifacts{
+		Opt:   opt,
+		World: w,
+		Reads: reads,
+		Ranks: make([]*RankState, opt.P),
+		exec:  &sync.Mutex{},
+	}
+	for r := range a.Ranks {
+		a.Ranks[r] = &RankState{Comm: w.Comm(r)}
+	}
+	return a
+}
+
+// Stage returns the name of the last completed stage ("" before any).
+func (a *Artifacts) Stage() string {
+	if len(a.done) == 0 {
+		return ""
+	}
+	return a.done[len(a.done)-1]
+}
+
+// Completed lists the completed stage names in graph order.
+func (a *Artifacts) Completed() []string { return append([]string(nil), a.done...) }
+
+// Aggregate folds every rank's timers into one cross-rank Summary, locally
+// (no simulated communication, so it never perturbs the traffic counters).
+// Valid between stage executions; observers receive the same view.
+func (a *Artifacts) Aggregate() *trace.Summary {
+	ts := make([]*trace.Timers, 0, len(a.Ranks))
+	for _, rs := range a.Ranks {
+		if rs != nil && rs.Timers != nil {
+			ts = append(ts, rs.Timers)
+		}
+	}
+	return trace.Aggregate(ts)
+}
+
+// Output returns the assembly result. It is available only once the final
+// stage (ExtractContig) has completed; partial artifacts return an error
+// naming the stage they stopped at.
+func (a *Artifacts) Output() (*Output, error) {
+	if a.Stage() != StageExtractContig {
+		return nil, fmt.Errorf("pipeline: artifacts stop after stage %q; resume through %q for contigs",
+			a.Stage(), StageExtractContig)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := &Output{Contigs: a.contigs, Stats: a.stats}
+	out.Stats.CommBytes = a.commBytes
+	out.Stats.CommMsgs = a.commMsgs
+	out.Stats.WallTime = a.wall
+	return out, nil
+}
+
+// storeOutput records the final stage's rank-0 view.
+func (a *Artifacts) storeOutput(contigs []core.Contig, stats Stats) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.contigs = contigs
+	a.stats = stats
+}
+
+// fork snapshots the bag for an independent continuation: per-rank states
+// are copied, timers deep-copied, and the accumulating overlap result
+// copied by value, so stages run on the fork never touch the original.
+// World, reads and the execution lock are shared.
+func (a *Artifacts) fork(opt Options) *Artifacts {
+	f := &Artifacts{
+		Opt:       opt,
+		World:     a.World,
+		Reads:     a.Reads,
+		Ranks:     make([]*RankState, len(a.Ranks)),
+		done:      append([]string(nil), a.done...),
+		commBytes: a.commBytes,
+		commMsgs:  a.commMsgs,
+		wall:      a.wall,
+		exec:      a.exec,
+	}
+	for i, rs := range a.Ranks {
+		cp := *rs
+		if rs.Timers != nil {
+			cp.Timers = rs.Timers.Clone()
+		}
+		if rs.Overlap != nil {
+			o := *rs.Overlap
+			cp.Overlap = &o
+		}
+		f.Ranks[i] = &cp
+	}
+	return f
+}

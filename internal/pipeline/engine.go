@@ -1,0 +1,165 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"strings"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// Observer receives engine progress callbacks. Fields may be nil. Callbacks
+// run on the engine's calling goroutine between stage executions — never on
+// a rank goroutine — so they may cancel the run's context, read the
+// artifacts, or feed the Summary straight into perfmodel without locking.
+type Observer struct {
+	// StageStart fires before stage index (of total) begins executing.
+	StageStart func(stage string, index, total int)
+	// StageEnd fires after a stage's barrier with the wall time of the stage
+	// and the cross-rank aggregate of all per-rank timers so far (the
+	// finished stage's entry sits under its own name; aggregation is local,
+	// so observing never perturbs the run's traffic counters).
+	StageEnd func(stage string, ranks *trace.Summary, wall time.Duration)
+}
+
+// Engine runs the pipeline's stage graph. Plan validates the options once;
+// RunUntil executes a prefix of the graph on a fresh simulated world and
+// ResumeFrom continues from a previous run's Artifacts — under this engine's
+// options, which may differ in parameters downstream of the resume point
+// (the TR/overhang sweep use case). Contigs are bit-identical, and
+// byte/message counters equal, between a monolithic run and any chain of
+// partial runs, for every (P, threads, backend, sync/async) combination.
+type Engine struct {
+	opt    Options
+	stages []Stage
+	obs    []Observer
+}
+
+// Plan validates opt (reporting all violations at once) and builds an
+// engine over the paper's stage graph.
+func Plan(opt Options, obs ...Observer) (*Engine, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{opt: opt, stages: defaultStages(), obs: obs}, nil
+}
+
+// Options returns the engine's validated options.
+func (e *Engine) Options() Options { return e.opt }
+
+// Stages lists the engine's stage names in execution order.
+func (e *Engine) Stages() []string {
+	names := make([]string, len(e.stages))
+	for i, s := range e.stages {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// stageIndex resolves a stage name to its graph position.
+func (e *Engine) stageIndex(name string) (int, error) {
+	for i, s := range e.stages {
+		if s.Name() == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("pipeline: unknown stage %q (stages: %s)", name, strings.Join(e.Stages(), " → "))
+}
+
+// Run assembles reads end to end: the whole graph on a fresh world.
+func (e *Engine) Run(ctx context.Context, reads [][]byte) (*Output, error) {
+	a, err := e.RunUntil(ctx, reads, StageExtractContig)
+	if err != nil {
+		return nil, err
+	}
+	return a.Output()
+}
+
+// RunUntil executes the graph on a fresh simulated world of e.Options().P
+// ranks, stopping after stage `until` completes, and returns the Artifacts
+// snapshot. If ctx is cancelled mid-stage the world is cancelled, every rank
+// goroutine unwinds promptly, and RunUntil returns ctx.Err(); the artifacts
+// are then dead (their world is poisoned).
+func (e *Engine) RunUntil(ctx context.Context, reads [][]byte, until string) (*Artifacts, error) {
+	idx, err := e.stageIndex(until)
+	if err != nil {
+		return nil, err
+	}
+	return e.resume(ctx, newArtifacts(e.opt, reads), idx)
+}
+
+// ResumeFrom continues the graph from the last stage recorded in a, running
+// the remaining stages up to and including `until` under this engine's
+// options. The given artifacts are forked, not modified: one snapshot can
+// seed any number of resumed chains (a parameter sweep re-runs only the
+// stages downstream of the snapshot). The engine's options must agree with
+// the snapshot's on everything upstream of the resume point — P is checked
+// (the world's shape is baked into the artifacts); upstream algorithmic
+// parameters (K, alignment settings, …) are the caller's responsibility.
+func (e *Engine) ResumeFrom(ctx context.Context, a *Artifacts, until string) (*Artifacts, error) {
+	idx, err := e.stageIndex(until)
+	if err != nil {
+		return nil, err
+	}
+	if e.opt.P != len(a.Ranks) {
+		return nil, fmt.Errorf("pipeline: engine P=%d cannot resume artifacts of a %d-rank world", e.opt.P, len(a.Ranks))
+	}
+	if err := a.World.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: artifacts are dead (world cancelled: %w)", err)
+	}
+	if idx < len(a.done) {
+		return nil, fmt.Errorf("pipeline: stage %q already complete in these artifacts (resume point: after %q)", until, a.Stage())
+	}
+	return e.resume(ctx, a.fork(e.opt), idx)
+}
+
+// resume drives stages len(a.done)..untilIdx on a's world, one engine-level
+// barrier per stage. Stage bodies reuse the communicators stored in the
+// RankStates, so the op (and therefore traffic) sequence is identical to a
+// monolithic run; the per-stage world.Run only adds a goroutine join.
+func (e *Engine) resume(ctx context.Context, a *Artifacts, untilIdx int) (*Artifacts, error) {
+	a.exec.Lock()
+	defer a.exec.Unlock()
+	total := len(e.stages)
+	for i := len(a.done); i <= untilIdx; i++ {
+		st := e.stages[i]
+		for _, dep := range st.Deps() {
+			if !slices.Contains(a.done, dep) {
+				return nil, fmt.Errorf("pipeline: stage %q needs %q, which the artifacts have not run", st.Name(), dep)
+			}
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				a.World.Cancel(err)
+				return nil, err
+			}
+		}
+		for _, ob := range e.obs {
+			if ob.StageStart != nil {
+				ob.StageStart(st.Name(), i, total)
+			}
+		}
+		b0, m0 := a.World.TotalBytes(), a.World.TotalMsgs()
+		start := time.Now()
+		err := a.World.RunCtx(ctx, func(c *mpi.Comm) {
+			st.Run(e.opt, a, c.Rank())
+		})
+		wall := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		a.commBytes += a.World.TotalBytes() - b0
+		a.commMsgs += a.World.TotalMsgs() - m0
+		a.wall += wall
+		a.done = append(a.done, st.Name())
+		for _, ob := range e.obs {
+			if ob.StageEnd != nil {
+				ob.StageEnd(st.Name(), a.Aggregate(), wall)
+			}
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,306 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/readsim"
+	"repro/internal/trace"
+)
+
+func testReads(length int, seed int64) [][]byte {
+	genome := readsim.Genome(readsim.GenomeConfig{Length: length, Seed: seed})
+	return readsim.Seqs(readsim.Simulate(genome, readsim.ReadConfig{Depth: 12, MeanLen: 1500, Seed: seed + 1}))
+}
+
+// stagedRun splits one assembly into RunUntil(split) + ResumeFrom(rest).
+func stagedRun(t *testing.T, reads [][]byte, opt Options, split string) *Output {
+	t.Helper()
+	eng, err := Plan(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts, err := eng.RunUntil(context.Background(), reads, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := arts.Stage(); got != split {
+		t.Fatalf("RunUntil(%s) stopped at %q", split, got)
+	}
+	if _, err := arts.Output(); err == nil {
+		t.Fatalf("partial artifacts (at %s) yielded an Output", split)
+	}
+	rest, err := eng.ResumeFrom(context.Background(), arts, StageExtractContig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rest.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestStagedMatchesMonolithic is the engine's acceptance gate: splitting the
+// run at every stage boundary must reproduce the monolithic run bit for bit
+// — contigs, traffic totals, and per-stage traffic attribution — across
+// (P, threads, backend, sync/async) combinations.
+func TestStagedMatchesMonolithic(t *testing.T) {
+	reads := testReads(18000, 601)
+	cases := []struct {
+		p, threads int
+		backend    string
+		async      bool
+	}{
+		{1, 1, BackendXDrop, false},
+		{4, 1, BackendXDrop, true},
+		{4, 2, BackendWFA, true},
+		{9, 1, BackendXDrop, false},
+		{4, 1, BackendWFA, false},
+		{4, 2, BackendXDrop, true},
+	}
+	if testing.Short() {
+		cases = cases[:2]
+	}
+	for _, tc := range cases {
+		label := fmt.Sprintf("%s/P=%d/T=%d/async=%v", tc.backend, tc.p, tc.threads, tc.async)
+		opt := DefaultOptions(tc.p)
+		opt.K = 21
+		opt.XDrop = 25
+		opt.Threads = tc.threads
+		opt.AlignBackend = tc.backend
+		opt.Async = tc.async
+
+		mono, err := Run(reads, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		splits := []string{StageAlignment}
+		if !testing.Short() {
+			splits = []string{StageFastaReader, StageCountKmer, StageDetectOverlap,
+				StageAlignment, StageTrReduction}
+		}
+		for _, split := range splits {
+			staged := stagedRun(t, reads, opt, split)
+			if len(staged.Contigs) != len(mono.Contigs) {
+				t.Fatalf("%s split@%s: %d contigs vs %d monolithic",
+					label, split, len(staged.Contigs), len(mono.Contigs))
+			}
+			for i := range mono.Contigs {
+				if !bytes.Equal(staged.Contigs[i].Seq, mono.Contigs[i].Seq) {
+					t.Fatalf("%s split@%s: contig %d differs", label, split, i)
+				}
+			}
+			if staged.Stats.CommBytes != mono.Stats.CommBytes || staged.Stats.CommMsgs != mono.Stats.CommMsgs {
+				t.Fatalf("%s split@%s: traffic %d bytes/%d msgs vs monolithic %d/%d",
+					label, split, staged.Stats.CommBytes, staged.Stats.CommMsgs,
+					mono.Stats.CommBytes, mono.Stats.CommMsgs)
+			}
+			for _, s := range append(append([]string{}, MainStages...), ContigStages...) {
+				se, me := staged.Stats.Timers.Get(s), mono.Stats.Timers.Get(s)
+				if se.SumBytes != me.SumBytes || se.MaxMsgs != me.MaxMsgs || se.SumWork != me.SumWork {
+					t.Fatalf("%s split@%s: stage %s accounting differs: bytes %d/%d msgs %d/%d work %d/%d",
+						label, split, s, se.SumBytes, me.SumBytes, se.MaxMsgs, me.MaxMsgs, se.SumWork, me.SumWork)
+				}
+			}
+		}
+	}
+}
+
+// TestResumeSweepReusesOverlapArtifacts pins the parameter-sweep contract:
+// one post-Alignment snapshot resumed under several TR configurations must
+// (a) leave the snapshot reusable, (b) match a dedicated full run of each
+// configuration contig for contig, and (c) perform the alignment work
+// exactly once across the whole sweep.
+func TestResumeSweepReusesOverlapArtifacts(t *testing.T) {
+	reads := testReads(15000, 603)
+	base := DefaultOptions(4)
+	base.K = 21
+	base.XDrop = 25
+	eng, err := Plan(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts, err := eng.RunUntil(context.Background(), reads, StageAlignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alignOnce := arts.Aggregate().Get("Alignment").SumWork
+	if alignOnce <= 0 {
+		t.Fatal("no alignment work recorded in the snapshot")
+	}
+
+	fuzzes := []int32{0, 150, 500}
+	for _, fuzz := range fuzzes {
+		opt := base
+		opt.TRFuzz = fuzz
+		swept, err := Plan(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain, err := swept.ResumeFrom(context.Background(), arts, StageExtractContig)
+		if err != nil {
+			t.Fatalf("fuzz=%d: %v", fuzz, err)
+		}
+		sweptOut, err := chain.Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Run(reads, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sweptOut.Contigs) != len(full.Contigs) {
+			t.Fatalf("fuzz=%d: swept %d contigs, full %d", fuzz, len(sweptOut.Contigs), len(full.Contigs))
+		}
+		for i := range full.Contigs {
+			if !bytes.Equal(sweptOut.Contigs[i].Seq, full.Contigs[i].Seq) {
+				t.Fatalf("fuzz=%d: contig %d differs between swept and full run", fuzz, i)
+			}
+		}
+		// The resumed chain carries the snapshot's alignment counters but ran
+		// no new alignment: its align work must equal the single execution.
+		if got := sweptOut.Stats.Timers.Get("Alignment").SumWork; got != alignOnce {
+			t.Fatalf("fuzz=%d: resumed chain reports %d align work, snapshot had %d", fuzz, got, alignOnce)
+		}
+		if sweptOut.Stats.TR.Products <= 0 && fuzz > 0 {
+			t.Fatalf("fuzz=%d: TR ran no products", fuzz)
+		}
+	}
+	// Snapshot unchanged: still resumable, still parked after Alignment.
+	if got := arts.Stage(); got != StageAlignment {
+		t.Fatalf("snapshot advanced to %q during the sweep", got)
+	}
+}
+
+// TestCancellationMidAlignment cancels the context the moment the Alignment
+// stage starts: RunUntil must return ctx.Err() and every simulated rank
+// goroutine (and posted-receive matcher) must unwind — checked against the
+// process goroutine count.
+func TestCancellationMidAlignment(t *testing.T) {
+	reads := testReads(15000, 605)
+	opt := DefaultOptions(4)
+	opt.K = 21
+	opt.XDrop = 25
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := Observer{StageStart: func(stage string, _, _ int) {
+		if stage == StageAlignment {
+			cancel()
+		}
+	}}
+	eng, err := Plan(opt, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts, err := eng.RunUntil(ctx, reads, StageExtractContig)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: err = %v, want context.Canceled", err)
+	}
+	if arts != nil {
+		t.Fatal("cancelled run returned artifacts")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("rank goroutines leaked after cancellation: %d, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCancelledArtifactsAreDead: a snapshot whose world was cancelled must
+// refuse to resume with a useful error.
+func TestCancelledArtifactsAreDead(t *testing.T) {
+	reads := testReads(12000, 607)
+	opt := DefaultOptions(1)
+	opt.K = 21
+	opt.XDrop = 25
+	eng, err := Plan(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts, err := eng.RunUntil(context.Background(), reads, StageCountKmer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts.World.Cancel(errors.New("operator abort"))
+	if _, err := eng.ResumeFrom(context.Background(), arts, StageExtractContig); err == nil ||
+		!strings.Contains(err.Error(), "cancelled") {
+		t.Fatalf("resume on cancelled world: err = %v", err)
+	}
+}
+
+// TestObserverSequence: observers see every stage start and end in graph
+// order, with the finished stage's aggregate available at StageEnd.
+func TestObserverSequence(t *testing.T) {
+	reads := testReads(12000, 609)
+	opt := DefaultOptions(4)
+	opt.K = 21
+	opt.XDrop = 25
+	var starts, ends []string
+	obs := Observer{
+		StageStart: func(stage string, i, n int) {
+			if n != len(StageNames()) {
+				t.Errorf("StageStart total = %d, want %d", n, len(StageNames()))
+			}
+			starts = append(starts, stage)
+		},
+		StageEnd: func(stage string, sum *trace.Summary, wall time.Duration) {
+			if wall <= 0 {
+				t.Errorf("stage %s: non-positive wall time", stage)
+			}
+			if stage == StageAlignment && sum.Get("Alignment").SumWork <= 0 {
+				t.Errorf("Alignment StageEnd aggregate has no work")
+			}
+			ends = append(ends, stage)
+		},
+	}
+	eng, err := Plan(opt, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background(), reads); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join(StageNames(), ",")
+	if got := strings.Join(starts, ","); got != want {
+		t.Fatalf("StageStart order %q, want %q", got, want)
+	}
+	if got := strings.Join(ends, ","); got != want {
+		t.Fatalf("StageEnd order %q, want %q", got, want)
+	}
+}
+
+// TestEngineAPIErrors covers the engine's misuse surface.
+func TestEngineAPIErrors(t *testing.T) {
+	opt := DefaultOptions(4)
+	eng, err := Plan(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunUntil(context.Background(), nil, "NoSuchStage"); err == nil {
+		t.Fatal("unknown stage accepted")
+	}
+	arts, err := eng.RunUntil(context.Background(), [][]byte{[]byte(strings.Repeat("ACGT", 200))}, StageAlignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ResumeFrom(context.Background(), arts, StageCountKmer); err == nil {
+		t.Fatal("resume to an already-complete stage accepted")
+	}
+	other, err := Plan(DefaultOptions(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.ResumeFrom(context.Background(), arts, StageExtractContig); err == nil {
+		t.Fatal("resume with mismatched P accepted")
+	}
+}

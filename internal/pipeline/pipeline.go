@@ -10,20 +10,25 @@
 // timings under the paper's breakdown names (CountKmer, DetectOverlap,
 // Alignment, TrReduction, ExtractContig) plus the contig-phase sub-stages
 // (CG:*) used for the §6.1 induced-subgraph claim.
+//
+// The computation is organized as a typed stage graph (Stage, Artifacts)
+// driven by an Engine: Plan(opt) validates the options, RunUntil executes a
+// prefix of the graph, ResumeFrom continues a snapshot — possibly many
+// times, under different downstream parameters — and context cancellation
+// unwinds every simulated rank promptly. Run is the monolithic convenience
+// wrapper over the same engine, so monolithic, staged and resumed execution
+// produce bit-identical contigs and equal traffic counters.
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/align"
 	"repro/internal/core"
-	"repro/internal/fasta"
-	"repro/internal/grid"
-	"repro/internal/mpi"
 	"repro/internal/overlap"
 	"repro/internal/readsim"
 	"repro/internal/tr"
@@ -194,77 +199,16 @@ func (o Options) EffectiveThreads() int {
 	return t
 }
 
-// Run assembles reads on a fresh simulated world of opt.P ranks.
+// Run assembles reads on a fresh simulated world of opt.P ranks — the
+// monolithic compatibility wrapper: it plans an engine and runs the whole
+// stage graph in one call. Callers that want partial runs, resume points,
+// progress observers or cancellation use Plan/RunUntil/ResumeFrom directly.
 func Run(reads [][]byte, opt Options) (*Output, error) {
-	if d := isqrt(opt.P); d*d != opt.P {
-		return nil, fmt.Errorf("pipeline: P=%d is not a perfect square", opt.P)
-	}
-	newAligner, err := opt.alignerFactory()
+	eng, err := Plan(opt)
 	if err != nil {
 		return nil, err
 	}
-	out := &Output{}
-	var mu sync.Mutex
-	w := mpi.NewWorld(opt.P)
-	start := time.Now()
-	err = w.Run(func(c *mpi.Comm) {
-		g := grid.New(c)
-		store := fasta.FromGlobal(c, reads)
-		tm := trace.New()
-
-		ores := overlap.Run(g, store, opt.overlapConfig(newAligner), tm)
-
-		var s = overlap.ToStringGraph(ores.R, opt.MaxOverhang)
-		var trStats tr.Stats
-		tm.Stage("TrReduction", c, func() {
-			trStats = tr.Reduce(s, opt.TRFuzz, opt.TRMaxIter, opt.Async)
-		})
-		tm.AddWork("TrReduction", trStats.Products)
-
-		var cres *core.Result
-		cgTimers := trace.New()
-		tm.Stage("ExtractContig", c, func() {
-			cres = core.ContigGeneration(s, store, cgTimers, opt.PackSeqComm, opt.Async)
-		})
-		// ExtractContig's work units: edges routed plus bases assembled.
-		tm.AddWork("ExtractContig",
-			cgTimers.Entry("CG:InducedSubgraph").Work+cgTimers.Entry("CG:LocalAssembly").Work)
-		// Fold the CG sub-stages into the same timer set under CG:* names
-		// (nested inside ExtractContig, so breakdown callers use MainStages
-		// as the denominator — see Stats accessors).
-		tm.Merge(cgTimers)
-
-		contigs := core.GatherContigs(c, cres.Contigs)
-		merged := trace.MergeMax(c, tm)
-		if c.Rank() == 0 {
-			mu.Lock()
-			defer mu.Unlock()
-			out.Contigs = contigs
-			out.Stats = Stats{
-				P:              opt.P,
-				Threads:        opt.EffectiveThreads(),
-				NumReads:       ores.NumReads,
-				NumKmers:       ores.NumKmers,
-				CandidatePairs: ores.CandidatePairs,
-				KeptOverlaps:   ores.KeptOverlaps,
-				ContainedReads: len(ores.Contained),
-				TR:             trStats,
-				NumContigs:     cres.NumContigs,
-				BranchVertices: cres.BranchVertices,
-				AssignedReads:  cres.AssignedReads,
-				MaxLoad:        cres.MaxLoad,
-				MinLoad:        cres.MinLoad,
-				Timers:         merged,
-			}
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	out.Stats.WallTime = time.Since(start)
-	out.Stats.CommBytes = w.TotalBytes()
-	out.Stats.CommMsgs = w.TotalMsgs()
-	return out, nil
+	return eng.Run(context.Background(), reads)
 }
 
 // MainStages are the paper's Figure 5 breakdown categories in pipeline

@@ -1,0 +1,79 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/readsim"
+)
+
+// TestValidateReportsAllViolationsWithFieldNames: a single Validate pass
+// must surface every bad field, each error naming its field.
+func TestValidateReportsAllViolationsWithFieldNames(t *testing.T) {
+	o := Options{
+		P:            3,         // not a perfect square
+		K:            99,        // > kmer.MaxK
+		AlignBackend: "quantum", // unknown
+		Threads:      -1,
+		XDrop:        -5,
+		ReliableLow:  -2,
+		MinOverlap:   -1,
+		MinScoreFrac: -0.5,
+		MaxOverhang:  -3,
+		TRFuzz:       -150,
+		TRMaxIter:    -1,
+	}
+	err := o.Validate()
+	if err == nil {
+		t.Fatal("invalid options validated clean")
+	}
+	msg := err.Error()
+	for _, field := range []string{"Options.P", "Options.K", "Options.AlignBackend", "Options.Threads",
+		"Options.XDrop", "Options.ReliableLow", "Options.MinOverlap", "Options.MinScoreFrac",
+		"Options.MaxOverhang", "Options.TRFuzz", "Options.TRMaxIter"} {
+		if !strings.Contains(msg, field) {
+			t.Errorf("error does not name %s:\n%s", field, msg)
+		}
+	}
+}
+
+func TestValidateAcceptsDefaultsAndPresets(t *testing.T) {
+	for _, p := range []int{1, 4, 16, 64} {
+		if err := DefaultOptions(p).Validate(); err != nil {
+			t.Errorf("DefaultOptions(%d): %v", p, err)
+		}
+	}
+	for _, preset := range []readsim.Preset{readsim.CElegansLike, readsim.OSativaLike, readsim.HSapiensLike} {
+		if err := PresetOptions(preset, 4).Validate(); err != nil {
+			t.Errorf("PresetOptions(%v): %v", preset, err)
+		}
+	}
+	o := DefaultOptions(4)
+	o.AlignBackend = BackendWFA
+	if err := o.Validate(); err != nil {
+		t.Errorf("wfa backend: %v", err)
+	}
+}
+
+func TestValidateReliableRange(t *testing.T) {
+	o := DefaultOptions(4)
+	o.ReliableLow, o.ReliableHigh = 10, 5
+	if err := o.Validate(); err == nil || !strings.Contains(err.Error(), "ReliableHigh") {
+		t.Fatalf("inverted reliable range not reported: %v", err)
+	}
+}
+
+// TestRunValidatesUpfront: Run must fail before any rank starts, with every
+// violation in one error (previously only the P check was upfront; a bad K
+// surfaced as a rank panic deep in kmer).
+func TestRunValidatesUpfront(t *testing.T) {
+	opt := DefaultOptions(3)
+	opt.K = 99
+	_, err := Run(nil, opt)
+	if err == nil {
+		t.Fatal("expected validation error")
+	}
+	if !strings.Contains(err.Error(), "Options.P") || !strings.Contains(err.Error(), "Options.K") {
+		t.Fatalf("want both P and K reported, got: %v", err)
+	}
+}

@@ -146,6 +146,21 @@ func (t *Timers) Names() []string {
 	return append([]string(nil), t.order...)
 }
 
+// Clone returns a deep copy (entries and first-seen order). The pipeline
+// engine forks a rank's timers when resuming from an artifact snapshot, so
+// the snapshot's accounting is never double-counted by the resumed chain.
+func (t *Timers) Clone() *Timers {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := New()
+	for _, n := range t.order {
+		e := *t.m[n]
+		out.m[n] = &e
+		out.order = append(out.order, n)
+	}
+	return out
+}
+
 // Merge folds another rank-local timer set into this one (used to nest
 // sub-stage timers).
 func (t *Timers) Merge(other *Timers) {
@@ -206,31 +221,34 @@ func (s *Summary) Total() time.Duration {
 	return t
 }
 
-// MergeMax gathers per-rank timers at rank 0 and aggregates them: durations,
-// per-rank bytes/messages and work take the max (critical path); bytes and
-// work are also summed (totals). Collective; returns nil on non-zero ranks.
-func MergeMax(c *mpi.Comm, t *Timers) *Summary {
-	type wire struct {
-		Name    string
-		Nanos   int64
-		Bytes   int64
-		Msgs    int64
-		OvBytes int64
-		OvMsgs  int64
-		Work    int64
-	}
-	var mine []wire
+// wire is the flattened per-stage record exchanged by MergeMax and folded by
+// the aggregation shared with Aggregate.
+type wire struct {
+	Name    string
+	Nanos   int64
+	Bytes   int64
+	Msgs    int64
+	OvBytes int64
+	OvMsgs  int64
+	Work    int64
+}
+
+// wires flattens the timer set into per-stage records in first-seen order.
+func (t *Timers) wires() []wire {
 	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []wire
 	for _, n := range t.order {
 		e := t.m[n]
-		mine = append(mine, wire{Name: n, Nanos: int64(e.Dur), Bytes: e.Bytes, Msgs: e.Msgs,
+		out = append(out, wire{Name: n, Nanos: int64(e.Dur), Bytes: e.Bytes, Msgs: e.Msgs,
 			OvBytes: e.OverlapBytes, OvMsgs: e.OverlapMsgs, Work: e.Work})
 	}
-	t.mu.Unlock()
-	parts := mpi.Gatherv(c, 0, mine)
-	if c.Rank() != 0 {
-		return nil
-	}
+	return out
+}
+
+// foldWires aggregates per-rank records: durations, per-rank bytes/messages
+// and work take the max (critical path); bytes and work are also summed.
+func foldWires(parts [][]wire) *Summary {
 	out := &Summary{m: map[string]SummaryEntry{}}
 	for _, part := range parts {
 		for _, w := range part {
@@ -263,6 +281,32 @@ func MergeMax(c *mpi.Comm, t *Timers) *Summary {
 		}
 	}
 	return out
+}
+
+// MergeMax gathers per-rank timers at rank 0 and aggregates them: durations,
+// per-rank bytes/messages and work take the max (critical path); bytes and
+// work are also summed (totals). Collective; returns nil on non-zero ranks.
+func MergeMax(c *mpi.Comm, t *Timers) *Summary {
+	parts := mpi.Gatherv(c, 0, t.wires())
+	if c.Rank() != 0 {
+		return nil
+	}
+	return foldWires(parts)
+}
+
+// Aggregate folds several ranks' timer sets into one Summary with MergeMax's
+// aggregation, but locally — no communication. The pipeline engine, which
+// can reach every simulated rank's Timers through shared memory between
+// stages, uses it to stream per-stage aggregates to observers without
+// perturbing the run's traffic counters.
+func Aggregate(ts []*Timers) *Summary {
+	parts := make([][]wire, 0, len(ts))
+	for _, t := range ts {
+		if t != nil {
+			parts = append(parts, t.wires())
+		}
+	}
+	return foldWires(parts)
 }
 
 // Breakdown formats the stage shares like the paper's Figure 5 legend,
