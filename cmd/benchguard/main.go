@@ -28,6 +28,16 @@
 // worker-pool speedup — are expressed with -assert:
 //
 //	benchguard -bench bench.txt -assert 'BenchmarkThreads/T=4:align_speedup_x>=2'
+//
+// -manifest switches to run-manifest verification: the RUN.json written by
+// `elba -manifest` is checked for its internal invariants (schema,
+// non-negative counters, comm_overlap + comm_exposed == comm_total per
+// stage), and with -manifest-baseline also for the determinism contract —
+// the contig checksum and the byte/message traffic totals must be identical
+// across runs (they are schedule-invariant for a pinned seed; wall-clock
+// fields and gauges are never compared):
+//
+//	benchguard -manifest RUN.json -manifest-baseline ci/RUN_baseline.json
 package main
 
 import (
@@ -58,10 +68,19 @@ var (
 	allocGateExpr = flag.String("alloc-gate", `^allocs_per_op$`, "regexp of metric names the allocation gate enforces")
 	asserts       = flag.String("assert", "", "comma-separated absolute assertions 'Benchmark/name:metric>=value' (also <=); checked against the current run")
 	note          = flag.String("note", "", "free-form note stored in the JSON")
+	manifestPath  = flag.String("manifest", "", "verify a RUN.json run manifest instead of parsing bench output")
+	manifestBase  = flag.String("manifest-baseline", "", "baseline manifest: contig checksum and comm totals must match -manifest exactly")
 )
 
 func main() {
 	flag.Parse()
+	if *manifestPath != "" {
+		runManifestMode(*manifestPath, *manifestBase)
+		return
+	}
+	if *manifestBase != "" {
+		fatal(fmt.Errorf("-manifest-baseline requires -manifest"))
+	}
 	in := os.Stdin
 	if *benchPath != "" {
 		f, err := os.Open(*benchPath)

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// runManifestMode loads the manifest (and optional baseline), verifies, and
+// exits nonzero on any violation.
+func runManifestMode(curPath, basePath string) {
+	cur, err := obs.ReadManifestFile(curPath)
+	if err != nil {
+		fatal(err)
+	}
+	var base *obs.Manifest
+	if basePath != "" {
+		base, err = obs.ReadManifestFile(basePath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if bad := verifyManifest(cur, base); len(bad) > 0 {
+		for _, m := range bad {
+			fmt.Fprintln(os.Stderr, "benchguard: FAIL:", m)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: manifest verified")
+}
+
+// verifyManifest is the -manifest mode: it checks the RUN.json record's
+// internal invariants (schema match, non-negative counters, the per-stage
+// comm_overlap + comm_exposed == comm_total identities via Manifest.Verify)
+// and, when a baseline manifest is given, the cross-run determinism
+// contract: the contig checksum and the byte/message traffic totals must be
+// identical — they are schedule-invariant for a pinned dataset, so any
+// drift is an algorithmic change, not noise. Wall-clock fields and gauges
+// are never compared. Returns one message per violation.
+func verifyManifest(cur *obs.Manifest, base *obs.Manifest) []string {
+	bad := cur.Verify()
+	if base == nil {
+		return bad
+	}
+	if vb := base.Verify(); len(vb) > 0 {
+		for _, m := range vb {
+			bad = append(bad, "baseline: "+m)
+		}
+		return bad
+	}
+	if cur.Contigs.Checksum != base.Contigs.Checksum {
+		bad = append(bad, fmt.Sprintf("contig checksum drifted: %s -> %s (contigs must be bit-identical)",
+			base.Contigs.Checksum, cur.Contigs.Checksum))
+	}
+	if cur.Contigs.Count != base.Contigs.Count || cur.Contigs.TotalBases != base.Contigs.TotalBases {
+		bad = append(bad, fmt.Sprintf("contig summary drifted: %d contigs/%d bases -> %d contigs/%d bases",
+			base.Contigs.Count, base.Contigs.TotalBases, cur.Contigs.Count, cur.Contigs.TotalBases))
+	}
+	if cur.Comm.Bytes != base.Comm.Bytes || cur.Comm.Msgs != base.Comm.Msgs {
+		bad = append(bad, fmt.Sprintf("comm totals drifted: %d bytes/%d msgs -> %d bytes/%d msgs",
+			base.Comm.Bytes, base.Comm.Msgs, cur.Comm.Bytes, cur.Comm.Msgs))
+	}
+	return bad
+}

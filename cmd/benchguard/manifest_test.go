@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func sampleManifest() *obs.Manifest {
+	return &obs.Manifest{
+		Schema:  obs.ManifestSchema,
+		P:       4,
+		Threads: 2,
+		WallNS:  1e9,
+		Stages: []obs.StageStats{
+			{Name: "Alignment", WallNS: 5e8, Work: 1000, Bytes: 100, Msgs: 10,
+				OverlapBytes: 60, OverlapMsgs: 6, ExposedBytes: 40, ExposedMsgs: 4},
+		},
+		Comm:    obs.CommTotals{Bytes: 100, Msgs: 10},
+		Contigs: obs.ContigSummary{Count: 3, TotalBases: 3000, Checksum: "sha256:abc"},
+	}
+}
+
+func TestVerifyManifestInternalInvariants(t *testing.T) {
+	if bad := verifyManifest(sampleManifest(), nil); len(bad) != 0 {
+		t.Fatalf("valid manifest flagged: %v", bad)
+	}
+	// The overlap/exposed split must account for every byte and message.
+	m := sampleManifest()
+	m.Stages[0].ExposedBytes = 0
+	bad := verifyManifest(m, nil)
+	if len(bad) != 1 || !strings.Contains(bad[0], "overlap_bytes") {
+		t.Fatalf("broken byte split produced %v", bad)
+	}
+	m = sampleManifest()
+	m.Stages[0].OverlapMsgs = 99
+	bad = verifyManifest(m, nil)
+	if len(bad) != 1 || !strings.Contains(bad[0], "overlap_msgs") {
+		t.Fatalf("broken msg split produced %v", bad)
+	}
+}
+
+func TestVerifyManifestAgainstBaseline(t *testing.T) {
+	if bad := verifyManifest(sampleManifest(), sampleManifest()); len(bad) != 0 {
+		t.Fatalf("identical manifests flagged: %v", bad)
+	}
+	// Checksum drift is the determinism-contract violation.
+	cur := sampleManifest()
+	cur.Contigs.Checksum = "sha256:def"
+	bad := verifyManifest(cur, sampleManifest())
+	if len(bad) != 1 || !strings.Contains(bad[0], "checksum drifted") {
+		t.Fatalf("checksum drift produced %v", bad)
+	}
+	// Traffic counters are schedule-invariant; any drift fails.
+	cur = sampleManifest()
+	cur.Comm.Msgs = 11
+	bad = verifyManifest(cur, sampleManifest())
+	if len(bad) != 1 || !strings.Contains(bad[0], "comm totals drifted") {
+		t.Fatalf("comm drift produced %v", bad)
+	}
+	// Wall time is noisy and must never be compared.
+	cur = sampleManifest()
+	cur.WallNS = 9e9
+	cur.Stages[0].WallNS = 7e9
+	if bad := verifyManifest(cur, sampleManifest()); len(bad) != 0 {
+		t.Fatalf("wall-clock drift flagged: %v", bad)
+	}
+	// A corrupt baseline fails loudly instead of vacuously passing.
+	base := sampleManifest()
+	base.Schema = "bogus/v0"
+	bad = verifyManifest(sampleManifest(), base)
+	if len(bad) != 1 || !strings.HasPrefix(bad[0], "baseline:") {
+		t.Fatalf("corrupt baseline produced %v", bad)
+	}
+}

@@ -25,6 +25,16 @@
 //
 //	elba -preset celegans -p 4 -cpuprofile cpu.pb.gz -memprofile heap.pb.gz
 //	go tool pprof cpu.pb.gz
+//
+// Observability rides the same run: -traceout writes a Perfetto-loadable
+// event trace (open it in ui.perfetto.dev), -metrics a per-rank + merged
+// metrics snapshot, and -manifest the machine-readable RUN.json run record
+// that benchguard -manifest verifies:
+//
+//	elba -preset celegans -p 4 -traceout trace.json -metrics metrics.json -manifest RUN.json
+//
+// Progress and stage streaming (-progress) go to stderr, so stdout stays
+// machine-parseable when piping the summary lines.
 package main
 
 import (
@@ -49,20 +59,23 @@ func main() {
 	var common elba.Flags
 	common.Register(flag.CommandLine)
 	var (
-		in        = flag.String("in", "", "input reads FASTA (mutually exclusive with -preset)")
-		preset    = flag.String("preset", "", "simulate a dataset: celegans | osativa | hsapiens")
-		size      = flag.Int("size", 100000, "genome length for -preset")
-		seed      = flag.Int64("seed", 1, "seed for -preset")
-		p         = flag.Int("p", 4, "simulated ranks (perfect square: 1,4,9,16,…)")
-		k         = flag.Int("k", 0, "k-mer length override (default: preset/paper value)")
-		xdrop     = flag.Int("x", 0, "x-drop / wavefront-prune threshold override")
-		outPath   = flag.String("out", "", "write contigs FASTA here")
-		refPath   = flag.String("ref", "", "reference FASTA for a quality report")
-		breakdown = flag.Bool("breakdown", false, "print the per-stage runtime breakdown")
-		progress  = flag.Bool("progress", false, "print each pipeline stage as it starts and finishes")
-		doPolish  = flag.Bool("polish", false, "merge overlapping contigs (the paper's future-work pass)")
-		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the assembly here")
-		memProf   = flag.String("memprofile", "", "write a pprof heap profile (post-assembly, after GC) here")
+		in          = flag.String("in", "", "input reads FASTA (mutually exclusive with -preset)")
+		preset      = flag.String("preset", "", "simulate a dataset: celegans | osativa | hsapiens")
+		size        = flag.Int("size", 100000, "genome length for -preset")
+		seed        = flag.Int64("seed", 1, "seed for -preset")
+		p           = flag.Int("p", 4, "simulated ranks (perfect square: 1,4,9,16,…)")
+		k           = flag.Int("k", 0, "k-mer length override (default: preset/paper value)")
+		xdrop       = flag.Int("x", 0, "x-drop / wavefront-prune threshold override")
+		outPath     = flag.String("out", "", "write contigs FASTA here")
+		refPath     = flag.String("ref", "", "reference FASTA for a quality report")
+		breakdown   = flag.Bool("breakdown", false, "print the per-stage runtime breakdown")
+		progress    = flag.Bool("progress", false, "print each pipeline stage as it starts and finishes")
+		doPolish    = flag.Bool("polish", false, "merge overlapping contigs (the paper's future-work pass)")
+		cpuProf     = flag.String("cpuprofile", "", "write a pprof CPU profile of the assembly here")
+		memProf     = flag.String("memprofile", "", "write a pprof heap profile (post-assembly, after GC) here")
+		traceOut    = flag.String("traceout", "", "write a Perfetto-loadable event trace (JSON) here")
+		metricsOut  = flag.String("metrics", "", "write the per-rank + merged metrics snapshot (JSON) here")
+		manifestOut = flag.String("manifest", "", "write the machine-readable RUN.json run manifest here")
 	)
 	flag.Parse()
 
@@ -107,15 +120,31 @@ func main() {
 		}
 	}
 
+	// Observability handles are allocated before New so validation sees them;
+	// both are result-neutral (contigs and traffic counters are identical
+	// with tracing on or off).
+	var traceRec *elba.Trace
+	var metricSet *elba.MetricSet
+	if *traceOut != "" {
+		traceRec = elba.NewTrace(opt.P)
+		opt.Trace = traceRec
+	}
+	if *metricsOut != "" || *manifestOut != "" {
+		metricSet = elba.NewMetricSet(opt.P)
+		opt.Metrics = metricSet
+	}
+
 	asmOpts := []elba.Option{elba.WithOptions(opt)}
 	if *progress {
+		// Progress streams to stderr: stdout carries only the
+		// machine-parseable summary lines.
 		asmOpts = append(asmOpts, elba.WithObserver(elba.Observer{
 			StageStart: func(stage string, i, n int) {
-				fmt.Printf("stage %d/%d %s...\n", i+1, n, stage)
+				fmt.Fprintf(os.Stderr, "stage %d/%d %s...\n", i+1, n, stage)
 			},
 			StageEnd: func(stage string, sum *trace.Summary, wall time.Duration) {
 				e := sum.Get(stage)
-				fmt.Printf("stage %s done in %v (%.2f MB total, max %d msgs/rank)\n",
+				fmt.Fprintf(os.Stderr, "stage %s done in %v (%.2f MB total, max %d msgs/rank)\n",
 					stage, wall.Round(time.Millisecond), float64(e.SumBytes)/1e6, e.MaxMsgs)
 			},
 		}))
@@ -180,6 +209,26 @@ func main() {
 		before := len(result.Contigs)
 		result.Contigs = elba.MergeContigs(result.Contigs, elba.DefaultPolishConfig())
 		fmt.Printf("polish: %d contigs -> %d\n", before, len(result.Contigs))
+	}
+	// Observability artifacts are written only on success (the manifest
+	// records the contigs as output, post-polish if -polish ran).
+	if traceRec != nil {
+		if werr := traceRec.WriteFile(*traceOut); werr != nil {
+			log.Fatal(werr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *traceOut)
+	}
+	if metricSet != nil && *metricsOut != "" {
+		if werr := metricSet.WriteFile(*metricsOut); werr != nil {
+			log.Fatal(werr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", *metricsOut)
+	}
+	if *manifestOut != "" {
+		if werr := result.Manifest(opt).WriteFile(*manifestOut); werr != nil {
+			log.Fatal(werr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote manifest to %s\n", *manifestOut)
 	}
 	printSummary(result)
 	if *breakdown {

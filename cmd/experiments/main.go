@@ -12,7 +12,9 @@
 // (before/after allocation audit of the hot kernels: map-based reference vs
 // the Bloom-filtered / SPA / scratch-reusing paths), stages (stage-graph
 // artifact reuse: a TR-parameter sweep resumed from one post-Alignment
-// snapshot versus independent full runs).
+// snapshot versus independent full runs), trace (the observability layer:
+// per-rank span census, merged metrics, and the run-manifest invariants of
+// a traced run, checked result-neutral against the untraced run).
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dna"
 	"repro/internal/kmer"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/perfmodel"
 	"repro/internal/pipeline"
@@ -47,7 +50,7 @@ import (
 var (
 	scale   = flag.Float64("scale", 1.0, "dataset size multiplier")
 	seed    = flag.Int64("seed", 7, "dataset seed")
-	exp     = flag.String("exp", "all", "env|table2|fig4|fig5|fig6|table3|table4|contigphase|ablation|backends|threads|commoverlap|mem|stages|all")
+	exp     = flag.String("exp", "all", "env|table2|fig4|fig5|fig6|table3|table4|contigphase|ablation|backends|threads|commoverlap|mem|stages|trace|all")
 	network = flag.String("net", "aries", "network model: aries|infiniband")
 	// common holds the -backend/-threads/-comm execution knobs shared with
 	// cmd/elba (elba.Flags, registered in main).
@@ -139,6 +142,9 @@ func main() {
 	}
 	if run("stages") {
 		stagesTable()
+	}
+	if run("trace") {
+		traceTable()
 	}
 }
 
@@ -829,4 +835,71 @@ func stagesTable() {
 		resumeWall.Round(time.Millisecond), fullWall.Round(time.Millisecond),
 		float64(fullWall)/float64(sweptWall))
 	fmt.Println("Snapshots are immutable: every resume forks, so one RunUntil feeds the whole sweep.")
+}
+
+// traceTable is the observability experiment: one traced + metered run,
+// summarized as a per-rank span census and the key merged metrics, with the
+// run manifest's invariants verified and result-neutrality checked against
+// the untraced run — tracing must not change contigs or traffic counters.
+func traceTable() {
+	header("Observability: span census, merged metrics, manifest invariants")
+	preset := readsim.CElegansLike
+	const p = 4
+	ds := readsim.Generate(preset, sizeOf(preset), *seed)
+	opt := pipeline.PresetOptions(preset, p)
+	opt.AlignBackend = common.Backend
+	opt.Threads = common.Threads
+	opt.Async = common.AsyncMode()
+	tr := obs.NewTrace(p)
+	ms := obs.NewMetricSet(p)
+	opt.Trace = tr
+	opt.Metrics = ms
+	out, err := pipeline.Run(readsim.Seqs(ds.Reads), opt)
+	if err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	plain, _ := runPresetMode(preset, p, common.Backend, common.Threads, common.AsyncMode())
+	if !sameContigs(out.Contigs, plain.Contigs) {
+		log.Fatal("trace: tracing changed the contigs")
+	}
+	if out.Stats.CommBytes != plain.Stats.CommBytes || out.Stats.CommMsgs != plain.Stats.CommMsgs {
+		log.Fatalf("trace: tracing changed the traffic: %d/%d bytes, %d/%d msgs",
+			out.Stats.CommBytes, plain.Stats.CommBytes, out.Stats.CommMsgs, plain.Stats.CommMsgs)
+	}
+	fmt.Printf("dataset %s, P=%d, backend=%s; contigs and traffic identical to the untraced run\n\n",
+		ds.Name, p, common.Backend)
+
+	fmt.Printf("| rank | stage spans | pool spans | mpi events | total | dropped |\n|---|---|---|---|---|---|\n")
+	for r := 0; r < tr.Ranks(); r++ {
+		lane := tr.Rank(r)
+		byCat := map[string]int{}
+		for _, e := range lane.Events() {
+			byCat[e.Cat]++
+		}
+		total := 0
+		for _, n := range byCat {
+			total += n
+		}
+		fmt.Printf("| %d | %d | %d | %d | %d | %d |\n",
+			r, byCat["stage"], byCat["pool"], byCat["mpi"], total, lane.Dropped())
+	}
+
+	fmt.Printf("\n| metric | kind | value |\n|---|---|---|\n")
+	for _, m := range ms.Merged() {
+		switch m.Kind {
+		case "histogram":
+			fmt.Printf("| %s | %s | count=%d sum=%d min=%d max=%d |\n", m.Name, m.Kind, m.Count, m.Sum, m.Min, m.Max)
+		default:
+			fmt.Printf("| %s | %s | %d |\n", m.Name, m.Kind, m.Value)
+		}
+	}
+
+	man := out.Manifest(opt)
+	if bad := man.Verify(); len(bad) > 0 {
+		log.Fatalf("trace: manifest invariants violated: %v", bad)
+	}
+	fmt.Printf("\nmanifest: schema %s, %d stages, %.2f MB / %d msgs total, contig checksum %s…\n",
+		man.Schema, len(man.Stages), float64(man.Comm.Bytes)/1e6, man.Comm.Msgs, man.Contigs.Checksum[:18])
+	fmt.Println("Invariants verified: per-stage overlap+exposed == total for bytes and messages.")
+	fmt.Println("The mpi msg-size histogram's count/sum equal the message/byte counters by construction.")
 }

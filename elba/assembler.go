@@ -86,6 +86,18 @@ func WithObserver(obs Observer) Option {
 	return func(a *Assembler) { a.obs = append(a.obs, obs) }
 }
 
+// WithTrace attaches an event trace (NewTrace(p) with p ≥ the rank count):
+// stage bodies, worker-pool chunks and mpi operations record spans into
+// per-rank ring buffers, exported with Trace.WriteFile as Perfetto-loadable
+// JSON. Tracing never changes contigs or traffic counters.
+func WithTrace(t *Trace) Option { return func(a *Assembler) { a.opt.Trace = t } }
+
+// WithMetrics attaches a metric set (NewMetricSet(p) with p ≥ the rank
+// count): the mpi layer and the hot-path stages register typed counters,
+// gauges and histograms per rank, merged deterministically for the manifest
+// and MetricSet.WriteFile.
+func WithMetrics(m *MetricSet) Option { return func(a *Assembler) { a.opt.Metrics = m } }
+
 // Assembler is the configured entry point of the public API: build one with
 // New (all parameter errors surface there, together), then Assemble — or
 // RunUntil / ResumeFrom for partial runs and parameter sweeps that reuse

@@ -49,6 +49,15 @@
 // overlapped against local computation. Contigs are bit-identical at any
 // thread count and in either communication mode.
 //
+// Observability is opt-in and result-neutral: WithTrace records per-rank
+// event spans (stage bodies, pool chunks, mpi sends/receives/waits) for
+// Perfetto (`elba -traceout run.json`, then load run.json in
+// ui.perfetto.dev); WithMetrics collects typed counters/gauges/histograms;
+// and Output.Manifest builds the machine-readable RUN.json run record
+// (options, per-stage comm breakdown with the overlap/exposed split, contig
+// checksum) that benchguard -manifest verifies. Contigs and byte/message
+// counters are bit-identical with observability on or off.
+//
 // The pre-Assembler entry points (Assemble, AssembleFasta, DefaultOptions,
 // PresetOptions) remain as thin wrappers over the same engine.
 package elba
@@ -59,6 +68,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/fasta"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/polish"
 	"repro/internal/quality"
@@ -93,6 +103,24 @@ type Stats = pipeline.Stats
 
 // Contig is one assembled chain of reads.
 type Contig = core.Contig
+
+// Trace collects per-rank event spans for Perfetto export (WithTrace);
+// write it with Trace.WriteFile after the run.
+type Trace = obs.Trace
+
+// MetricSet collects per-rank typed metrics (WithMetrics); snapshot it with
+// MetricSet.WriteFile or fold it into the manifest.
+type MetricSet = obs.MetricSet
+
+// Manifest is the machine-readable run record (RUN.json), built by
+// Output.Manifest(opt); obs-level Verify checks its internal invariants.
+type Manifest = obs.Manifest
+
+// NewTrace allocates one event lane per rank (pass at least the rank count).
+func NewTrace(ranks int) *Trace { return obs.NewTrace(ranks) }
+
+// NewMetricSet allocates one metric registry per rank.
+func NewMetricSet(ranks int) *MetricSet { return obs.NewMetricSet(ranks) }
 
 // QualityReport holds the Table 4 metrics (completeness, longest contig,
 // contig count, misassemblies) plus N50 and coverage uniformity.

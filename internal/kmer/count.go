@@ -1,6 +1,9 @@
 package kmer
 
-import "slices"
+import (
+	"math/bits"
+	"slices"
+)
 
 // This file is the allocation-lean counting substrate behind CountAndBuild:
 // a cache-line-blocked Bloom filter that absorbs first occurrences (HipMer's
@@ -194,6 +197,17 @@ func newBloomBlocks(nblocks int) *blockedBloom {
 		panic("kmer: bloom block count must be a positive power of two")
 	}
 	return &blockedBloom{words: make([]uint64, nblocks*bloomBlockWords), mask: uint64(nblocks - 1)}
+}
+
+// bitsSet returns the number of set bits across the whole filter — the
+// occupancy numerator of the kmer.bloom_bits_set metric (occupancy near 50%
+// means the sizing proxy undershot and false-positive admissions rise).
+func (b *blockedBloom) bitsSet() int64 {
+	var n int64
+	for _, w := range b.words {
+		n += int64(bits.OnesCount64(w))
+	}
+	return n
 }
 
 // testAndSet reports whether all of h's bits were already set, setting them

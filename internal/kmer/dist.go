@@ -80,6 +80,7 @@ func CountAndBuild(store *fasta.DistStore, k int, low, high int32, threads int, 
 	}
 	perRead := make([][]KPos, store.Hi-store.Lo)
 	pool := par.NewPool(threads, func(int) *ExtractScratch { return new(ExtractScratch) })
+	pool.SetTrace(c.Lane(), "kmer.extract")
 	par.ForEach(pool, len(perRead), func(sc *ExtractScratch, i int) {
 		if kps := sc.ExtractInto(store.Seqs[i], k); len(kps) > 0 {
 			perRead[i] = append(make([]KPos, 0, len(kps)), kps...)
@@ -146,6 +147,19 @@ func CountAndBuild(store *fasta.DistStore, k int, low, high int32, threads int, 
 	}
 	reliable := cnt.table.SelectReliable(low, high)
 	nLocal := len(reliable)
+	if reg := c.Metrics(); reg != nil {
+		// All values here are schedule-invariant except table_entries, whose
+		// admitted set may differ on singletons between observation orders
+		// (see count.go); the manifest's determinism gate therefore compares
+		// counters, not gauges.
+		reg.Counter("kmer.occurrences").Add(occ)
+		reg.Counter("kmer.reliable").Add(int64(nLocal))
+		reg.Gauge("kmer.table_entries").Set(int64(cnt.table.Len()))
+		if cnt.bloom != nil {
+			reg.Gauge("kmer.bloom_bits_set").Set(cnt.bloom.bitsSet())
+			reg.Gauge("kmer.bloom_bits").Set(int64(len(cnt.bloom.words) * 64))
+		}
+	}
 	offset := mpi.Exscan(c, nLocal, func(a, b int) int { return a + b })
 	total := mpi.Allreduce(c, nLocal, func(a, b int) int { return a + b })
 	colOf := NewCountTable(nLocal)

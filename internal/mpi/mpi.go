@@ -33,6 +33,8 @@ import (
 	"sync/atomic"
 	"time"
 	"unsafe"
+
+	"repro/internal/obs"
 )
 
 // DefaultRecvTimeout bounds how long a Recv waits before the runtime declares
@@ -62,6 +64,9 @@ type World struct {
 	cancelMu  sync.Mutex
 	cancelCh  chan struct{}
 	cancelErr error
+	// obs holds the optional tracing/metrics handles (see obs.go). Written
+	// only by SetObs before ranks start; read without synchronization after.
+	obs *worldObs
 }
 
 // RankStats counts traffic originated by one rank. The Async counters are
@@ -239,6 +244,9 @@ type mailbox struct {
 	mu    sync.Mutex
 	queue []message
 	gen   chan struct{} // closed and replaced on every push
+	// depth is the optional mpi.mailbox_depth gauge (nil-safe; set by
+	// World.SetObs before ranks start).
+	depth *obs.Gauge
 }
 
 func newMailbox() *mailbox {
@@ -248,6 +256,7 @@ func newMailbox() *mailbox {
 func (m *mailbox) push(msg message) {
 	m.mu.Lock()
 	m.queue = append(m.queue, msg)
+	m.depth.Add(1)
 	close(m.gen)
 	m.gen = make(chan struct{})
 	m.mu.Unlock()
@@ -264,6 +273,7 @@ func (m *mailbox) take(ctx uint64, src int, tag int64) (message, chan struct{}, 
 	for i, msg := range m.queue {
 		if msg.ctx == ctx && msg.src == src && msg.tag == tag {
 			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			m.depth.Add(-1)
 			return msg, nil, true
 		}
 	}
@@ -363,6 +373,21 @@ func (c *Comm) sendRaw(dst int, tag int64, payload any, bytes int64) {
 		atomic.AddInt64(&c.world.stats[wsrc].BytesAsync, bytes)
 	}
 	atomic.AddInt64(c.world.inflightCounter(c.ctx), bytes)
+	if o := c.world.obs; o != nil {
+		o.msgBytes[wsrc].Observe(bytes)
+		if c.async {
+			o.msgBytesAsync[wsrc].Observe(bytes)
+		}
+		if l := o.lanes[wsrc]; l != nil {
+			async := int64(0)
+			if c.async {
+				async = 1
+			}
+			l.Instant(0, "mpi", "send",
+				obs.Arg{K: "dst", V: int64(wdst)}, obs.Arg{K: "tag", V: tag},
+				obs.Arg{K: "bytes", V: bytes}, obs.Arg{K: "async", V: async})
+		}
+	}
 	c.world.mailboxes[wdst].push(message{ctx: c.ctx, src: c.rank, tag: tag, payload: payload, bytes: bytes})
 }
 
@@ -386,6 +411,14 @@ func (c *Comm) recvRaw(src int, tag int64) any {
 // deadlocked — only a rank actually blocked in Wait/Recv trips the timer.
 func (c *Comm) recvRawArmed(src int, tag int64, armed <-chan struct{}) any {
 	box := c.world.mailboxes[c.group[c.rank]]
+	// Blocked-receive tracing: only direct blocking receives (armed ==
+	// armedNow) record a span, and only if the first queue scan misses —
+	// posted matchers report their exposed time via Wait instead.
+	var lane *obs.Lane
+	if o := c.world.obs; o != nil && armed == (<-chan struct{})(armedNow) {
+		lane = o.lanes[c.group[c.rank]]
+	}
+	blockStart := int64(-1)
 	var deadline time.Time
 	armedCh := armed // set to nil once consumed; a nil case blocks forever
 	select {
@@ -399,7 +432,15 @@ func (c *Comm) recvRawArmed(src int, tag int64, armed <-chan struct{}) any {
 		msg, gen, ok := box.take(c.ctx, src, tag)
 		if ok {
 			atomic.AddInt64(c.world.inflightCounter(c.ctx), -msg.bytes)
+			if blockStart >= 0 {
+				lane.Span(0, "mpi", "recv.wait", blockStart,
+					obs.Arg{K: "src", V: int64(c.group[src])}, obs.Arg{K: "tag", V: tag},
+					obs.Arg{K: "bytes", V: msg.bytes})
+			}
 			return msg.payload
+		}
+		if lane != nil && blockStart < 0 {
+			blockStart = lane.Start()
 		}
 		var timer *time.Timer
 		var expire <-chan time.Time

@@ -35,6 +35,8 @@ package mpi
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Request is the common handle of all nonblocking operations: Waitall and
@@ -82,6 +84,11 @@ type reqState struct {
 	armOnce  sync.Once
 	waited   atomic.Bool
 	panicked any // panic value transferred from a background goroutine
+	// Optional observability handles (nil when tracing/metrics are off; set
+	// via Comm.attachObs at post time): lane records an exposed-wait span
+	// when Wait actually blocks, gauge tracks in-flight posted requests.
+	lane  *obs.Lane
+	gauge *obs.Gauge
 }
 
 func newReqState() reqState {
@@ -106,7 +113,15 @@ func (r *reqState) wait(kind string) {
 		panic("mpi: " + kind + " request waited twice (requests are single-use)")
 	}
 	r.armOnce.Do(func() { close(r.armed) })
-	<-r.done
+	if r.lane != nil && !r.Done() {
+		// The request is still in flight when Wait starts: this block is the
+		// exposed (non-overlapped) communication time.
+		st := r.lane.Start()
+		<-r.done
+		r.lane.Span(0, "mpi", "wait:"+kind, st)
+	} else {
+		<-r.done
+	}
 	if r.panicked != nil {
 		panic(r.panicked)
 	}
@@ -115,8 +130,10 @@ func (r *reqState) wait(kind string) {
 // background runs fn in a goroutine, capturing its panic for re-raise at
 // Wait and closing done when it returns.
 func (r *reqState) background(fn func()) {
+	r.gauge.Add(1) // nil-safe; mpi.inflight_reqs
 	go func() {
 		defer close(r.done)
+		defer r.gauge.Add(-1)
 		defer func() {
 			if v := recover(); v != nil {
 				r.panicked = v
@@ -170,6 +187,7 @@ func (r *RecvRequest[T]) WaitValue() []T {
 // transfer progresses while the rank computes.
 func Irecv[T any](c *Comm, src int, tag int64) *RecvRequest[T] {
 	r := &RecvRequest[T]{reqState: newReqState()}
+	c.attachObs(&r.reqState)
 	r.background(func() {
 		r.val = c.recvRawArmed(src, tag, r.armed).([]T)
 	})
@@ -179,6 +197,7 @@ func Irecv[T any](c *Comm, src int, tag int64) *RecvRequest[T] {
 // IrecvChunked posts a receive for a buffer sent with SendChunked.
 func IrecvChunked[T any](c *Comm, src int, tag int64) *RecvRequest[T] {
 	r := &RecvRequest[T]{reqState: newReqState()}
+	c.attachObs(&r.reqState)
 	r.background(func() {
 		n := c.recvRawArmed(src, tag, r.armed).(int64)
 		out := make([]T, 0, n)
@@ -219,6 +238,7 @@ func IBcast[T any](c *Comm, root int, data []T) *BcastRequest[T] {
 	tag := collTag(c) // consumed on the caller goroutine, like every collective
 	ac := c.asyncView()
 	r := &BcastRequest[T]{reqState: newReqState()}
+	c.attachObs(&r.reqState)
 	r.background(func() {
 		r.val = bcastTree(ac, root, tag, data, r.armed)
 	})

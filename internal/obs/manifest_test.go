@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func validManifest() *Manifest {
+	return &Manifest{
+		Schema:  ManifestSchema,
+		P:       4,
+		Threads: 2,
+		WallNS:  12345,
+		Stages: []StageStats{
+			{Name: "CountKmer", WallNS: 10, Work: 100, Bytes: 800, Msgs: 4,
+				OverlapBytes: 600, OverlapMsgs: 3, ExposedBytes: 200, ExposedMsgs: 1},
+		},
+		Comm:    CommTotals{Bytes: 800, Msgs: 4},
+		Contigs: ContigSummary{Count: 2, TotalBases: 99, Checksum: ChecksumSeqs([][]byte{[]byte("ACGT")})},
+	}
+}
+
+func TestChecksumSeqs(t *testing.T) {
+	a := ChecksumSeqs([][]byte{[]byte("ACGT"), []byte("TTTT")})
+	b := ChecksumSeqs([][]byte{[]byte("ACGT"), []byte("TTTT")})
+	if a != b {
+		t.Fatal("checksum not deterministic")
+	}
+	if c := ChecksumSeqs([][]byte{[]byte("ACGTT"), []byte("TTT")}); c == a {
+		t.Fatal("length prefix must separate sequences")
+	}
+	if c := ChecksumSeqs([][]byte{[]byte("TTTT"), []byte("ACGT")}); c == a {
+		t.Fatal("checksum must be order sensitive")
+	}
+	if !strings.HasPrefix(a, "sha256:") {
+		t.Fatalf("checksum %q lacks algorithm prefix", a)
+	}
+}
+
+func TestManifestVerify(t *testing.T) {
+	if bad := validManifest().Verify(); len(bad) != 0 {
+		t.Fatalf("valid manifest rejected: %v", bad)
+	}
+	m := validManifest()
+	m.Stages[0].OverlapBytes = 700 // breaks overlap+exposed == total
+	if bad := m.Verify(); len(bad) != 1 || !strings.Contains(bad[0], "overlap_bytes") {
+		t.Fatalf("byte-split violation not caught: %v", bad)
+	}
+	m = validManifest()
+	m.Stages[0].ExposedMsgs = 2
+	if bad := m.Verify(); len(bad) != 1 || !strings.Contains(bad[0], "overlap_msgs") {
+		t.Fatalf("msg-split violation not caught: %v", bad)
+	}
+	m = validManifest()
+	m.Schema = "elba/run-manifest/v0"
+	if bad := m.Verify(); len(bad) != 1 || !strings.Contains(bad[0], "schema") {
+		t.Fatalf("schema violation not caught: %v", bad)
+	}
+	m = validManifest()
+	m.Contigs.Checksum = ""
+	if bad := m.Verify(); len(bad) != 1 || !strings.Contains(bad[0], "checksum") {
+		t.Fatalf("missing checksum not caught: %v", bad)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := validManifest()
+	m.Metrics = []Metric{{Name: "align.cells", Kind: KindHistogram, Count: 3, Sum: 42}}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != m.Schema || got.P != m.P || got.Contigs.Checksum != m.Contigs.Checksum {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if len(got.Stages) != 1 || got.Stages[0].OverlapBytes != 600 {
+		t.Fatalf("round trip lost stages: %+v", got.Stages)
+	}
+	if len(got.Metrics) != 1 || got.Metrics[0].Sum != 42 {
+		t.Fatalf("round trip lost metrics: %+v", got.Metrics)
+	}
+	if bad := got.Verify(); len(bad) != 0 {
+		t.Fatalf("round-tripped manifest invalid: %v", bad)
+	}
+}

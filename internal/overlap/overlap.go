@@ -205,6 +205,7 @@ func DetectCandidates(g *grid.Grid, store *fasta.DistStore, kres *kmer.Result, c
 // (every pair is aligned exactly once).
 func AlignCandidates(g *grid.Grid, store *fasta.DistStore, c *spmat.Dist[Seeds], cfg Config, tm *trace.Timers, res *Result) {
 	pool := par.NewPool(cfg.Threads, func(int) align.Aligner { return cfg.aligner() })
+	pool.SetTrace(g.Comm.Lane(), "align")
 	tm.Stage("Alignment", g.Comm, func() {
 		res.R = alignAndPrune(g, store, c, pool, cfg, res)
 	})
@@ -231,10 +232,21 @@ func alignAndPrune(g *grid.Grid, store *fasta.DistStore, c *spmat.Dist[Seeds], p
 	ts := c.Local.Ts
 	kinds := make([]bidir.Kind, len(ts))
 	alns := make([]bidir.Aln, len(ts))
+	// align.cells: per-pair DP-cell distribution via the aligner's cumulative
+	// work counter (each pair is aligned exactly once, so the histogram's
+	// count/sum are schedule- and thread-invariant).
+	cells := g.Comm.Metrics().Histogram("align.cells")
 	alignOne := func(al align.Aligner, i int) {
 		t := ts[i]
 		u, v := rowSeqs[t.Row-c.RowLo], colSeqs[t.Col-c.ColLo]
+		var w0 int64
+		if cells != nil {
+			w0 = al.Work()
+		}
 		a := align.BestOf(al, u, v, int32(cfg.K), t.Val.S[:t.Val.N])
+		if cells != nil {
+			cells.Observe(al.Work() - w0)
+		}
 		a.U, a.V = t.Row, t.Col
 		// Quality gates first: length and score density.
 		alnLen := min32(a.EU-a.BU, a.EV-a.BV)
@@ -271,6 +283,11 @@ func alignAndPrune(g *grid.Grid, store *fasta.DistStore, c *spmat.Dist[Seeds], p
 		case bidir.Internal:
 			// repeat-induced, low-quality, or gate-filtered: drop
 		}
+	}
+	if reg := g.Comm.Metrics(); reg != nil {
+		reg.Counter("align.pairs").Add(int64(len(ts)))
+		reg.Counter("align.dovetails").Add(int64(len(upper)))
+		reg.Counter("align.contained").Add(int64(len(contained)))
 	}
 	// Replicate the contained-read set (Prune(R, IsContainedRead())).
 	flat, _ := mpi.AllgathervFlat(g.Comm, contained)

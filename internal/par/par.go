@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -34,6 +35,11 @@ import (
 // would leak); each ForEach spawns its workers for the duration of the call.
 type Pool[S any] struct {
 	states []S
+	// Optional tracing (SetTrace): every chunk a worker processes becomes a
+	// span named spanName on the worker's thread lane (tid 1+w; tid 0 is the
+	// rank's main goroutine).
+	lane     *obs.Lane
+	spanName string
 }
 
 // NewPool creates a pool of max(1, workers) workers; newState(w) builds
@@ -56,6 +62,24 @@ func (p *Pool[S]) Workers() int { return len(p.states) }
 // run. Callers must not use them while a ForEach is in flight.
 func (p *Pool[S]) States() []S { return p.states }
 
+// SetTrace enables per-chunk task spans on lane, named name, one thread lane
+// per worker. A nil lane (tracing off) keeps the pool span-free; calling it
+// while a ForEach is in flight is a race.
+func (p *Pool[S]) SetTrace(lane *obs.Lane, name string) {
+	p.lane = lane
+	p.spanName = name
+}
+
+// span records one worker chunk [lo,hi) as a task span on worker w's thread
+// lane. Nil-safe via the lane.
+func (p *Pool[S]) span(w, lo, hi int, start int64) {
+	if p.lane == nil {
+		return
+	}
+	p.lane.Span(int32(1+w), "pool", p.spanName, start,
+		obs.Arg{K: "lo", V: int64(lo)}, obs.Arg{K: "n", V: int64(hi - lo)})
+}
+
 // ForEach processes item indices [0, n) across the pool's workers and
 // returns when all are done. Items are handed out in contiguous chunks from
 // an atomic cursor (dynamic schedule, good when per-item cost is uniform or
@@ -70,9 +94,11 @@ func ForEach[S any](p *Pool[S], n int, fn func(s S, i int)) {
 		return
 	}
 	if p.Workers() == 1 || n == 1 {
+		st := p.lane.Start()
 		for i := 0; i < n; i++ {
 			fn(p.states[0], i)
 		}
+		p.span(0, 0, n, st)
 		return
 	}
 	chunk := n / (p.Workers() * 8)
@@ -83,7 +109,7 @@ func ForEach[S any](p *Pool[S], n int, fn func(s S, i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < p.Workers(); w++ {
 		wg.Add(1)
-		go func(s S) {
+		go func(w int, s S) {
 			defer wg.Done()
 			for {
 				lo := int(cursor.Add(int64(chunk))) - chunk
@@ -94,11 +120,13 @@ func ForEach[S any](p *Pool[S], n int, fn func(s S, i int)) {
 				if hi > n {
 					hi = n
 				}
+				st := p.lane.Start()
 				for i := lo; i < hi; i++ {
 					fn(s, i)
 				}
+				p.span(w, lo, hi, st)
 			}
-		}(p.states[w])
+		}(w, p.states[w])
 	}
 	wg.Wait()
 }
@@ -116,9 +144,11 @@ func ForEachBalanced[S any](p *Pool[S], weights []int64, fn func(s S, i int)) {
 		return
 	}
 	if p.Workers() == 1 || n == 1 {
+		st := p.lane.Start()
 		for i := 0; i < n; i++ {
 			fn(p.states[0], i)
 		}
+		p.span(0, 0, n, st)
 		return
 	}
 	assign, _ := partition.LPT(weights, p.Workers())
@@ -132,12 +162,14 @@ func ForEachBalanced[S any](p *Pool[S], weights []int64, fn func(s S, i int)) {
 			continue
 		}
 		wg.Add(1)
-		go func(s S, mine []int32) {
+		go func(w int, s S, mine []int32) {
 			defer wg.Done()
+			st := p.lane.Start()
 			for _, i := range mine {
 				fn(s, int(i))
 			}
-		}(p.states[w], items[w])
+			p.span(w, int(mine[0]), int(mine[0])+len(mine), st)
+		}(w, p.states[w], items[w])
 	}
 	wg.Wait()
 }

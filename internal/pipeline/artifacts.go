@@ -78,6 +78,9 @@ type Artifacts struct {
 // RankState per rank holding its persistent communicator.
 func newArtifacts(opt Options, reads [][]byte) *Artifacts {
 	w := mpi.NewWorld(opt.P)
+	// Observability attaches to the world before any rank starts; forks share
+	// the world and therefore the same trace lanes and metric registries.
+	w.SetObs(opt.Trace, opt.Metrics)
 	a := &Artifacts{
 		Opt:   opt,
 		World: w,

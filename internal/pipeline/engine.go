@@ -3,13 +3,39 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"slices"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
+
+// EngineEventKind classifies Observer.Event callbacks.
+type EngineEventKind int
+
+const (
+	// EventRunStart fires once per RunUntil/ResumeFrom call, before any
+	// stage executes. Stage names the first pending stage ("" when the call
+	// has nothing left to run).
+	EventRunStart EngineEventKind = iota
+	// EventRunEnd fires once per call, after the last stage's barrier (or
+	// the failure). Stage names the last completed stage; Err carries the
+	// run's error (nil on success, ctx.Err() on cancellation). A cancelled
+	// run sees its cancelled stage's StageStart with no matching StageEnd,
+	// then EventRunEnd — no callbacks follow it.
+	EventRunEnd
+)
+
+// EngineEvent is one run-lifecycle notification.
+type EngineEvent struct {
+	Kind  EngineEventKind
+	Stage string
+	Err   error
+}
 
 // Observer receives engine progress callbacks. Fields may be nil. Callbacks
 // run on the engine's calling goroutine between stage executions — never on
@@ -23,6 +49,9 @@ type Observer struct {
 	// finished stage's entry sits under its own name; aggregation is local,
 	// so observing never perturbs the run's traffic counters).
 	StageEnd func(stage string, ranks *trace.Summary, wall time.Duration)
+	// Event fires at run-lifecycle boundaries (EventRunStart before the
+	// first StageStart, EventRunEnd after the last StageEnd or the failure).
+	Event func(EngineEvent)
 }
 
 // Engine runs the pipeline's stage graph. Plan validates the options once;
@@ -49,6 +78,15 @@ func Plan(opt Options, obs ...Observer) (*Engine, error) {
 
 // Options returns the engine's validated options.
 func (e *Engine) Options() Options { return e.opt }
+
+// emit delivers a lifecycle event to every observer that registered for it.
+func (e *Engine) emit(ev EngineEvent) {
+	for _, ob := range e.obs {
+		if ob.Event != nil {
+			ob.Event(ev)
+		}
+	}
+}
 
 // Stages lists the engine's stage names in execution order.
 func (e *Engine) Stages() []string {
@@ -120,9 +158,17 @@ func (e *Engine) ResumeFrom(ctx context.Context, a *Artifacts, until string) (*A
 // barrier per stage. Stage bodies reuse the communicators stored in the
 // RankStates, so the op (and therefore traffic) sequence is identical to a
 // monolithic run; the per-stage world.Run only adds a goroutine join.
-func (e *Engine) resume(ctx context.Context, a *Artifacts, untilIdx int) (*Artifacts, error) {
+func (e *Engine) resume(ctx context.Context, a *Artifacts, untilIdx int) (out *Artifacts, err error) {
 	a.exec.Lock()
 	defer a.exec.Unlock()
+	first := ""
+	if len(a.done) <= untilIdx {
+		first = e.stages[len(a.done)].Name()
+	}
+	e.emit(EngineEvent{Kind: EventRunStart, Stage: first})
+	defer func() {
+		e.emit(EngineEvent{Kind: EventRunEnd, Stage: a.Stage(), Err: err})
+	}()
 	total := len(e.stages)
 	for i := len(a.done); i <= untilIdx; i++ {
 		st := e.stages[i]
@@ -144,12 +190,21 @@ func (e *Engine) resume(ctx context.Context, a *Artifacts, untilIdx int) (*Artif
 		}
 		b0, m0 := a.World.TotalBytes(), a.World.TotalMsgs()
 		start := time.Now()
-		err := a.World.RunCtx(ctx, func(c *mpi.Comm) {
-			st.Run(e.opt, a, c.Rank())
+		stageIdx := i
+		runErr := a.World.RunCtx(ctx, func(c *mpi.Comm) {
+			rank := c.Rank()
+			lane := c.Lane()
+			spanStart := lane.Start()
+			// pprof labels let CPU profiles slice samples by stage and rank
+			// (`go tool pprof -tagfocus stage=Alignment`).
+			pprof.Do(context.Background(),
+				pprof.Labels("stage", st.Name(), "rank", strconv.Itoa(rank)),
+				func(context.Context) { st.Run(e.opt, a, rank) })
+			lane.Span(0, "stage", st.Name(), spanStart, obs.Arg{K: "index", V: int64(stageIdx)})
 		})
 		wall := time.Since(start)
-		if err != nil {
-			return nil, err
+		if runErr != nil {
+			return nil, runErr
 		}
 		a.commBytes += a.World.TotalBytes() - b0
 		a.commMsgs += a.World.TotalMsgs() - m0

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/overlap"
 	"repro/internal/readsim"
 	"repro/internal/tr"
@@ -73,6 +74,18 @@ type Options struct {
 	// PackSeqComm sends read sequences 2-bit packed during contig
 	// generation (§7 future work); false matches the paper's protocol.
 	PackSeqComm bool
+	// Trace, when non-nil, collects per-rank event spans (stage bodies,
+	// worker-pool chunks, mpi sends/receives/waits) into ring-buffered lanes
+	// for Perfetto export. It must cover at least P ranks. Tracing never
+	// changes contigs or byte/message counters; with Trace nil the hooks
+	// reduce to a pointer check. Excluded from the run manifest's options
+	// (observability configuration is not an algorithmic parameter).
+	Trace *obs.Trace `json:"-"`
+	// Metrics, when non-nil, collects per-rank typed counters, gauges and
+	// histograms (mpi.*, kmer.*, spmat.*, align.*, pipeline.*) for the
+	// -metrics snapshot and the manifest. Same contract as Trace: ≥ P ranks,
+	// no effect on results, nil means zero-cost.
+	Metrics *obs.MetricSet `json:"-"`
 	// Async runs the communication-heavy loops on the nonblocking mpi layer
 	// so transfers overlap local computation: the SUMMA SpGEMM (overlap
 	// detection and transitive reduction) prefetches the next round's panels

@@ -26,6 +26,12 @@ func StageNames() []string {
 		StageAlignment, StageTrReduction, StageExtractContig}
 }
 
+func init() {
+	// CG:* timer entries are contig-generation sub-stages nested inside
+	// ExtractContig; deterministic breakdowns group them under it.
+	trace.RegisterSubStages("CG", StageExtractContig)
+}
+
 // Stage is one node of the pipeline graph. Run executes the stage's body on
 // one simulated rank: it reads the outputs of the stages named by Deps from
 // a.Ranks[rank] and replaces its own output fields there, never mutating an
@@ -69,6 +75,7 @@ func (fastaReaderStage) Run(opt Options, a *Artifacts, rank int) {
 	rs.Grid = grid.New(rs.Comm)
 	rs.Store = fasta.FromGlobal(rs.Comm, a.Reads)
 	rs.Timers = trace.New()
+	rs.Comm.Metrics().Gauge("pipeline.reads_local").Set(int64(rs.Store.Hi - rs.Store.Lo))
 }
 
 // countKmerStage runs distributed k-mer counting and reliable selection.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // Dist is a 2D block-distributed sparse matrix: grid rank (i, j) owns the
@@ -244,6 +245,12 @@ func spgemm[A, B, C any](a *Dist[A], b *Dist[B], sr Semiring[A, B, C], products 
 	out := newDistShell[C](g, a.NR, b.NC)
 	acc := newSPA[C](out.RowHi - out.RowLo)
 	var ts []Triple[C]
+	lane := g.Comm.Lane()
+	panelNnz := g.Comm.Metrics().Histogram("spmat.panel_nnz")
+	var prod0 int64
+	if products != nil {
+		prod0 = *products
+	}
 
 	// post starts the round-s panel broadcasts (nonblocking path only). The
 	// post order (A then B) matches the blocking call order, so tag sequences
@@ -287,6 +294,9 @@ func spgemm[A, B, C any](a *Dist[A], b *Dist[B], sr Semiring[A, B, C], products 
 			}
 			bblk = mpi.Bcast(g.ColComm, s, bblk)
 		}
+		panelNnz.Observe(int64(len(ablk)))
+		panelNnz.Observe(int64(len(bblk)))
+		roundStart := lane.Start()
 		// Local product: bucket A by inner index with a counting scatter
 		// (exact sizes, no per-bucket append growth), then walk B's column
 		// runs — bblk is canonical column-major — accumulating each output
@@ -334,6 +344,14 @@ func spgemm[A, B, C any](a *Dist[A], b *Dist[B], sr Semiring[A, B, C], products 
 			}
 			lo = hi
 		}
+		if lane != nil {
+			lane.Span(0, "spmat", "summa.round", roundStart,
+				obs.Arg{K: "s", V: int64(s)}, obs.Arg{K: "a_nnz", V: int64(len(ablk))},
+				obs.Arg{K: "b_nnz", V: int64(len(bblk))})
+		}
+	}
+	if products != nil {
+		g.Comm.Metrics().Counter("spmat.spgemm_products").Add(*products - prod0)
 	}
 	out.Local = NewCOO(a.NR, b.NC, ts, sr.Add)
 	return out

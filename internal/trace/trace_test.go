@@ -106,6 +106,61 @@ func TestBreakdownFormatting(t *testing.T) {
 	}
 }
 
+func TestBreakdownGroupedGolden(t *testing.T) {
+	RegisterSubStages("CG", "ExtractContig")
+	build := func(insert func(tm *Timers)) *Summary {
+		tm := New()
+		insert(tm)
+		return Aggregate([]*Timers{tm})
+	}
+	a := build(func(tm *Timers) {
+		tm.Add("ExtractContig", 2*time.Second)
+		tm.Add("CG:Walk", time.Second)
+		tm.Add("Alignment", 6*time.Second)
+		tm.Add("CG:Vote", 500*time.Millisecond)
+	})
+	// Same stages observed in a different order (rank scheduling is free to
+	// reorder first-seen) must render byte-identically.
+	b := build(func(tm *Timers) {
+		tm.Add("CG:Vote", 500*time.Millisecond)
+		tm.Add("Alignment", 6*time.Second)
+		tm.Add("CG:Walk", time.Second)
+		tm.Add("ExtractContig", 2*time.Second)
+	})
+	wantNames := []string{"Alignment", "ExtractContig", "CG:Vote", "CG:Walk"}
+	gotNames := a.OrderedNames()
+	if len(gotNames) != len(wantNames) {
+		t.Fatalf("OrderedNames = %v, want %v", gotNames, wantNames)
+	}
+	for i := range wantNames {
+		if gotNames[i] != wantNames[i] {
+			t.Fatalf("OrderedNames = %v, want %v", gotNames, wantNames)
+		}
+	}
+	out, out2 := a.Breakdown(nil), b.Breakdown(nil)
+	if out != out2 {
+		t.Fatalf("breakdown depends on observation order:\n%s\nvs\n%s", out, out2)
+	}
+	const golden = `Alignment                        6s   75.0%       0.00 MB         0 msgs       0.00 MB overlap
+ExtractContig                    2s   25.0%       0.00 MB         0 msgs       0.00 MB overlap
+  CG:Vote                     500ms    6.2%       0.00 MB         0 msgs       0.00 MB overlap
+  CG:Walk                        1s   12.5%       0.00 MB         0 msgs       0.00 MB overlap
+Total                            8s
+`
+	if out != golden {
+		t.Fatalf("breakdown drifted from golden:\ngot:\n%q\nwant:\n%q", out, golden)
+	}
+	// Sub-stages with an unregistered prefix trail the top-level stages.
+	orphan := build(func(tm *Timers) {
+		tm.Add("ZZ:late", time.Second)
+		tm.Add("Alpha", time.Second)
+	})
+	names := orphan.OrderedNames()
+	if len(names) != 2 || names[0] != "Alpha" || names[1] != "ZZ:late" {
+		t.Fatalf("orphan sub-stage order = %v", names)
+	}
+}
+
 func TestNamesOrder(t *testing.T) {
 	tm := New()
 	tm.Add("z", 1)
