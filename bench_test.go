@@ -360,6 +360,50 @@ func BenchmarkThreads(b *testing.B) {
 	}
 }
 
+// BenchmarkTransports runs the same P=4 assembly over the in-process
+// mailbox and the loopback TCP mesh, recording the socket tax in the
+// BENCH_* trajectory. Both legs must stay bit-identical (contigs and
+// traffic counters) — the wire codec's equivalence contract measured on
+// real output, not just asserted in unit tests.
+func BenchmarkTransports(b *testing.B) {
+	const preset = readsim.CElegansLike
+	ds := readsim.Generate(preset, benchSize(preset), benchSeed)
+	reads := readsim.Seqs(ds.Reads)
+	base := benchRun(b, preset, 4) // in-process reference, shared with other benchmarks
+	for _, tr := range pipeline.Transports() {
+		tr := tr
+		b.Run(tr, func(b *testing.B) {
+			var out *pipeline.Output
+			for i := 0; i < b.N; i++ {
+				opt := pipeline.PresetOptions(preset, 4)
+				opt.Transport = tr
+				var err error
+				out, err = pipeline.Run(reads, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(out.Stats.CommBytes), "comm_bytes")
+			b.ReportMetric(float64(out.Stats.CommMsgs), "comm_messages")
+			identical := 1.0
+			if len(out.Contigs) != len(base.Contigs) ||
+				out.Stats.CommBytes != base.Stats.CommBytes ||
+				out.Stats.CommMsgs != base.Stats.CommMsgs {
+				identical = 0
+			} else {
+				for i := range base.Contigs {
+					if string(base.Contigs[i].Seq) != string(out.Contigs[i].Seq) {
+						identical = 0
+						break
+					}
+				}
+			}
+			b.ReportMetric(identical, "contigs_identical")
+		})
+	}
+}
+
 // BenchmarkContigPhase_Shares verifies the §6.1 claims: the induced
 // subgraph (plus sequence communication) dominates contig generation and
 // ExtractContig stays a small share of the pipeline.

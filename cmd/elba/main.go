@@ -20,6 +20,25 @@
 // and the command exits with the cancellation error instead of hanging.
 // -progress prints each stage as it starts and finishes.
 //
+// # Running multi-process
+//
+// By default the P ranks are goroutines of one process exchanging messages
+// through in-process mailboxes. -transport selects the rank transport:
+//
+//	elba -preset celegans -p 4                      # inproc (default)
+//	elba -preset celegans -transport tcp -p 4       # loopback TCP mesh, one process
+//	elba -preset celegans -transport proc -np 4     # one OS process per rank
+//
+// With -transport proc the command re-executes itself once per rank; the
+// workers rendezvous over loopback TCP, wire a socket mesh, and run the
+// identical SPMD program — every message crosses a real process boundary
+// through the wire codec. Rank 0's process gathers the contigs, prints the
+// summary and writes every output file; the launcher forwards its stdout.
+// -np is an mpirun-style alias for -p. Contigs are bit-identical and
+// byte/message counters equal across all three transports — only wall time
+// differs. (In proc mode -traceout/-metrics/-cpuprofile cover rank 0's
+// process; a worker that dies aborts its peers instead of hanging them.)
+//
 // Profile capture needs no throwaway harness: -cpuprofile and -memprofile
 // write standard pprof files covering the whole assembly, e.g.
 //
@@ -64,6 +83,7 @@ func main() {
 		size        = flag.Int("size", 100000, "genome length for -preset")
 		seed        = flag.Int64("seed", 1, "seed for -preset")
 		p           = flag.Int("p", 4, "simulated ranks (perfect square: 1,4,9,16,…)")
+		np          = flag.Int("np", 0, "alias for -p (mpirun-style spelling, e.g. -transport proc -np 4)")
 		k           = flag.Int("k", 0, "k-mer length override (default: preset/paper value)")
 		xdrop       = flag.Int("x", 0, "x-drop / wavefront-prune threshold override")
 		outPath     = flag.String("out", "", "write contigs FASTA here")
@@ -78,6 +98,24 @@ func main() {
 		manifestOut = flag.String("manifest", "", "write the machine-readable RUN.json run manifest here")
 	)
 	flag.Parse()
+	if *np > 0 {
+		*p = *np
+	}
+
+	// -transport proc: the first invocation is the launcher (re-exec one
+	// worker per rank and wait); the re-exec'd workers carry the ELBA_PROC_*
+	// environment and fall through to the ordinary assembly path below, with
+	// a world wired over TCP instead of in-process mailboxes.
+	workerRank, workerNP, rdv, isWorker := procWorkerEnv()
+	if common.Transport == elba.TransportProc && !isWorker {
+		if err := common.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		os.Exit(launchProc(*p))
+	}
+	// Non-zero ranks compute but stay silent: results are gathered at rank 0,
+	// whose process alone prints summaries and writes output files.
+	quiet := isWorker && workerRank > 0
 
 	var src elba.Source
 	var reference []byte
@@ -91,7 +129,9 @@ func main() {
 			log.Fatal(err)
 		}
 		ds := elba.SimulateDataset(pr, *size, *seed)
-		fmt.Println(ds.Table2Row())
+		if !quiet {
+			fmt.Println(ds.Table2Row())
+		}
 		src = elba.FromDataset(ds)
 		reference = ds.Genome
 		opt = elba.PresetOptions(pr, *p)
@@ -108,6 +148,10 @@ func main() {
 	}
 	if err := common.Apply(&opt); err != nil {
 		log.Fatal(err)
+	}
+	if isWorker {
+		opt.Transport = elba.TransportProc
+		opt.NewWorld = procNewWorld(workerRank, workerNP, rdv)
 	}
 	if *refPath != "" {
 		ref, err := elba.FromFastaFile(*refPath).Reads()
@@ -164,15 +208,17 @@ func main() {
 	// deferred StopCPUProfile and leave a truncated, unreadable profile.
 	// Opening both files first means a bad -memprofile path fails before
 	// CPU profiling ever starts.
+	// In a multi-process run only rank 0 writes profiles and artifacts: the
+	// workers share the command line, so they would clobber one file.
 	var cpuFile, memFile *os.File
-	if *cpuProf != "" {
+	if *cpuProf != "" && !quiet {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
 			log.Fatal(err)
 		}
 		cpuFile = f
 	}
-	if *memProf != "" {
+	if *memProf != "" && !quiet {
 		f, err := os.Create(*memProf)
 		if err != nil {
 			log.Fatal(err)
@@ -204,6 +250,11 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if quiet {
+		// Worker ranks > 0: the contigs and statistics were gathered at rank
+		// 0's process, which prints the summary and writes every artifact.
+		return
 	}
 	if *doPolish {
 		before := len(result.Contigs)

@@ -1,0 +1,133 @@
+package main
+
+// Multi-process execution (-transport proc): the launcher re-execs this
+// binary once per rank with identical arguments plus the ELBA_PROC_*
+// environment, serves the rendezvous point the workers dial to wire the TCP
+// mesh, and multiplexes their output (rank 0's stdout is the run's stdout).
+// Each worker process runs the ordinary assembly path with a NewWorld hook
+// that connects its single endpoint into the mesh — the pipeline, the
+// collectives and the nonblocking layer are unchanged above the seam.
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+
+	"repro/internal/mpi"
+	"repro/internal/mpi/transport/tcp"
+)
+
+// Worker environment set by the launcher. Presence of ELBA_PROC_RANK marks
+// a process as a rank worker.
+const (
+	envProcRank = "ELBA_PROC_RANK"
+	envProcNP   = "ELBA_PROC_NP"
+	envProcRdv  = "ELBA_PROC_RDV"
+)
+
+// procWorkerEnv reports whether this process was re-exec'd as a rank worker,
+// and its coordinates (world rank, job size, rendezvous address).
+func procWorkerEnv() (rank, np int, rdv string, ok bool) {
+	rs, have := os.LookupEnv(envProcRank)
+	if !have {
+		return 0, 0, "", false
+	}
+	rank, err := strconv.Atoi(rs)
+	if err != nil {
+		log.Fatalf("bad %s=%q: %v", envProcRank, rs, err)
+	}
+	np, err = strconv.Atoi(os.Getenv(envProcNP))
+	if err != nil || np < 1 {
+		log.Fatalf("bad %s=%q", envProcNP, os.Getenv(envProcNP))
+	}
+	rdv = os.Getenv(envProcRdv)
+	if rdv == "" {
+		log.Fatalf("%s is empty", envProcRdv)
+	}
+	return rank, np, rdv, true
+}
+
+// procNewWorld returns the Options.NewWorld hook of one worker: dial the
+// rendezvous point, handshake this rank's endpoint into the mesh, and build
+// a world where the other np-1 ranks are remote.
+func procNewWorld(rank, np int, rdv string) func(int) (*mpi.World, error) {
+	return func(p int) (*mpi.World, error) {
+		if p != np {
+			return nil, fmt.Errorf("elba: -p %d disagrees with launcher job size %d", p, np)
+		}
+		ep, err := tcp.Connect(rdv, rank, np)
+		if err != nil {
+			return nil, err
+		}
+		return mpi.NewWorldTransport(ep), nil
+	}
+}
+
+// launchProc is the parent side of -transport proc: serve a rendezvous
+// listener, re-exec this binary np times with the worker environment, and
+// wait. Rank 0's stdout is the run's stdout (the summary lines); all other
+// output goes to stderr. Returns the exit code to propagate.
+func launchProc(np int) int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer ln.Close()
+	rdvErr := make(chan error, 1)
+	go func() { rdvErr <- tcp.ServeRendezvous(ln, np) }()
+
+	exe, err := os.Executable()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	procs := make([]*exec.Cmd, np)
+	for rank := 0; rank < np; rank++ {
+		cmd := exec.Command(exe, os.Args[1:]...)
+		cmd.Env = append(os.Environ(),
+			envProcRank+"="+strconv.Itoa(rank),
+			envProcNP+"="+strconv.Itoa(np),
+			envProcRdv+"="+ln.Addr().String(),
+		)
+		// Only rank 0 produces results; its stdout stays machine-parseable.
+		if rank == 0 {
+			cmd.Stdout = os.Stdout
+		} else {
+			cmd.Stdout = os.Stderr
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Printf("rank %d: %v", rank, err)
+			for _, c := range procs[:rank] {
+				c.Process.Kill()
+			}
+			return 1
+		}
+		procs[rank] = cmd
+	}
+	code := 0
+	for rank, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			// A worker that died on error has already aborted its peers via
+			// the transport; just record the first failure.
+			if code == 0 {
+				code = 1
+			}
+			log.Printf("rank %d: %v", rank, err)
+		}
+	}
+	if code != 0 {
+		// A worker may have died before registering; close the listener so
+		// the rendezvous server cannot block this wait forever.
+		ln.Close()
+	}
+	if err := <-rdvErr; err != nil && code == 0 {
+		log.Printf("rendezvous: %v", err)
+		code = 1
+	}
+	return code
+}

@@ -69,6 +69,11 @@ func WithXDrop(x int32) Option { return func(a *Assembler) { a.opt.XDrop = x } }
 // communication; contigs are identical either way.
 func WithAsync(async bool) Option { return func(a *Assembler) { a.opt.Async = async } }
 
+// WithTransport selects the rank transport (TransportInproc or
+// TransportTCP; TransportProc additionally needs the cmd/elba process
+// launcher). Contigs and traffic counters are identical across transports.
+func WithTransport(name string) Option { return func(a *Assembler) { a.opt.Transport = name } }
+
 // WithTRFuzz overrides the transitive-reduction fuzz — a downstream-only
 // parameter, so chains resumed from a post-Alignment snapshot may differ in
 // it freely.

@@ -49,6 +49,14 @@
 // overlapped against local computation. Contigs are bit-identical at any
 // thread count and in either communication mode.
 //
+// Ranks talk over a pluggable transport, selected with
+// WithTransport(elba.TransportInproc) — goroutines sharing in-process
+// mailboxes, the default — or WithTransport(elba.TransportTCP), a loopback
+// socket mesh inside one process. The third transport, TransportProc, runs
+// every rank as a separate OS process and is driven by the cmd/elba
+// launcher (`elba -transport proc -np 4`), not the library. Contigs and
+// byte/message counters are identical on every transport.
+//
 // Observability is opt-in and result-neutral: WithTrace records per-rank
 // event spans (stage bodies, pool chunks, mpi sends/receives/waits) for
 // Perfetto (`elba -traceout run.json`, then load run.json in
@@ -94,6 +102,20 @@ const (
 
 // AlignBackends lists the built-in alignment backends.
 func AlignBackends() []string { return pipeline.AlignBackends() }
+
+// Transport names for Options.Transport. The in-process mailbox is the
+// reference configuration; the tcp transport runs the same program over a
+// loopback socket mesh, and `elba -transport proc` runs every rank as a
+// separate OS process. Contigs are bit-identical and traffic counters equal
+// across all transports.
+const (
+	TransportInproc = pipeline.TransportInproc // goroutines + in-process mailboxes (default)
+	TransportTCP    = pipeline.TransportTCP    // loopback TCP mesh within one process
+	TransportProc   = pipeline.TransportProc   // one OS process per rank (cmd/elba -transport proc)
+)
+
+// Transports lists the transports selectable through the library API.
+func Transports() []string { return pipeline.Transports() }
 
 // Output is an assembled contig set plus run statistics.
 type Output = pipeline.Output

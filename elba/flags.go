@@ -13,9 +13,10 @@ import (
 // exposes, with one Register/Apply pair so the flag names, defaults and help
 // strings cannot drift apart.
 type Flags struct {
-	Backend string // -backend: alignment backend name
-	Threads int    // -threads: intra-rank workers (0 = auto split)
-	Comm    string // -comm: async | sync
+	Backend   string // -backend: alignment backend name
+	Threads   int    // -threads: intra-rank workers (0 = auto split)
+	Comm      string // -comm: async | sync
+	Transport string // -transport: inproc | tcp | proc (proc: cmd/elba only)
 }
 
 // Register declares the shared flags on fs (pass flag.CommandLine for the
@@ -27,6 +28,8 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 		"intra-rank workers for the alignment/k-mer hot paths (0 = GOMAXPROCS split across ranks)")
 	fs.StringVar(&f.Comm, "comm", "async",
 		"communication mode: async (nonblocking, comm/compute overlap) | sync (blocking); contigs are identical either way")
+	fs.StringVar(&f.Transport, "transport", TransportInproc,
+		"rank transport: inproc (goroutines + mailboxes) | tcp (loopback socket mesh) | proc (one OS process per rank; elba only); contigs are identical on all")
 }
 
 // Validate checks the -comm spelling (flag syntax, not an Options field);
@@ -35,12 +38,21 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 func (f *Flags) Validate() error {
 	switch f.Comm {
 	case "async", "sync":
-		return nil
+	default:
+		return fmt.Errorf("unknown -comm mode %q (want async|sync)", f.Comm)
 	}
-	return fmt.Errorf("unknown -comm mode %q (want async|sync)", f.Comm)
+	switch f.Transport {
+	case "", TransportInproc, TransportTCP, TransportProc:
+	default:
+		return fmt.Errorf("unknown -transport %q (want inproc|tcp|proc)", f.Transport)
+	}
+	return nil
 }
 
-// Apply validates the flags and copies them onto opt.
+// Apply validates the flags and copies them onto opt. The proc transport is
+// copied verbatim; commands without the process launcher surface the
+// validation error from Options.Validate (only cmd/elba sets the endpoint
+// hook that makes proc runnable).
 func (f *Flags) Apply(opt *Options) error {
 	if err := f.Validate(); err != nil {
 		return err
@@ -48,6 +60,7 @@ func (f *Flags) Apply(opt *Options) error {
 	opt.Async = f.AsyncMode()
 	opt.AlignBackend = f.Backend
 	opt.Threads = f.Threads
+	opt.Transport = f.Transport
 	return nil
 }
 

@@ -31,15 +31,28 @@ func (p cancelPanic) String() string {
 // collective) wakes and unwinds, and every future communication on the world
 // unwinds immediately. The first cause wins; nil means context.Canceled.
 // Safe to call from any goroutine, any number of times.
+//
+// In a multi-process world the local endpoints are also aborted, which
+// propagates the failure to peer processes (their transports invoke the
+// failure handler, cancelling their worlds in turn) — the distributed
+// analogue of every in-process rank selecting on one cancel channel.
 func (w *World) Cancel(cause error) {
 	if cause == nil {
 		cause = context.Canceled
 	}
 	w.cancelMu.Lock()
-	defer w.cancelMu.Unlock()
-	if w.cancelErr == nil {
+	first := w.cancelErr == nil
+	if first {
 		w.cancelErr = cause
 		close(w.cancelCh)
+	}
+	w.cancelMu.Unlock()
+	if first {
+		for _, r := range w.local {
+			// Abort may block on socket writes; never under cancelMu, and
+			// never on the canceller's goroutine.
+			go w.eps[r].Abort(cause.Error())
+		}
 	}
 }
 

@@ -5,6 +5,8 @@ package mpi
 // MPI matching rule); each call consumes one sequence number that becomes
 // the message tag, so back-to-back collectives never cross-match.
 
+import "repro/internal/mpi/wire"
+
 // collTag derives the private tag for one collective call.
 func collTag(c *Comm) int64 {
 	return -int64(c.nextSeq())
@@ -29,22 +31,28 @@ func Barrier(c *Comm) {
 // Bcast distributes root's data to every rank and returns it. Non-root ranks
 // may pass nil. Binomial tree, log2(p) rounds.
 func Bcast[T any](c *Comm, root int, data []T) []T {
-	return bcastTree(c, root, collTag(c), data, armedNow)
+	var frame []byte
+	if c.rank == root {
+		frame = wire.Marshal(data)
+	}
+	return mustUnmarshal[T](bcastFrames(c, root, collTag(c), frame, armedNow))
 }
 
-// bcastTree is the binomial-tree broadcast body shared by Bcast and IBcast;
-// the tag is pre-reserved so background goroutines never touch the
-// communicator's sequence counter, and the parent receive's deadlock
-// watchdog arms per the armed channel (immediately for the blocking Bcast,
-// at Wait for IBcast).
-func bcastTree[T any](c *Comm, root int, tag int64, data []T, armed <-chan struct{}) []T {
+// bcastFrames is the binomial-tree broadcast body shared by Bcast and
+// IBcast, operating on an encoded frame: the root encodes once and every
+// hop forwards the frame verbatim, so all P-1 tree messages carry identical
+// bytes and the per-hop counters match a fresh Send exactly. The tag is
+// pre-reserved so background goroutines never touch the communicator's
+// sequence counter, and the parent receive's deadlock watchdog arms per the
+// armed channel (immediately for the blocking Bcast, at Wait for IBcast).
+func bcastFrames(c *Comm, root int, tag int64, frame []byte, armed <-chan struct{}) []byte {
 	p := c.Size()
 	vrank := (c.rank - root + p) % p
 	mask := 1
 	for mask < p {
 		if vrank&mask != 0 {
 			parent := (c.rank - mask + p) % p
-			data = c.recvRawArmed(parent, tag, armed).([]T)
+			frame = c.recvRawArmed(parent, tag, armed)
 			break
 		}
 		mask <<= 1
@@ -52,15 +60,10 @@ func bcastTree[T any](c *Comm, root int, tag int64, data []T, armed <-chan struc
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if vrank+mask < p {
 			dst := (c.rank + mask) % p
-			Send(c, dst, tag, data)
+			c.sendRaw(dst, tag, frame, wire.DataLen(frame))
 		}
 	}
-	if vrank == 0 {
-		cp := make([]T, len(data))
-		copy(cp, data)
-		return cp
-	}
-	return data
+	return frame
 }
 
 // Gather collects one value from every rank at root; root receives a slice

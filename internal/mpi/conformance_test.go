@@ -1,0 +1,266 @@
+package mpi
+
+// Transport conformance suite: every behavior the mpi layer promises —
+// ordering, matching, collectives, chunking, cancellation — exercised
+// through the same table of programs over every registered Transport
+// implementation. A new transport earns its place by passing this file
+// unchanged (add a row to conformanceTransports); the suite runs under
+// -race in CI for both the in-process mailbox and the loopback TCP mesh.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/mpi/transport/tcp"
+)
+
+// conformanceTransport builds a fresh world of p ranks over one transport.
+type conformanceTransport struct {
+	name string
+	make func(t *testing.T, p int) *World
+}
+
+func conformanceTransports() []conformanceTransport {
+	return []conformanceTransport{
+		{name: "inproc", make: func(t *testing.T, p int) *World {
+			return NewWorld(p)
+		}},
+		{name: "tcp", make: func(t *testing.T, p int) *World {
+			eps, err := tcp.NewLocal(p)
+			if err != nil {
+				t.Fatalf("tcp mesh: %v", err)
+			}
+			w := NewWorldTransport(eps...)
+			t.Cleanup(func() { w.Close() })
+			return w
+		}},
+	}
+}
+
+// forTransports runs fn on a fresh world of every transport × size.
+func forTransports(t *testing.T, sizes []int, fn func(t *testing.T, w *World)) {
+	t.Helper()
+	for _, tr := range conformanceTransports() {
+		for _, p := range sizes {
+			t.Run(fmt.Sprintf("%s/P=%d", tr.name, p), func(t *testing.T) {
+				fn(t, tr.make(t, p))
+			})
+		}
+	}
+}
+
+// conformanceSizes keeps the socket meshes small; the inproc-only unit tests
+// cover larger worlds.
+var conformanceSizes = []int{1, 2, 4}
+
+func TestConformanceFIFOAndTagMatching(t *testing.T) {
+	forTransports(t, []int{2}, func(t *testing.T, w *World) {
+		err := w.Run(func(c *Comm) {
+			if c.Rank() == 0 {
+				for i := 0; i < 20; i++ {
+					Send(c, 1, 5, []int{i})
+				}
+				Send(c, 1, 100, []byte("first"))
+				Send(c, 1, 200, []byte("second"))
+			} else {
+				for i := 0; i < 20; i++ {
+					if got := Recv[int](c, 0, 5); got[0] != i {
+						panic(fmt.Sprintf("FIFO violated: want %d got %d", i, got[0]))
+					}
+				}
+				// Receive in reverse tag order: matching is by (src, tag).
+				b := Recv[byte](c, 0, 200)
+				a := Recv[byte](c, 0, 100)
+				if string(a) != "first" || string(b) != "second" {
+					panic("tag matching broken")
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestConformanceSelfSend(t *testing.T) {
+	forTransports(t, conformanceSizes, func(t *testing.T, w *World) {
+		err := w.Run(func(c *Comm) {
+			Send(c, c.Rank(), 3, []int64{int64(c.Rank()), 42})
+			got := Recv[int64](c, c.Rank(), 3)
+			if got[0] != int64(c.Rank()) || got[1] != 42 {
+				panic("self-send corrupted payload")
+			}
+			r := Irecv[int64](c, c.Rank(), 4)
+			Isend(c, c.Rank(), 4, []int64{7}).Wait()
+			if v := r.WaitValue(); v[0] != 7 {
+				panic("nonblocking self-send corrupted payload")
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestConformanceZeroLengthAlltoallv(t *testing.T) {
+	forTransports(t, conformanceSizes, func(t *testing.T, w *World) {
+		err := w.Run(func(c *Comm) {
+			p := c.Size()
+			send := make([][]int32, p)
+			for r := 0; r < p; r++ {
+				// Rank i sends r+i elements to rank r — zero-length for the
+				// first pair, so empty segments must round-trip cleanly.
+				n := (c.Rank() + r) % p
+				seg := make([]int32, n)
+				for i := range seg {
+					seg[i] = int32(c.Rank()*100 + r)
+				}
+				send[r] = seg
+			}
+			recv := Alltoallv(c, send)
+			for r := 0; r < p; r++ {
+				wantN := (r + c.Rank()) % p
+				if len(recv[r]) != wantN {
+					panic(fmt.Sprintf("rank %d from %d: got %d elems, want %d", c.Rank(), r, len(recv[r]), wantN))
+				}
+				for _, v := range recv[r] {
+					if v != int32(r*100+c.Rank()) {
+						panic("zero-length alltoallv corrupted data")
+					}
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestConformanceChunkedHonoursLimit(t *testing.T) {
+	old := MaxMessageBytes
+	MaxMessageBytes = 64
+	defer func() { MaxMessageBytes = old }()
+	forTransports(t, []int{4}, func(t *testing.T, w *World) {
+		err := w.Run(func(c *Comm) {
+			p := c.Size()
+			send := make([][]byte, p)
+			for r := 0; r < p; r++ {
+				buf := make([]byte, 300+r*17)
+				for i := range buf {
+					buf[i] = byte((c.Rank() + r + i) % 251)
+				}
+				send[r] = buf
+			}
+			recv := AlltoallvChunked(c, send)
+			for r := 0; r < p; r++ {
+				want := make([]byte, 300+c.Rank()*17)
+				for i := range want {
+					want[i] = byte((r + c.Rank() + i) % 251)
+				}
+				if !reflect.DeepEqual(recv[r], want) {
+					panic("chunked alltoallv corrupted data")
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestConformanceInterleavedCollectivesOnSplitComms(t *testing.T) {
+	forTransports(t, []int{4}, func(t *testing.T, w *World) {
+		err := w.Run(func(c *Comm) {
+			row := c.Split(c.Rank()/2, c.Rank()%2)
+			col := c.Split(c.Rank()%2, c.Rank()/2)
+			// Interleave world, row and col collectives: contexts and
+			// per-collective tags must keep them all separate.
+			sum := Allreduce(c, c.Rank(), func(a, b int) int { return a + b })
+			rowSum := Allreduce(row, c.Rank(), func(a, b int) int { return a + b })
+			req := IBcast(c, 0, []int{sum})
+			colSum := Allreduce(col, c.Rank(), func(a, b int) int { return a + b })
+			got := req.WaitValue()
+			if sum != 0+1+2+3 || got[0] != sum {
+				panic(fmt.Sprintf("world collectives broken: sum=%d bcast=%d", sum, got[0]))
+			}
+			wantRow := 2*(c.Rank()/2)*2 + 1 // ranks 2k and 2k+1
+			if rowSum != wantRow {
+				panic(fmt.Sprintf("row sum = %d, want %d", rowSum, wantRow))
+			}
+			wantCol := c.Rank()%2 + (c.Rank()%2 + 2) // ranks k and k+2
+			if colSum != wantCol {
+				panic(fmt.Sprintf("col sum = %d, want %d", colSum, wantCol))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestConformanceCancelUnblocksReceive(t *testing.T) {
+	forTransports(t, []int{2}, func(t *testing.T, w *World) {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(30 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		err := w.RunCtx(ctx, func(c *Comm) {
+			// Every rank blocks on a message nobody sends; only the
+			// cancellation can unblock them.
+			Recv[int64](c, (c.Rank()+1)%c.Size(), 999)
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunCtx after cancel: err = %v, want context.Canceled", err)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("cancellation took %v, want prompt unwind", d)
+		}
+	})
+}
+
+// TestConformanceCountersEqualAcrossTransports runs one traffic-heavy SPMD
+// program on every transport and requires bit-equal byte/message counters —
+// the invariant that makes perf numbers comparable across transports.
+func TestConformanceCountersEqualAcrossTransports(t *testing.T) {
+	type totals struct{ bytes, msgs int64 }
+	program := func(c *Comm) {
+		p := c.Size()
+		send := make([][]int64, p)
+		for r := 0; r < p; r++ {
+			seg := make([]int64, (c.Rank()+r)%3*5)
+			for i := range seg {
+				seg[i] = int64(i)
+			}
+			send[r] = seg
+		}
+		IAlltoallv(c, send).Wait()
+		Bcast(c, 0, []byte("counter probe"))
+		Allreduce(c, int64(c.Rank()), func(a, b int64) int64 { return a + b })
+		Gatherv(c, 0, []int32{int32(c.Rank())})
+		Barrier(c)
+	}
+	const p = 4
+	got := map[string]totals{}
+	for _, tr := range conformanceTransports() {
+		w := tr.make(t, p)
+		if err := w.Run(program); err != nil {
+			t.Fatalf("%s: %v", tr.name, err)
+		}
+		got[tr.name] = totals{w.TotalBytes(), w.TotalMsgs()}
+	}
+	ref := got["inproc"]
+	if ref.bytes == 0 || ref.msgs == 0 {
+		t.Fatalf("inproc counted no traffic: %+v", ref)
+	}
+	for name, tot := range got {
+		if tot != ref {
+			t.Errorf("%s counters %+v differ from inproc %+v", name, tot, ref)
+		}
+	}
+}

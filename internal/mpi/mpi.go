@@ -1,63 +1,94 @@
-// Package mpi implements a simulated distributed-memory message-passing
-// runtime with MPI-like semantics.
+// Package mpi implements a distributed-memory message-passing runtime with
+// MPI-like semantics over pluggable transports.
 //
 // The ELBA paper targets MPI on thousands of ranks. Go has no MPI ecosystem,
-// so this package substitutes a faithful in-process simulation: every rank is
-// a goroutine with a private heap, point-to-point messages copy their payload
-// through per-rank mailboxes, and the usual collectives (Barrier, Bcast,
-// Gather(v), Allgather(v), Alltoall(v), Reduce, Allreduce, ReduceScatter,
-// Exscan) are built on top of point-to-point exchange exactly as a small MPI
-// implementation would. Communicators can be Split into sub-communicators
-// (used for the row/column communicators of the 2D process grid).
+// so this package provides the runtime itself, split along two seams:
 //
-// Because payloads are copied on send, a rank can never observe another
-// rank's memory: algorithmic errors (reading a vector entry the rank does not
-// own) fail in tests the same way they would on real distributed hardware.
+//   - Below, a transport.Transport (package mpi/transport) moves tagged byte
+//     messages between ranks with src/tag matching. The reference transport
+//     delivers through in-process mailboxes — every rank a goroutine, as the
+//     original simulator did; transport/tcp delivers over sockets so ranks
+//     can be separate OS processes (cmd/elba -transport proc).
+//   - Between, a wire codec (package mpi/wire) encodes every payload —
+//     packed k-mer triples, COO panels, read sequences, count vectors — into
+//     self-describing frames that decode byte-identically in any process.
 //
-// Besides the blocking operations, the package provides a nonblocking layer
+// Above the seams live the MPI semantics, shared by all transports:
+// point-to-point Send/Recv with buffered sends and (src, tag) matching, the
+// usual collectives (Barrier, Bcast, Gather(v), Allgather(v), Alltoall(v),
+// Reduce, Allreduce, ReduceScatter, Exscan) built on point-to-point exchange
+// exactly as a small MPI implementation would, communicator Split (the
+// row/column communicators of the 2D process grid), a nonblocking layer
 // (Isend/Irecv/Request/Waitall, IBcast, IAlltoallv — see nonblocking.go)
-// that lets ranks overlap communication with local computation the way
-// diBELLA hides its SUMMA broadcasts and sequence exchanges.
+// for overlapping communication with computation, cooperative cancellation
+// (see cancel.go), and a recv deadlock watchdog.
 //
-// The runtime also keeps per-rank traffic counters — total and
-// nonblocking-path bytes/messages plus per-communicator in-flight bytes —
-// so experiments can report machine-independent communication volumes and
-// how much of them was overlappable.
+// Because every payload is encoded at send and decoded at receive, a rank
+// can never observe another rank's memory — algorithmic errors (reading a
+// vector entry the rank does not own) fail in tests the same way they would
+// on real distributed hardware — and the traffic counters charge the actual
+// wire bytes, identically on every transport. The runtime keeps per-rank
+// totals, the nonblocking (overlappable) subset, and per-communicator
+// in-flight gauges; the cross-transport conformance suite
+// (conformance_test.go) pins byte/message equality between the in-process
+// and TCP transports.
+//
+// Worlds are built with NewWorld(p) (in-process: all p ranks local) or
+// NewWorldTransport(endpoints...) (general: one endpoint per local rank; a
+// multi-process job passes exactly one). World.Run executes a rank function
+// on every local rank; in a multi-process world each process runs its own
+// rank and the SPMD program must be identical everywhere, like real MPI.
 package mpi
 
 import (
 	"fmt"
-	"hash/maphash"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 	"unsafe"
 
+	"repro/internal/mpi/transport"
+	"repro/internal/mpi/wire"
 	"repro/internal/obs"
 )
 
 // DefaultRecvTimeout bounds how long a Recv waits before the runtime declares
-// a deadlock. Simulated runs are local, so a multi-minute wait always means a
-// mismatched send/receive pattern; panicking with context beats hanging.
+// a deadlock. A multi-minute wait always means a mismatched send/receive
+// pattern; panicking with context beats hanging.
 var DefaultRecvTimeout = 120 * time.Second
 
 // MaxMessageBytes mirrors the MPI count limit of 2^31-1 that the paper's
-// sequence-communication step must work around. Sends larger than this panic,
-// forcing callers to chunk exactly as ELBA does. Tests lower it to exercise
-// the chunking path at small scale.
+// sequence-communication step must work around. Sends whose encoded payload
+// is larger than this panic, forcing callers to chunk exactly as ELBA does.
+// Tests lower it to exercise the chunking path at small scale.
 var MaxMessageBytes = int64(1<<31 - 1)
 
-// World owns the mailboxes and counters for one simulated machine.
+// Communicator context ids. The world communicator and the control plane use
+// reserved even ids; Split derives odd ids by hashing, so a split
+// communicator can never collide with either.
+const (
+	ctxWorld   uint64 = 1
+	ctxControl uint64 = 2
+)
+
+// World owns the transport endpoints and counters for one machine's share of
+// a P-rank job. In an in-process world every rank is local; in a
+// multi-process world each OS process holds the endpoint(s) of its own
+// rank(s) and the rest of eps is nil.
 type World struct {
-	size        int
-	mailboxes   []*mailbox
-	stats       []RankStats
-	recvTimeout time.Duration
+	size  int
+	local []int                 // sorted world ranks served by this process
+	eps   []transport.Transport // indexed by world rank; nil for remote ranks
+	stats []RankStats
+	// recvTimeout is read atomically (nanoseconds): background matcher
+	// goroutines consult it while tests adjust it.
+	recvTimeout int64
 	// inflight tracks bytes sent but not yet received, per communicator
 	// context id (uint64 → *int64). Incremented at send, decremented when the
 	// receiver takes the message; a rank can read its communicator's gauge
-	// with Comm.InflightBytes.
+	// with Comm.InflightBytes. Local traffic only in multi-process worlds.
 	inflight sync.Map
 	// Cancellation (see cancel.go): cancelCh is closed exactly once, after
 	// cancelErr is set, so readers woken by the close always see the cause.
@@ -73,7 +104,8 @@ type World struct {
 // the subset of the totals that was sent through the nonblocking layer
 // (Isend and the collectives built on it) — the traffic a rank could have
 // overlapped with computation; package trace turns their deltas into the
-// comm_overlap/comm_exposed split.
+// comm_overlap/comm_exposed split. Bytes are encoded wire bytes (frame
+// payloads, headers excluded), so counters are equal across transports.
 type RankStats struct {
 	MsgsSent   int64
 	BytesSent  int64
@@ -82,31 +114,103 @@ type RankStats struct {
 	_          [4]int64 // pad to a cache line to avoid false sharing
 }
 
-// NewWorld creates a world with p ranks.
+// NewWorld creates an in-process world with p ranks — the reference
+// configuration: every rank a goroutine, delivery through shared mailboxes.
 func NewWorld(p int) *World {
-	if p <= 0 {
-		panic(fmt.Sprintf("mpi: world size %d must be positive", p))
+	return NewWorldTransport(transport.NewInproc(p)...)
+}
+
+// NewWorldTransport creates a world over explicit transport endpoints, one
+// per rank served by this process. All endpoints must report the same job
+// size and distinct ranks. Endpoint failures (a peer process aborting, a
+// connection dying) cancel the world, unwinding every local rank.
+func NewWorldTransport(eps ...transport.Transport) *World {
+	if len(eps) == 0 {
+		panic("mpi: NewWorldTransport needs at least one endpoint")
+	}
+	size := eps[0].Size()
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d must be positive", size))
 	}
 	w := &World{
-		size:        p,
-		mailboxes:   make([]*mailbox, p),
-		stats:       make([]RankStats, p),
-		recvTimeout: DefaultRecvTimeout,
-		cancelCh:    make(chan struct{}),
+		size:     size,
+		eps:      make([]transport.Transport, size),
+		stats:    make([]RankStats, size),
+		cancelCh: make(chan struct{}),
 	}
-	for i := range w.mailboxes {
-		w.mailboxes[i] = newMailbox()
+	atomic.StoreInt64(&w.recvTimeout, int64(DefaultRecvTimeout))
+	for _, ep := range eps {
+		if ep.Size() != size {
+			panic(fmt.Sprintf("mpi: endpoint sizes disagree (%d vs %d)", ep.Size(), size))
+		}
+		r := ep.Self()
+		if r < 0 || r >= size {
+			panic(fmt.Sprintf("mpi: endpoint rank %d out of range [0,%d)", r, size))
+		}
+		if w.eps[r] != nil {
+			panic(fmt.Sprintf("mpi: duplicate endpoint for rank %d", r))
+		}
+		w.eps[r] = ep
+		w.local = append(w.local, r)
+		ep.SetFailureHandler(func(err error) {
+			w.Cancel(fmt.Errorf("mpi: transport failure: %w", err))
+		})
 	}
+	sort.Ints(w.local)
 	return w
 }
 
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
 
-// SetRecvTimeout overrides the deadlock watchdog for this world.
-func (w *World) SetRecvTimeout(d time.Duration) { w.recvTimeout = d }
+// Local returns the world ranks served by this process, ascending.
+func (w *World) Local() []int {
+	out := make([]int, len(w.local))
+	copy(out, w.local)
+	return out
+}
 
-// Stats returns a snapshot of per-rank traffic counters.
+// Distributed reports whether some ranks of the world live in other
+// processes — in which case per-world aggregates (TotalBytes, Stats) cover
+// only the local ranks and cross-rank sums must go through collectives.
+func (w *World) Distributed() bool { return len(w.local) < w.size }
+
+// Close releases the world's transport endpoints after a polite drain. Call
+// it when a multi-process or socket-backed world is done; in-process worlds
+// have nothing to release.
+func (w *World) Close() error {
+	// Close all local endpoints concurrently: the BYE drain of each waits
+	// for its peers' BYEs, so in a world with several local endpoints a
+	// sequential loop would stall every close behind the next one's.
+	errs := make([]error, len(w.local))
+	var wg sync.WaitGroup
+	for i, r := range w.local {
+		wg.Add(1)
+		go func(i, r int) {
+			defer wg.Done()
+			errs[i] = w.eps[r].Close()
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetRecvTimeout overrides the deadlock watchdog for this world.
+func (w *World) SetRecvTimeout(d time.Duration) {
+	atomic.StoreInt64(&w.recvTimeout, int64(d))
+}
+
+func (w *World) timeout() time.Duration {
+	return time.Duration(atomic.LoadInt64(&w.recvTimeout))
+}
+
+// Stats returns a snapshot of per-rank traffic counters (local ranks only in
+// a distributed world; remote entries are zero).
 func (w *World) Stats() []RankStats {
 	out := make([]RankStats, w.size)
 	for i := range out {
@@ -118,7 +222,7 @@ func (w *World) Stats() []RankStats {
 	return out
 }
 
-// TotalBytes returns the total bytes sent by all ranks so far.
+// TotalBytes returns the total bytes sent by all local ranks so far.
 func (w *World) TotalBytes() int64 {
 	var t int64
 	for i := range w.stats {
@@ -127,7 +231,7 @@ func (w *World) TotalBytes() int64 {
 	return t
 }
 
-// TotalMsgs returns the total messages sent by all ranks so far.
+// TotalMsgs returns the total messages sent by all local ranks so far.
 func (w *World) TotalMsgs() int64 {
 	var t int64
 	for i := range w.stats {
@@ -147,7 +251,7 @@ func (w *World) inflightCounter(ctx uint64) *int64 {
 }
 
 // InflightBytes returns the bytes currently sent but not yet received across
-// all communicators of the world.
+// all communicators of the world (local endpoints only).
 func (w *World) InflightBytes() int64 {
 	var t int64
 	w.inflight.Range(func(_, v any) bool {
@@ -158,7 +262,9 @@ func (w *World) InflightBytes() int64 {
 }
 
 // Comm returns the world communicator for the given rank. Each rank goroutine
-// must use its own Comm; Comms are not shared between goroutines.
+// must use its own Comm; Comms are not shared between goroutines. In a
+// distributed world a Comm for a remote rank can be constructed (the engine
+// keeps symmetric per-rank state) but panics on first communication.
 func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.size {
 		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.size))
@@ -167,7 +273,21 @@ func (w *World) Comm(rank int) *Comm {
 	for i := range group {
 		group[i] = i
 	}
-	return &Comm{world: w, ctx: 1, rank: rank, group: group}
+	return &Comm{world: w, ctx: ctxWorld, rank: rank, group: group}
+}
+
+// ControlComm returns an out-of-band world communicator for the given rank
+// whose traffic is invisible to every counter, gauge, histogram and trace —
+// the engine's control plane for aggregating per-stage statistics across
+// processes without perturbing the statistics themselves. It uses a reserved
+// context, so control collectives never cross-match application traffic.
+// Like Comm, each rank goroutine needs its own, and the same control
+// communicator must be reused across calls so sequence numbers stay aligned.
+func (w *World) ControlComm(rank int) *Comm {
+	c := w.Comm(rank)
+	c.ctx = ctxControl
+	c.nocount = true
+	return c
 }
 
 // RankError reports a panic raised inside one rank of a Run.
@@ -181,20 +301,23 @@ func (e *RankError) Error() string {
 	return fmt.Sprintf("mpi: rank %d panicked: %v\n%s", e.Rank, e.Value, e.Stack)
 }
 
-// Run executes fn on p simulated ranks and waits for all of them. Panics in
+// Run executes fn on p in-process ranks and waits for all of them. Panics in
 // rank goroutines are recovered and returned as errors (first one wins).
 func Run(p int, fn func(*Comm)) error {
 	w := NewWorld(p)
 	return w.Run(fn)
 }
 
-// Run executes fn on every rank of the world and waits for completion.
+// Run executes fn on every local rank of the world and waits for completion.
+// In-process worlds run all P ranks as goroutines; a multi-process world
+// runs only this process's ranks, and every process must call Run with the
+// same SPMD program.
 func (w *World) Run(fn func(*Comm)) error {
-	errs := make(chan *RankError, w.size)
+	errs := make(chan *RankError, len(w.local))
 	done := make(chan struct{})
 	var pending atomic.Int64
-	pending.Store(int64(w.size))
-	for r := 0; r < w.size; r++ {
+	pending.Store(int64(len(w.local)))
+	for _, r := range w.local {
 		c := w.Comm(r)
 		go func(rank int, c *Comm) {
 			defer func() {
@@ -224,77 +347,6 @@ func (w *World) Run(fn func(*Comm)) error {
 	}
 }
 
-// message is a single point-to-point transmission.
-type message struct {
-	ctx     uint64 // communicator context id
-	src     int    // communicator rank of the sender
-	tag     int64
-	payload any
-	bytes   int64
-}
-
-// mailbox is the queue of messages addressed to one rank. Any rank may push;
-// the owning rank goroutine AND its posted nonblocking-receive goroutines
-// consume concurrently, so wakeups must reach every waiter: push closes the
-// current generation channel (a broadcast), and each waiter re-scans the
-// queue whenever the generation it grabbed under the lock is closed. A
-// single-slot signal channel would wake one arbitrary waiter and strand the
-// message's actual addressee until its watchdog timer fired.
-type mailbox struct {
-	mu    sync.Mutex
-	queue []message
-	gen   chan struct{} // closed and replaced on every push
-	// depth is the optional mpi.mailbox_depth gauge (nil-safe; set by
-	// World.SetObs before ranks start).
-	depth *obs.Gauge
-}
-
-func newMailbox() *mailbox {
-	return &mailbox{gen: make(chan struct{})}
-}
-
-func (m *mailbox) push(msg message) {
-	m.mu.Lock()
-	m.queue = append(m.queue, msg)
-	m.depth.Add(1)
-	close(m.gen)
-	m.gen = make(chan struct{})
-	m.mu.Unlock()
-}
-
-// take removes and returns the first message matching (ctx, src, tag),
-// preserving FIFO order among matching messages. When no match is queued it
-// returns the current generation channel, which is closed by the next push —
-// grabbing it under the same lock as the scan means a waiter can never miss
-// the push that delivers its message.
-func (m *mailbox) take(ctx uint64, src int, tag int64) (message, chan struct{}, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for i, msg := range m.queue {
-		if msg.ctx == ctx && msg.src == src && msg.tag == tag {
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
-			m.depth.Add(-1)
-			return msg, nil, true
-		}
-	}
-	return message{}, m.gen, false
-}
-
-// pendingDump formats queued messages for deadlock diagnostics.
-func (m *mailbox) pendingDump() string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := ""
-	for i, msg := range m.queue {
-		if i == 8 {
-			s += fmt.Sprintf(" …(%d more)", len(m.queue)-8)
-			break
-		}
-		s += fmt.Sprintf(" (ctx=%d src=%d tag=%d)", msg.ctx, msg.src, msg.tag)
-	}
-	return s
-}
-
 // Comm is a communicator: a group of ranks with a private context id so
 // concurrent collectives on different communicators never interfere.
 type Comm struct {
@@ -307,6 +359,10 @@ type Comm struct {
 	// into the BytesAsync/MsgsAsync overlap counters. Set only on the private
 	// views Isend & friends derive via asyncView; user-held Comms are sync.
 	async bool
+	// nocount makes the communicator invisible to all counters, gauges,
+	// histograms and trace instants, symmetrically on send and receive — the
+	// control plane (ControlComm) must not perturb what it measures.
+	nocount bool
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -344,7 +400,7 @@ func (c *Comm) MsgsAsync() int64 {
 }
 
 // InflightBytes returns the bytes currently sent but not yet received on
-// this communicator (all ranks' traffic; a live gauge, not a monotone
+// this communicator (local ranks' traffic; a live gauge, not a monotone
 // counter). After a Barrier following a fully-drained exchange it is zero.
 func (c *Comm) InflightBytes() int64 {
 	return atomic.LoadInt64(c.world.inflightCounter(c.ctx))
@@ -358,37 +414,80 @@ func (c *Comm) nextSeq() uint64 {
 	return c.seq
 }
 
-// sendRaw transmits payload to dst (communicator rank) under (ctx, tag).
-// The payload must already be an owned copy.
-func (c *Comm) sendRaw(dst int, tag int64, payload any, bytes int64) {
-	if bytes > MaxMessageBytes {
-		panic(fmt.Sprintf("mpi: message of %d bytes exceeds MaxMessageBytes=%d (chunk the send as ELBA does)", bytes, MaxMessageBytes))
+// endpoint returns this rank's transport endpoint; a Comm constructed for a
+// rank another process serves has none and must not communicate.
+func (c *Comm) endpoint() transport.Transport {
+	ep := c.world.eps[c.group[c.rank]]
+	if ep == nil {
+		panic(fmt.Sprintf("mpi: rank %d (world %d) is not served by this process", c.rank, c.group[c.rank]))
+	}
+	return ep
+}
+
+// wireTag folds the communicator context into the transport-level tag:
+// transports match on (src world rank, tag) only, so distinct communicators
+// must occupy distinct tag spaces. World-communicator tags pass through
+// unchanged (readable in diagnostics); other contexts mix context and tag
+// through splitmix64. Same (ctx, tag) always maps to the same wire tag, so
+// per-pair FIFO order survives; distinct pairs colliding is as improbable as
+// a Split context-id collision always was.
+func wireTag(ctx uint64, tag int64) int64 {
+	if ctx == ctxWorld {
+		return tag
+	}
+	return int64(mix64(ctx, uint64(tag)))
+}
+
+// mix64 is a splitmix64-style mixer: deterministic across processes (unlike
+// a seeded maphash), so communicator identities derived from it agree
+// between the OS processes of a multi-process world.
+func mix64(a, b uint64) uint64 {
+	z := a + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z ^= b
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// sendRaw transmits an encoded frame to dst (communicator rank) under tag.
+// dataBytes is the frame's element-payload size (wire.DataLen), which is
+// what every counter charges. The frame must not be mutated after the call.
+func (c *Comm) sendRaw(dst int, tag int64, frame []byte, dataBytes int64) {
+	if dataBytes > MaxMessageBytes {
+		panic(fmt.Sprintf("mpi: message of %d bytes exceeds MaxMessageBytes=%d (chunk the send as ELBA does)", dataBytes, MaxMessageBytes))
 	}
 	wdst := c.group[dst]
 	wsrc := c.group[c.rank]
-	atomic.AddInt64(&c.world.stats[wsrc].MsgsSent, 1)
-	atomic.AddInt64(&c.world.stats[wsrc].BytesSent, bytes)
-	if c.async {
-		atomic.AddInt64(&c.world.stats[wsrc].MsgsAsync, 1)
-		atomic.AddInt64(&c.world.stats[wsrc].BytesAsync, bytes)
-	}
-	atomic.AddInt64(c.world.inflightCounter(c.ctx), bytes)
-	if o := c.world.obs; o != nil {
-		o.msgBytes[wsrc].Observe(bytes)
+	ep := c.endpoint()
+	if !c.nocount {
+		atomic.AddInt64(&c.world.stats[wsrc].MsgsSent, 1)
+		atomic.AddInt64(&c.world.stats[wsrc].BytesSent, dataBytes)
 		if c.async {
-			o.msgBytesAsync[wsrc].Observe(bytes)
+			atomic.AddInt64(&c.world.stats[wsrc].MsgsAsync, 1)
+			atomic.AddInt64(&c.world.stats[wsrc].BytesAsync, dataBytes)
 		}
-		if l := o.lanes[wsrc]; l != nil {
-			async := int64(0)
+		atomic.AddInt64(c.world.inflightCounter(c.ctx), dataBytes)
+		if o := c.world.obs; o != nil {
+			o.msgBytes[wsrc].Observe(dataBytes)
 			if c.async {
-				async = 1
+				o.msgBytesAsync[wsrc].Observe(dataBytes)
 			}
-			l.Instant(0, "mpi", "send",
-				obs.Arg{K: "dst", V: int64(wdst)}, obs.Arg{K: "tag", V: tag},
-				obs.Arg{K: "bytes", V: bytes}, obs.Arg{K: "async", V: async})
+			if l := o.lanes[wsrc]; l != nil {
+				async := int64(0)
+				if c.async {
+					async = 1
+				}
+				l.Instant(0, "mpi", "send",
+					obs.Arg{K: "dst", V: int64(wdst)}, obs.Arg{K: "tag", V: tag},
+					obs.Arg{K: "bytes", V: dataBytes}, obs.Arg{K: "async", V: async})
+			}
 		}
 	}
-	c.world.mailboxes[wdst].push(message{ctx: c.ctx, src: c.rank, tag: tag, payload: payload, bytes: bytes})
+	err := ep.Send(wdst, transport.Message{Src: wsrc, Tag: wireTag(c.ctx, tag), Payload: frame})
+	if err != nil {
+		c.world.Cancel(fmt.Errorf("mpi: send to rank %d failed: %w", wdst, err))
+		panic(cancelPanic{c.world.cancelErr})
+	}
 }
 
 // armedNow is pre-closed: blocking receives arm their watchdog immediately.
@@ -399,8 +498,8 @@ var armedNow = func() chan struct{} {
 }()
 
 // recvRaw blocks until a message from src (communicator rank) with tag
-// arrives, subject to the world deadlock watchdog.
-func (c *Comm) recvRaw(src int, tag int64) any {
+// arrives and returns its frame, subject to the world deadlock watchdog.
+func (c *Comm) recvRaw(src int, tag int64) []byte {
 	return c.recvRawArmed(src, tag, armedNow)
 }
 
@@ -409,13 +508,15 @@ func (c *Comm) recvRaw(src int, tag int64) any {
 // Wait signal, so a receive parked behind a long compute phase (whose
 // matching send has legitimately not been posted yet) is never declared
 // deadlocked — only a rank actually blocked in Wait/Recv trips the timer.
-func (c *Comm) recvRawArmed(src int, tag int64, armed <-chan struct{}) any {
-	box := c.world.mailboxes[c.group[c.rank]]
+func (c *Comm) recvRawArmed(src int, tag int64, armed <-chan struct{}) []byte {
+	ep := c.endpoint()
+	wsrc := c.group[src]
+	wtag := wireTag(c.ctx, tag)
 	// Blocked-receive tracing: only direct blocking receives (armed ==
 	// armedNow) record a span, and only if the first queue scan misses —
 	// posted matchers report their exposed time via Wait instead.
 	var lane *obs.Lane
-	if o := c.world.obs; o != nil && armed == (<-chan struct{})(armedNow) {
+	if o := c.world.obs; o != nil && !c.nocount && armed == (<-chan struct{})(armedNow) {
 		lane = o.lanes[c.group[c.rank]]
 	}
 	blockStart := int64(-1)
@@ -424,31 +525,38 @@ func (c *Comm) recvRawArmed(src int, tag int64, armed <-chan struct{}) any {
 	select {
 	case <-armedCh:
 		armedCh = nil
-		deadline = time.Now().Add(c.world.recvTimeout)
+		deadline = time.Now().Add(c.world.timeout())
 	default:
 	}
 	for {
 		c.world.checkCancel()
-		msg, gen, ok := box.take(c.ctx, src, tag)
+		msg, gen, ok := ep.Match(wsrc, wtag)
 		if ok {
-			atomic.AddInt64(c.world.inflightCounter(c.ctx), -msg.bytes)
+			bytes := wire.DataLen(msg.Payload)
+			if !c.nocount {
+				atomic.AddInt64(c.world.inflightCounter(c.ctx), -bytes)
+			}
 			if blockStart >= 0 {
 				lane.Span(0, "mpi", "recv.wait", blockStart,
-					obs.Arg{K: "src", V: int64(c.group[src])}, obs.Arg{K: "tag", V: tag},
-					obs.Arg{K: "bytes", V: msg.bytes})
+					obs.Arg{K: "src", V: int64(wsrc)}, obs.Arg{K: "tag", V: tag},
+					obs.Arg{K: "bytes", V: bytes})
 			}
-			return msg.payload
+			return msg.Payload
 		}
 		if lane != nil && blockStart < 0 {
 			blockStart = lane.Start()
 		}
 		var timer *time.Timer
 		var expire <-chan time.Time
-		if c.world.recvTimeout > 0 && armedCh == nil {
+		if c.world.timeout() > 0 && armedCh == nil {
 			remain := time.Until(deadline)
 			if remain <= 0 {
+				dump := ""
+				if pd, ok := ep.(transport.PendingDumper); ok {
+					dump = pd.PendingDump()
+				}
 				panic(fmt.Sprintf("mpi: rank %d (world %d) deadlocked waiting for ctx=%d src=%d tag=%d; pending:%s",
-					c.rank, c.group[c.rank], c.ctx, src, tag, box.pendingDump()))
+					c.rank, c.group[c.rank], c.ctx, src, tag, dump))
 			}
 			timer = time.NewTimer(remain)
 			expire = timer.C
@@ -461,7 +569,7 @@ func (c *Comm) recvRawArmed(src int, tag int64, armed <-chan struct{}) any {
 		case <-armedCh:
 			// Wait just started: the deadline runs from here.
 			armedCh = nil
-			deadline = time.Now().Add(c.world.recvTimeout)
+			deadline = time.Now().Add(c.world.timeout())
 		case <-expire:
 			// Loop re-checks the queue, then panics via the deadline branch.
 		case <-c.world.cancelCh:
@@ -500,56 +608,63 @@ func (c *Comm) Split(color, key int) *Comm {
 			newRank = i
 		}
 	}
-	// A context id all members derive identically: hash of parent context,
-	// split sequence number and color.
-	var h maphash.Hash
-	h.SetSeed(fixedSeed)
-	writeUint64(&h, c.ctx)
-	writeUint64(&h, c.seq)
-	writeUint64(&h, uint64(int64(color)))
-	ctx := h.Sum64() | 1 // never zero
-	return &Comm{world: c.world, ctx: ctx, rank: newRank, group: group}
-}
-
-// fixedSeed makes Split context ids identical across all ranks of a world.
-var fixedSeed = maphash.MakeSeed()
-
-func writeUint64(h *maphash.Hash, v uint64) {
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
-	}
-	h.Write(b[:])
+	// A context id all members derive identically: a deterministic mix of
+	// parent context, split sequence number and color. It must be identical
+	// across OS processes, so no process-local hash seeds; odd ids never
+	// collide with the reserved world/control contexts.
+	ctx := mix64(mix64(c.ctx, c.seq), uint64(int64(color))) | 1
+	return &Comm{world: c.world, ctx: ctx, rank: newRank, group: group, nocount: c.nocount}
 }
 
 // sizeOf returns the in-memory size of T's top-level representation; used
-// only for traffic accounting (nested slices count as headers).
+// only to estimate chunk element counts in SendChunked.
 func sizeOf[T any]() int64 {
 	var z T
 	return int64(unsafe.Sizeof(z))
 }
 
-// Send transmits a copy of data to dst under tag. Buffered semantics: it
-// never blocks on the receiver.
-func Send[T any](c *Comm, dst int, tag int64, data []T) {
-	cp := make([]T, len(data))
-	copy(cp, data)
-	c.sendRaw(dst, tag, cp, int64(len(cp))*sizeOf[T]())
+// mustUnmarshal decodes a received frame; a codec error here means sender
+// and receiver disagree about the element type — a program bug on the order
+// of an MPI datatype mismatch, so it panics.
+func mustUnmarshal[T any](frame []byte) []T {
+	v, err := wire.Unmarshal[T](frame)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: recv type mismatch: %v", err))
+	}
+	return v
 }
 
-// Recv blocks until the matching Send arrives and returns its payload.
+func mustUnmarshalOne[T any](frame []byte) T {
+	v, err := wire.UnmarshalOne[T](frame)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: recv type mismatch: %v", err))
+	}
+	return v
+}
+
+// Send transmits data to dst under tag, encoded as a wire frame. Buffered
+// semantics: it never blocks on the receiver, and the caller keeps ownership
+// of data (the frame is an independent encoding).
+func Send[T any](c *Comm, dst int, tag int64, data []T) {
+	frame := wire.Marshal(data)
+	c.sendRaw(dst, tag, frame, wire.DataLen(frame))
+}
+
+// Recv blocks until the matching Send arrives and returns its decoded
+// payload, which never aliases the sender's memory.
 func Recv[T any](c *Comm, src int, tag int64) []T {
-	return c.recvRaw(src, tag).([]T)
+	return mustUnmarshal[T](c.recvRaw(src, tag))
 }
 
 // SendOne transmits a single value.
 func SendOne[T any](c *Comm, dst int, tag int64, v T) {
-	c.sendRaw(dst, tag, v, sizeOf[T]())
+	frame := wire.MarshalOne(v)
+	c.sendRaw(dst, tag, frame, wire.DataLen(frame))
 }
 
 // RecvOne receives a single value.
 func RecvOne[T any](c *Comm, src int, tag int64) T {
-	return c.recvRaw(src, tag).(T)
+	return mustUnmarshalOne[T](c.recvRaw(src, tag))
 }
 
 // SendChunked splits data into MaxMessageBytes-sized chunks, mirroring how

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/mpi/wire"
 	"repro/internal/obs"
 )
 
@@ -152,13 +153,13 @@ type SendRequest struct {
 // Wait completes the send request (a no-op beyond misuse checking).
 func (r *SendRequest) Wait() { r.wait("send") }
 
-// Isend transmits a copy of data to dst under tag without blocking and
-// counts the traffic as overlappable. The returned request is already
-// complete (buffered semantics) but must still be waited exactly once.
+// Isend transmits data to dst under tag without blocking and counts the
+// traffic as overlappable. The payload is encoded at post time, so the
+// caller keeps ownership of data. The returned request is already complete
+// (buffered semantics) but must still be waited exactly once.
 func Isend[T any](c *Comm, dst int, tag int64, data []T) *SendRequest {
-	cp := make([]T, len(data))
-	copy(cp, data)
-	c.asyncView().sendRaw(dst, tag, cp, int64(len(cp))*sizeOf[T]())
+	frame := wire.Marshal(data)
+	c.asyncView().sendRaw(dst, tag, frame, wire.DataLen(frame))
 	r := &SendRequest{reqState: newReqState()}
 	close(r.done)
 	return r
@@ -189,7 +190,7 @@ func Irecv[T any](c *Comm, src int, tag int64) *RecvRequest[T] {
 	r := &RecvRequest[T]{reqState: newReqState()}
 	c.attachObs(&r.reqState)
 	r.background(func() {
-		r.val = c.recvRawArmed(src, tag, r.armed).([]T)
+		r.val = mustUnmarshal[T](c.recvRawArmed(src, tag, r.armed))
 	})
 	return r
 }
@@ -199,10 +200,10 @@ func IrecvChunked[T any](c *Comm, src int, tag int64) *RecvRequest[T] {
 	r := &RecvRequest[T]{reqState: newReqState()}
 	c.attachObs(&r.reqState)
 	r.background(func() {
-		n := c.recvRawArmed(src, tag, r.armed).(int64)
+		n := mustUnmarshalOne[int64](c.recvRawArmed(src, tag, r.armed))
 		out := make([]T, 0, n)
 		for int64(len(out)) < n {
-			out = append(out, c.recvRawArmed(src, tag, r.armed).([]T)...)
+			out = append(out, mustUnmarshal[T](c.recvRawArmed(src, tag, r.armed))...)
 		}
 		r.val = out
 	})
@@ -237,10 +238,16 @@ func (r *BcastRequest[T]) WaitValue() []T {
 func IBcast[T any](c *Comm, root int, data []T) *BcastRequest[T] {
 	tag := collTag(c) // consumed on the caller goroutine, like every collective
 	ac := c.asyncView()
+	var frame []byte
+	if c.rank == root {
+		// Encoded on the caller goroutine at post time, so the caller keeps
+		// ownership of data while the tree runs in the background.
+		frame = wire.Marshal(data)
+	}
 	r := &BcastRequest[T]{reqState: newReqState()}
 	c.attachObs(&r.reqState)
 	r.background(func() {
-		r.val = bcastTree(ac, root, tag, data, r.armed)
+		r.val = mustUnmarshal[T](bcastFrames(ac, root, tag, frame, r.armed))
 	})
 	return r
 }

@@ -6,7 +6,10 @@ package mpi
 // called before any rank goroutine starts (typically right after NewWorld) —
 // the handles are cached per world rank and read without synchronization.
 
-import "repro/internal/obs"
+import (
+	"repro/internal/mpi/transport"
+	"repro/internal/obs"
+)
 
 // worldObs caches per-world-rank observability handles so the send/receive
 // hot paths never take the registry mutex.
@@ -48,7 +51,13 @@ func (w *World) SetObs(t *obs.Trace, m *obs.MetricSet) {
 			o.msgBytes[i] = reg.Histogram("mpi.msg_bytes")
 			o.msgBytesAsync[i] = reg.Histogram("mpi.msg_bytes_async")
 			o.reqGauge[i] = reg.Gauge("mpi.inflight_reqs")
-			w.mailboxes[i].depth = reg.Gauge("mpi.mailbox_depth")
+			// Queue-depth instrumentation is an optional transport capability
+			// (remote ranks have no local endpoint to instrument).
+			if ep := w.eps[i]; ep != nil {
+				if qi, ok := ep.(transport.QueueInstrumented); ok {
+					qi.SetQueueDepthHook(reg.Gauge("mpi.mailbox_depth").Add)
+				}
+			}
 		}
 	}
 	w.obs = o

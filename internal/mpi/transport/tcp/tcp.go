@@ -1,0 +1,505 @@
+// Package tcp is the socket transport: it carries the mpi wire frames
+// between ranks running as separate OS processes, so `cmd/elba -transport
+// proc -np P` executes the same SPMD program as the in-process simulator on
+// a real process mesh.
+//
+// Topology and lifecycle:
+//
+//   - A rendezvous server (ServeRendezvous, run by the launching process)
+//     accepts one registration per rank — {rank, listen address} — and,
+//     once all P have arrived, broadcasts the full address table to each.
+//   - Connect(rdv, self, p) registers with the rendezvous, then wires the
+//     mesh: rank i dials every rank j < i and accepts from every j > i, so
+//     each unordered pair shares exactly one TCP connection. A one-byte-ish
+//     uvarint handshake identifies the dialer.
+//   - Messages are length-prefixed frames ([kind][tag][len][payload]); a
+//     reader goroutine per peer drains them into the rank's mailbox
+//     immediately, which both implements the buffered-send contract (a
+//     sender never blocks on the receiver matching) and keeps kernel socket
+//     buffers empty.
+//   - Close performs a BYE handshake: send BYE to every peer, wait for
+//     theirs, then close. TCP ordering guarantees a peer's BYE arrives after
+//     all its data, so closing can never discard delivered-but-unread
+//     frames (an early close with unread data would RST the connection).
+//   - Abort broadcasts an ABORT frame carrying the reason and tears the
+//     endpoint down without draining; peers' readers surface it through the
+//     failure handler, which is how one process's cancellation unwinds the
+//     whole job.
+//
+// NewLocal builds a full P-endpoint mesh over loopback inside one process —
+// the configuration the conformance and equivalence suites use to run the
+// real socket path without forking.
+package tcp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/mpi/transport"
+)
+
+// Frame kinds on a mesh connection.
+const (
+	frameMsg   = 0x01 // payload is an mpi wire frame
+	frameAbort = 0x02 // payload is the abort reason; sender is dead
+	frameBye   = 0x03 // orderly shutdown; no further frames follow
+)
+
+// maxFrameLen bounds a single frame payload (matches the MPI 2^31-1 count
+// limit the chunking layer enforces, plus codec header slack).
+const maxFrameLen = 1<<31 - 1 + 64
+
+// dialTimeout bounds every connection attempt (rendezvous and mesh).
+const dialTimeout = 30 * time.Second
+
+// closeDrain bounds how long Close waits for a peer's BYE before closing
+// anyway (a peer that crashed will never say goodbye).
+const closeDrain = 10 * time.Second
+
+// Endpoint is one rank's socket endpoint. It implements
+// transport.Transport, transport.QueueInstrumented and
+// transport.PendingDumper.
+type Endpoint struct {
+	self, size int
+	box        *transport.Mailbox
+	peers      []*peerConn // indexed by rank; nil at self
+
+	mu      sync.Mutex
+	failFn  func(error)
+	failErr error
+	failed  bool
+	closing bool
+}
+
+// peerConn is the single connection shared with one peer rank.
+type peerConn struct {
+	nc   net.Conn
+	wmu  sync.Mutex
+	done chan struct{} // closed when the reader exits (BYE, abort or error)
+}
+
+func (p *peerConn) writeFrame(kind byte, tag int64, payload []byte) error {
+	var hdr [13]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint64(hdr[1:9], uint64(tag))
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	bufs := net.Buffers{hdr[:], payload}
+	_, err := bufs.WriteTo(p.nc)
+	return err
+}
+
+// Self returns the rank this endpoint serves.
+func (e *Endpoint) Self() int { return e.self }
+
+// Size returns the job's rank count.
+func (e *Endpoint) Size() int { return e.size }
+
+// Send delivers m to dst: self-sends loop straight into the mailbox,
+// everything else is one frame on the pair's connection. The write can
+// block only on the kernel buffer — the peer's reader always drains — so
+// buffered-send semantics hold.
+func (e *Endpoint) Send(dst int, m transport.Message) error {
+	if dst < 0 || dst >= e.size {
+		return fmt.Errorf("tcp: dst rank %d out of range [0,%d)", dst, e.size)
+	}
+	if dst == e.self {
+		e.box.Push(m)
+		return nil
+	}
+	pc := e.peers[dst]
+	if pc == nil {
+		return fmt.Errorf("tcp: no connection to rank %d", dst)
+	}
+	if err := pc.writeFrame(frameMsg, m.Tag, m.Payload); err != nil {
+		return fmt.Errorf("tcp: send to rank %d: %w", dst, err)
+	}
+	return nil
+}
+
+// Match removes the oldest queued message matching (src, tag); see
+// transport.Transport.
+func (e *Endpoint) Match(src int, tag int64) (transport.Message, <-chan struct{}, bool) {
+	return e.box.Take(src, tag)
+}
+
+// SetFailureHandler registers fn; if the endpoint already failed (readers
+// start at Connect time, possibly before the handler exists), fn fires
+// immediately with the buffered cause.
+func (e *Endpoint) SetFailureHandler(fn func(error)) {
+	e.mu.Lock()
+	e.failFn = fn
+	var pending error
+	if e.failed {
+		pending = e.failErr
+	}
+	e.mu.Unlock()
+	if pending != nil && fn != nil {
+		fn(pending)
+	}
+}
+
+// SetQueueDepthHook implements transport.QueueInstrumented.
+func (e *Endpoint) SetQueueDepthHook(fn func(int64)) { e.box.SetDepthHook(fn) }
+
+// PendingDump implements transport.PendingDumper.
+func (e *Endpoint) PendingDump() string { return e.box.PendingDump() }
+
+// fail reports the first endpoint failure to the handler (at most once).
+// Failures during an orderly Close are expected teardown noise and dropped.
+func (e *Endpoint) fail(err error) {
+	e.mu.Lock()
+	if e.failed || e.closing {
+		e.mu.Unlock()
+		return
+	}
+	e.failed = true
+	e.failErr = err
+	fn := e.failFn
+	e.mu.Unlock()
+	if fn != nil {
+		fn(err)
+	}
+}
+
+// Abort tears the endpoint down without draining: every live peer gets an
+// ABORT frame carrying reason (best effort, bounded by a write deadline),
+// then all connections close.
+func (e *Endpoint) Abort(reason string) {
+	e.mu.Lock()
+	already := e.closing
+	e.closing = true
+	e.mu.Unlock()
+	if already {
+		return
+	}
+	payload := []byte(reason)
+	for _, pc := range e.peers {
+		if pc == nil {
+			continue
+		}
+		pc.nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		pc.writeFrame(frameAbort, 0, payload)
+		pc.nc.Close()
+	}
+}
+
+// Close drains politely: BYE to every peer, wait (bounded) for each peer's
+// reader to see their BYE — by TCP ordering all their data precedes it —
+// then close the sockets. Idempotent; concurrent with Abort it yields.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	already := e.closing
+	e.closing = true
+	e.mu.Unlock()
+	if already {
+		return nil
+	}
+	for _, pc := range e.peers {
+		if pc != nil {
+			pc.writeFrame(frameBye, 0, nil)
+		}
+	}
+	deadline := time.Now().Add(closeDrain)
+	for _, pc := range e.peers {
+		if pc == nil {
+			continue
+		}
+		select {
+		case <-pc.done:
+		default:
+			// One timer per peer, anchored to a common deadline: a shared
+			// time.After channel would fire once and leave every later wait
+			// blocking forever.
+			t := time.NewTimer(time.Until(deadline))
+			select {
+			case <-pc.done:
+			case <-t.C:
+			}
+			t.Stop()
+		}
+		pc.nc.Close()
+	}
+	return nil
+}
+
+// reader drains one peer connection into the mailbox until BYE, ABORT or a
+// connection error.
+func (e *Endpoint) reader(peer int, pc *peerConn) {
+	defer close(pc.done)
+	br := bufio.NewReaderSize(pc.nc, 1<<16)
+	var hdr [13]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			e.fail(fmt.Errorf("rank %d connection to rank %d: %w", e.self, peer, err))
+			return
+		}
+		kind := hdr[0]
+		tag := int64(binary.LittleEndian.Uint64(hdr[1:9]))
+		n := binary.LittleEndian.Uint32(hdr[9:13])
+		if uint64(n) > maxFrameLen {
+			e.fail(fmt.Errorf("rank %d connection to rank %d: oversized frame (%d bytes)", e.self, peer, n))
+			return
+		}
+		var payload []byte
+		if n > 0 {
+			payload = make([]byte, n)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				e.fail(fmt.Errorf("rank %d connection to rank %d: %w", e.self, peer, err))
+				return
+			}
+		}
+		switch kind {
+		case frameMsg:
+			e.box.Push(transport.Message{Src: peer, Tag: tag, Payload: payload})
+		case frameBye:
+			return
+		case frameAbort:
+			e.fail(fmt.Errorf("rank %d aborted: %s", peer, payload))
+			return
+		default:
+			e.fail(fmt.Errorf("rank %d connection to rank %d: unknown frame kind 0x%02x", e.self, peer, kind))
+			return
+		}
+	}
+}
+
+// ServeRendezvous accepts exactly p rank registrations on ln and replies to
+// each with the complete rank→address table, then closes everything. Run it
+// in the launching process (or a goroutine of a single-process mesh) before
+// workers call Connect.
+func ServeRendezvous(ln net.Listener, p int) error {
+	defer ln.Close()
+	type reg struct {
+		conn net.Conn
+		bw   *bufio.Writer
+	}
+	regs := make([]*reg, p)
+	addrs := make([]string, p)
+	seen := 0
+	for seen < p {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("tcp: rendezvous accept: %w", err)
+		}
+		conn.SetDeadline(time.Now().Add(dialTimeout))
+		br := bufio.NewReader(conn)
+		rank, err := binary.ReadUvarint(br)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("tcp: rendezvous registration: %w", err)
+		}
+		addr, err := readString(br)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("tcp: rendezvous registration: %w", err)
+		}
+		if rank >= uint64(p) || regs[rank] != nil {
+			conn.Close()
+			return fmt.Errorf("tcp: rendezvous: bad or duplicate rank %d", rank)
+		}
+		regs[rank] = &reg{conn: conn, bw: bufio.NewWriter(conn)}
+		addrs[rank] = addr
+		seen++
+	}
+	var first error
+	for _, r := range regs {
+		for _, a := range addrs {
+			writeString(r.bw, a)
+		}
+		if err := r.bw.Flush(); err != nil && first == nil {
+			first = fmt.Errorf("tcp: rendezvous reply: %w", err)
+		}
+		r.conn.Close()
+	}
+	return first
+}
+
+// Connect builds rank self's endpoint of a p-rank job: register the local
+// listen address with the rendezvous at rdv, receive the address table, and
+// wire one connection per peer (dial lower ranks, accept higher ones).
+func Connect(rdv string, self, p int) (*Endpoint, error) {
+	if self < 0 || self >= p {
+		return nil, fmt.Errorf("tcp: rank %d out of range [0,%d)", self, p)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen: %w", err)
+	}
+	addrs, err := rendezvous(rdv, self, p, ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	e := &Endpoint{
+		self:  self,
+		size:  p,
+		box:   transport.NewMailbox(),
+		peers: make([]*peerConn, p),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	// Accept the p-1-self higher ranks; each identifies itself with a
+	// uvarint handshake.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < p-1-self; n++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errs <- fmt.Errorf("tcp: rank %d mesh accept: %w", self, err)
+				return
+			}
+			conn.SetDeadline(time.Now().Add(dialTimeout))
+			// Read the handshake unbuffered: a buffered reader could swallow
+			// the first bytes of the frames the dialer sends right after it.
+			peer, err := binary.ReadUvarint(byteReader{conn})
+			if err != nil || int(peer) <= self || int(peer) >= p || e.peers[peer] != nil {
+				conn.Close()
+				errs <- fmt.Errorf("tcp: rank %d mesh handshake from peer %d failed: %v", self, peer, err)
+				return
+			}
+			conn.SetDeadline(time.Time{})
+			e.peers[peer] = &peerConn{nc: conn, done: make(chan struct{})}
+		}
+	}()
+	// Dial the lower ranks.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for peer := 0; peer < self; peer++ {
+			conn, err := net.DialTimeout("tcp", addrs[peer], dialTimeout)
+			if err != nil {
+				errs <- fmt.Errorf("tcp: rank %d dial rank %d: %w", self, peer, err)
+				return
+			}
+			var hs [binary.MaxVarintLen64]byte
+			if _, err := conn.Write(hs[:binary.PutUvarint(hs[:], uint64(self))]); err != nil {
+				conn.Close()
+				errs <- fmt.Errorf("tcp: rank %d handshake to rank %d: %w", self, peer, err)
+				return
+			}
+			e.peers[peer] = &peerConn{nc: conn, done: make(chan struct{})}
+		}
+	}()
+	wg.Wait()
+	ln.Close()
+	select {
+	case err := <-errs:
+		for _, pc := range e.peers {
+			if pc != nil {
+				pc.nc.Close()
+			}
+		}
+		return nil, err
+	default:
+	}
+	for peer, pc := range e.peers {
+		if pc != nil {
+			go e.reader(peer, pc)
+		}
+	}
+	return e, nil
+}
+
+// rendezvous registers (self, listenAddr) and returns the full address table.
+func rendezvous(rdv string, self, p int, listenAddr string) ([]string, error) {
+	conn, err := net.DialTimeout("tcp", rdv, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: dial rendezvous %s: %w", rdv, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(dialTimeout))
+	bw := bufio.NewWriter(conn)
+	var hs [binary.MaxVarintLen64]byte
+	bw.Write(hs[:binary.PutUvarint(hs[:], uint64(self))])
+	writeString(bw, listenAddr)
+	if err := bw.Flush(); err != nil {
+		return nil, fmt.Errorf("tcp: rendezvous register: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	addrs := make([]string, p)
+	for i := range addrs {
+		addrs[i], err = readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("tcp: rendezvous table: %w", err)
+		}
+	}
+	return addrs, nil
+}
+
+// NewLocal wires a complete p-rank loopback mesh inside one process: a
+// throwaway rendezvous plus p Connects. It exercises the full socket path —
+// frames, readers, BYE/ABORT — and is what the conformance and equivalence
+// suites run; close the endpoints (or the owning mpi.World) when done.
+func NewLocal(p int) ([]transport.Transport, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("tcp: rendezvous listen: %w", err)
+	}
+	go ServeRendezvous(ln, p)
+	eps := make([]transport.Transport, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ep, err := Connect(ln.Addr().String(), r, p)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			eps[r] = ep
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, ep := range eps {
+				if ep != nil {
+					ep.Abort("mesh setup failed")
+				}
+			}
+			return nil, err
+		}
+	}
+	return eps, nil
+}
+
+func writeString(bw *bufio.Writer, s string) {
+	var b [binary.MaxVarintLen64]byte
+	bw.Write(b[:binary.PutUvarint(b[:], uint64(len(s)))])
+	bw.WriteString(s)
+}
+
+// byteReader adapts a net.Conn for binary.ReadUvarint without buffering
+// ahead.
+type byteReader struct{ r io.Reader }
+
+func (b byteReader) ReadByte() (byte, error) {
+	var p [1]byte
+	_, err := io.ReadFull(b.r, p[:])
+	return p[0], err
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("string too long (%d)", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,549 @@
+// Package wire is the typed frame codec beneath package mpi: every payload a
+// rank sends — packed k-mer triples, COO matrix panels, read sequences,
+// count/meta vectors, contig records — is encoded into a self-describing
+// byte frame that decodes byte-identically in any process, replacing the old
+// in-process contract where payloads crossed ranks as Go values and byte
+// counts came from reflection.
+//
+// Frame layout (all integers little-endian):
+//
+//	magic   1 byte  0xE7
+//	kind    1 byte  0 = slice of values, 1 = single value
+//	fp      4 bytes structural fingerprint of the element type
+//	count   uvarint number of elements (slice frames only)
+//	data    count encoded elements
+//
+// The fingerprint hashes the element type's structure (field kinds, widths
+// and order — not names), so a frame is rejected when sender and receiver
+// disagree about layout, while renaming a field stays wire-compatible.
+// Element encoding: bools are one byte; fixed-width ints, uints and floats
+// are little-endian two's-complement/IEEE at their natural width; int and
+// uint are always 8 bytes (cross-process runs must not depend on the host's
+// word size); strings, []byte and nested slices are uvarint-length-prefixed;
+// arrays and structs concatenate their elements/fields in order. Pointers,
+// maps, channels, funcs and interfaces are not encodable and panic at codec
+// compilation with the offending type.
+//
+// DataLen reports a frame's element-payload bytes (frame length minus
+// header), which is what the mpi traffic counters charge — so counters are
+// equal across transports by construction, and a 10-element []int64 message
+// still counts 80 bytes exactly as the reflection-based accounting did.
+//
+// Codecs are compiled per element type on first use and cached; types whose
+// memory layout already matches the wire layout (fixed-width, no padding, no
+// indirection) encode and decode as single bulk copies on little-endian
+// hosts.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"reflect"
+	"sync"
+	"unsafe"
+)
+
+const (
+	magic     = 0xE7
+	kindSlice = 0x00
+	kindOne   = 0x01
+
+	// headerLen is the fixed prefix before the optional count varint.
+	headerLen = 1 + 1 + 4
+)
+
+// Marshal encodes a slice of values as one frame.
+func Marshal[T any](data []T) []byte {
+	c := codecFor[T]()
+	n := len(data)
+	buf := make([]byte, 0, headerLen+binary.MaxVarintLen64+c.sizeHint(n))
+	buf = append(buf, magic, kindSlice)
+	buf = binary.LittleEndian.AppendUint32(buf, c.fp)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	if n == 0 {
+		return buf
+	}
+	base := unsafe.Pointer(&data[0])
+	if c.dense {
+		return append(buf, unsafe.Slice((*byte)(base), n*int(c.memSize))...)
+	}
+	for i := 0; i < n; i++ {
+		buf = c.enc(buf, unsafe.Add(base, uintptr(i)*c.memSize))
+	}
+	return buf
+}
+
+// MarshalOne encodes a single value as one frame.
+func MarshalOne[T any](v T) []byte {
+	c := codecFor[T]()
+	buf := make([]byte, 0, headerLen+c.sizeHint(1))
+	buf = append(buf, magic, kindOne)
+	buf = binary.LittleEndian.AppendUint32(buf, c.fp)
+	if c.dense {
+		return append(buf, unsafe.Slice((*byte)(unsafe.Pointer(&v)), c.memSize)...)
+	}
+	return c.enc(buf, unsafe.Pointer(&v))
+}
+
+// Unmarshal decodes a slice frame produced by Marshal[T]. The result never
+// aliases the frame.
+func Unmarshal[T any](frame []byte) ([]T, error) {
+	c := codecFor[T]()
+	rest, err := checkHeader(frame, kindSlice, c)
+	if err != nil {
+		return nil, err
+	}
+	n, rest, err := readUvarint(rest)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %s: bad element count: %w", c.name, err)
+	}
+	// An element encodes to at least c.minSize bytes, so a well-formed frame
+	// bounds the count — reject early rather than allocating attacker-sized
+	// slices from a corrupt varint.
+	if c.minSize > 0 && n > uint64(len(rest))/uint64(c.minSize) {
+		return nil, fmt.Errorf("wire: %s: count %d exceeds frame capacity %d", c.name, n, len(rest))
+	}
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("wire: %s: count %d exceeds limit", c.name, n)
+	}
+	if n == 0 {
+		return []T{}, nil
+	}
+	out := make([]T, n)
+	base := unsafe.Pointer(&out[0])
+	if c.dense {
+		want := int(n) * int(c.memSize)
+		if len(rest) != want {
+			return nil, fmt.Errorf("wire: %s: frame has %d payload bytes, want %d", c.name, len(rest), want)
+		}
+		copy(unsafe.Slice((*byte)(base), want), rest)
+		return out, nil
+	}
+	for i := uint64(0); i < n; i++ {
+		rest, err = c.dec(rest, unsafe.Add(base, uintptr(i)*c.memSize))
+		if err != nil {
+			return nil, fmt.Errorf("wire: %s: element %d: %w", c.name, i, err)
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wire: %s: %d trailing bytes after %d elements", c.name, len(rest), n)
+	}
+	return out, nil
+}
+
+// UnmarshalOne decodes a single-value frame produced by MarshalOne[T].
+func UnmarshalOne[T any](frame []byte) (T, error) {
+	var v T
+	c := codecFor[T]()
+	rest, err := checkHeader(frame, kindOne, c)
+	if err != nil {
+		return v, err
+	}
+	if c.dense {
+		if len(rest) != int(c.memSize) {
+			return v, fmt.Errorf("wire: %s: frame has %d payload bytes, want %d", c.name, len(rest), c.memSize)
+		}
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&v)), c.memSize), rest)
+		return v, nil
+	}
+	rest, err = c.dec(rest, unsafe.Pointer(&v))
+	if err != nil {
+		return v, fmt.Errorf("wire: %s: %w", c.name, err)
+	}
+	if len(rest) != 0 {
+		return v, fmt.Errorf("wire: %s: %d trailing bytes", c.name, len(rest))
+	}
+	return v, nil
+}
+
+// DataLen reports the element-payload bytes of a frame: its length minus the
+// header and count prefix. This is the number the mpi traffic counters
+// charge per message.
+func DataLen(frame []byte) int64 {
+	if len(frame) < headerLen {
+		return 0
+	}
+	h := headerLen
+	if frame[1] == kindSlice {
+		_, n := binary.Uvarint(frame[headerLen:])
+		if n <= 0 {
+			return 0
+		}
+		h += n
+	}
+	return int64(len(frame) - h)
+}
+
+// Fingerprint returns the structural fingerprint of T as encoded in frame
+// headers — exposed for conformance and fuzz tests.
+func Fingerprint[T any]() uint32 { return codecFor[T]().fp }
+
+func checkHeader(frame []byte, kind byte, c *codec) ([]byte, error) {
+	if len(frame) < headerLen {
+		return nil, fmt.Errorf("wire: %s: frame too short (%d bytes)", c.name, len(frame))
+	}
+	if frame[0] != magic {
+		return nil, fmt.Errorf("wire: %s: bad magic 0x%02x", c.name, frame[0])
+	}
+	if frame[1] != kind {
+		return nil, fmt.Errorf("wire: %s: frame kind %d, want %d", c.name, frame[1], kind)
+	}
+	if fp := binary.LittleEndian.Uint32(frame[2:6]); fp != c.fp {
+		return nil, fmt.Errorf("wire: %s: type fingerprint 0x%08x does not match 0x%08x — sender and receiver disagree about the element layout", c.name, fp, c.fp)
+	}
+	return frame[headerLen:], nil
+}
+
+// codec is a compiled encoder/decoder for one element type.
+type codec struct {
+	name    string // Go type name, for error messages
+	fp      uint32 // structural fingerprint
+	memSize uintptr
+	fixed   int  // encoded bytes per element; -1 if variable
+	minSize int  // lower bound on encoded bytes per element
+	dense   bool // memory layout == wire layout: bulk-copy eligible
+	enc     func(dst []byte, p unsafe.Pointer) []byte
+	dec     func(src []byte, p unsafe.Pointer) ([]byte, error)
+}
+
+func (c *codec) sizeHint(n int) int {
+	if c.fixed >= 0 {
+		return n * c.fixed
+	}
+	return n * 16 // variable-size elements: grow from a modest guess
+}
+
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+var codecs sync.Map // reflect.Type -> *codec
+
+func codecFor[T any]() *codec {
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	if c, ok := codecs.Load(t); ok {
+		return c.(*codec)
+	}
+	c := compile(t, nil)
+	actual, _ := codecs.LoadOrStore(t, c)
+	return actual.(*codec)
+}
+
+// compile builds the codec for t; seen guards against recursive types, which
+// cannot occur in practice without pointers but would otherwise loop.
+func compile(t reflect.Type, seen []reflect.Type) *codec {
+	for _, s := range seen {
+		if s == t {
+			panic(fmt.Sprintf("wire: recursive type %v is not encodable", t))
+		}
+	}
+	seen = append(seen, t)
+	c := &codec{name: t.String(), memSize: t.Size()}
+	h := fnv.New32a()
+	fmt.Fprint(h, structure(t, seen[:len(seen)-1]))
+	c.fp = h.Sum32()
+	buildKind(c, t, seen)
+	return c
+}
+
+// structure renders t's layout (kinds, widths, order — no names) for the
+// fingerprint.
+func structure(t reflect.Type, seen []reflect.Type) string {
+	for _, s := range seen {
+		if s == t {
+			panic(fmt.Sprintf("wire: recursive type %v is not encodable", t))
+		}
+	}
+	seen = append(seen, t)
+	switch t.Kind() {
+	case reflect.Bool:
+		return "b"
+	case reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return fmt.Sprintf("i%d", t.Bits()/8)
+	case reflect.Int:
+		return "i8"
+	case reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return fmt.Sprintf("u%d", t.Bits()/8)
+	case reflect.Uint:
+		return "u8"
+	case reflect.Float32, reflect.Float64:
+		return fmt.Sprintf("f%d", t.Bits()/8)
+	case reflect.String:
+		return "s"
+	case reflect.Slice:
+		return "[" + structure(t.Elem(), seen)
+	case reflect.Array:
+		return fmt.Sprintf("a%d%s", t.Len(), structure(t.Elem(), seen))
+	case reflect.Struct:
+		s := "{"
+		for i := 0; i < t.NumField(); i++ {
+			s += structure(t.Field(i).Type, seen)
+		}
+		return s + "}"
+	default:
+		panic(fmt.Sprintf("wire: type %v (kind %v) is not encodable — only bools, fixed-width numbers, int/uint, strings, slices, arrays and structs of those cross the wire", t, t.Kind()))
+	}
+}
+
+func buildKind(c *codec, t reflect.Type, seen []reflect.Type) {
+	switch t.Kind() {
+	case reflect.Bool:
+		c.fixed, c.minSize = 1, 1
+		c.dense = hostLittleEndian // bool is one byte of 0/1 in memory too
+		c.enc = func(dst []byte, p unsafe.Pointer) []byte {
+			if *(*bool)(p) {
+				return append(dst, 1)
+			}
+			return append(dst, 0)
+		}
+		c.dec = func(src []byte, p unsafe.Pointer) ([]byte, error) {
+			if len(src) < 1 {
+				return nil, errShort
+			}
+			*(*bool)(p) = src[0] != 0
+			return src[1:], nil
+		}
+	case reflect.Int8, reflect.Uint8:
+		fixedInt(c, t, 1)
+	case reflect.Int16, reflect.Uint16:
+		fixedInt(c, t, 2)
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		fixedInt(c, t, 4)
+	case reflect.Int64, reflect.Uint64, reflect.Float64:
+		fixedInt(c, t, 8)
+	case reflect.Int:
+		c.fixed, c.minSize = 8, 8
+		c.dense = hostLittleEndian && c.memSize == 8
+		c.enc = func(dst []byte, p unsafe.Pointer) []byte {
+			return binary.LittleEndian.AppendUint64(dst, uint64(*(*int)(p)))
+		}
+		c.dec = func(src []byte, p unsafe.Pointer) ([]byte, error) {
+			if len(src) < 8 {
+				return nil, errShort
+			}
+			*(*int)(p) = int(int64(binary.LittleEndian.Uint64(src)))
+			return src[8:], nil
+		}
+	case reflect.Uint:
+		c.fixed, c.minSize = 8, 8
+		c.dense = hostLittleEndian && c.memSize == 8
+		c.enc = func(dst []byte, p unsafe.Pointer) []byte {
+			return binary.LittleEndian.AppendUint64(dst, uint64(*(*uint)(p)))
+		}
+		c.dec = func(src []byte, p unsafe.Pointer) ([]byte, error) {
+			if len(src) < 8 {
+				return nil, errShort
+			}
+			*(*uint)(p) = uint(binary.LittleEndian.Uint64(src))
+			return src[8:], nil
+		}
+	case reflect.String:
+		c.fixed, c.minSize = -1, 1
+		c.enc = func(dst []byte, p unsafe.Pointer) []byte {
+			s := *(*string)(p)
+			dst = binary.AppendUvarint(dst, uint64(len(s)))
+			return append(dst, s...)
+		}
+		c.dec = func(src []byte, p unsafe.Pointer) ([]byte, error) {
+			n, rest, err := readUvarint(src)
+			if err != nil || n > uint64(len(rest)) {
+				return nil, errShort
+			}
+			*(*string)(p) = string(rest[:n])
+			return rest[n:], nil
+		}
+	case reflect.Slice:
+		ec := compile(t.Elem(), seen)
+		es := ec.memSize
+		st := t
+		c.fixed, c.minSize = -1, 1
+		c.enc = func(dst []byte, p unsafe.Pointer) []byte {
+			sh := (*sliceHeader)(p)
+			dst = binary.AppendUvarint(dst, uint64(sh.len))
+			if sh.len == 0 {
+				return dst
+			}
+			if ec.dense {
+				return append(dst, unsafe.Slice((*byte)(sh.data), sh.len*int(es))...)
+			}
+			for i := 0; i < sh.len; i++ {
+				dst = ec.enc(dst, unsafe.Add(sh.data, uintptr(i)*es))
+			}
+			return dst
+		}
+		c.dec = func(src []byte, p unsafe.Pointer) ([]byte, error) {
+			n, rest, err := readUvarint(src)
+			if err != nil {
+				return nil, err
+			}
+			if ec.minSize > 0 && n > uint64(len(rest))/uint64(ec.minSize) {
+				return nil, errShort
+			}
+			if n > math.MaxInt32 {
+				return nil, errShort
+			}
+			sv := reflect.MakeSlice(st, int(n), int(n))
+			if n > 0 {
+				base := sv.UnsafePointer()
+				if ec.dense {
+					want := int(n) * int(es)
+					if len(rest) < want {
+						return nil, errShort
+					}
+					copy(unsafe.Slice((*byte)(base), want), rest)
+					rest = rest[want:]
+				} else {
+					for i := uint64(0); i < n; i++ {
+						rest, err = ec.dec(rest, unsafe.Add(base, uintptr(i)*es))
+						if err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+			// Install through reflect so the write carries proper GC barriers
+			// for the freshly built backing array.
+			reflect.NewAt(st, p).Elem().Set(sv)
+			return rest, nil
+		}
+	case reflect.Array:
+		ec := compile(t.Elem(), seen)
+		es, n := ec.memSize, t.Len()
+		if ec.fixed >= 0 {
+			c.fixed = n * ec.fixed
+		} else {
+			c.fixed = -1
+		}
+		c.minSize = n * ec.minSize
+		c.dense = ec.dense && c.fixed >= 0 && uintptr(c.fixed) == c.memSize
+		c.enc = func(dst []byte, p unsafe.Pointer) []byte {
+			for i := 0; i < n; i++ {
+				dst = ec.enc(dst, unsafe.Add(p, uintptr(i)*es))
+			}
+			return dst
+		}
+		c.dec = func(src []byte, p unsafe.Pointer) ([]byte, error) {
+			var err error
+			for i := 0; i < n; i++ {
+				src, err = ec.dec(src, unsafe.Add(p, uintptr(i)*es))
+				if err != nil {
+					return nil, err
+				}
+			}
+			return src, nil
+		}
+	case reflect.Struct:
+		type field struct {
+			off uintptr
+			c   *codec
+		}
+		fields := make([]field, t.NumField())
+		fixed, minSize, dense := 0, 0, true
+		for i := range fields {
+			f := t.Field(i)
+			fc := compile(f.Type, seen)
+			fields[i] = field{off: f.Offset, c: fc}
+			if fc.fixed < 0 || fixed < 0 {
+				fixed = -1
+			} else {
+				fixed += fc.fixed
+			}
+			minSize += fc.minSize
+			dense = dense && fc.dense
+		}
+		c.fixed, c.minSize = fixed, minSize
+		// Dense only when the fields' wire bytes tile the struct exactly:
+		// any padding would leak nondeterministic memory into frames.
+		c.dense = dense && fixed >= 0 && uintptr(fixed) == c.memSize
+		c.enc = func(dst []byte, p unsafe.Pointer) []byte {
+			for _, f := range fields {
+				dst = f.c.enc(dst, unsafe.Add(p, f.off))
+			}
+			return dst
+		}
+		c.dec = func(src []byte, p unsafe.Pointer) ([]byte, error) {
+			var err error
+			for _, f := range fields {
+				src, err = f.c.dec(src, unsafe.Add(p, f.off))
+				if err != nil {
+					return nil, err
+				}
+			}
+			return src, nil
+		}
+	default:
+		panic(fmt.Sprintf("wire: type %v (kind %v) is not encodable — only bools, fixed-width numbers, int/uint, strings, slices, arrays and structs of those cross the wire", t, t.Kind()))
+	}
+}
+
+// fixedInt wires the codec for a fixed-width integer or float of w bytes;
+// floats reuse the integer paths via their memory representation, which is
+// exactly their IEEE bit pattern.
+func fixedInt(c *codec, t reflect.Type, w int) {
+	c.fixed, c.minSize = w, w
+	c.dense = hostLittleEndian
+	switch w {
+	case 1:
+		c.enc = func(dst []byte, p unsafe.Pointer) []byte { return append(dst, *(*byte)(p)) }
+		c.dec = func(src []byte, p unsafe.Pointer) ([]byte, error) {
+			if len(src) < 1 {
+				return nil, errShort
+			}
+			*(*byte)(p) = src[0]
+			return src[1:], nil
+		}
+	case 2:
+		c.enc = func(dst []byte, p unsafe.Pointer) []byte {
+			return binary.LittleEndian.AppendUint16(dst, *(*uint16)(p))
+		}
+		c.dec = func(src []byte, p unsafe.Pointer) ([]byte, error) {
+			if len(src) < 2 {
+				return nil, errShort
+			}
+			*(*uint16)(p) = binary.LittleEndian.Uint16(src)
+			return src[2:], nil
+		}
+	case 4:
+		c.enc = func(dst []byte, p unsafe.Pointer) []byte {
+			return binary.LittleEndian.AppendUint32(dst, *(*uint32)(p))
+		}
+		c.dec = func(src []byte, p unsafe.Pointer) ([]byte, error) {
+			if len(src) < 4 {
+				return nil, errShort
+			}
+			*(*uint32)(p) = binary.LittleEndian.Uint32(src)
+			return src[4:], nil
+		}
+	case 8:
+		c.enc = func(dst []byte, p unsafe.Pointer) []byte {
+			return binary.LittleEndian.AppendUint64(dst, *(*uint64)(p))
+		}
+		c.dec = func(src []byte, p unsafe.Pointer) ([]byte, error) {
+			if len(src) < 8 {
+				return nil, errShort
+			}
+			*(*uint64)(p) = binary.LittleEndian.Uint64(src)
+			return src[8:], nil
+		}
+	}
+}
+
+// sliceHeader mirrors the runtime slice layout for direct element access.
+type sliceHeader struct {
+	data unsafe.Pointer
+	len  int
+	cap  int
+}
+
+var errShort = fmt.Errorf("truncated frame")
+
+func readUvarint(src []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, nil, errShort
+	}
+	return v, src[n:], nil
+}

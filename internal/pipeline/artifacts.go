@@ -57,6 +57,11 @@ type Artifacts struct {
 
 	done []string // completed stage names, in graph order
 
+	// ctl holds one uncounted control communicator per rank: the engine's
+	// cross-process stage accounting runs on it, invisible to the traffic
+	// counters the pipeline reports. Shared by forks, like the world.
+	ctl []*mpi.Comm
+
 	// Chain-local accounting: deltas of the world's counters summed over
 	// this chain's stage executions only, so Output reports the same totals
 	// a dedicated monolithic run would even when sibling forks share the
@@ -74,10 +79,14 @@ type Artifacts struct {
 	stats   Stats
 }
 
-// newArtifacts prepares the bag for a fresh run: a new world and one
-// RankState per rank holding its persistent communicator.
-func newArtifacts(opt Options, reads [][]byte) *Artifacts {
-	w := mpi.NewWorld(opt.P)
+// newArtifacts prepares the bag for a fresh run: a new world (built per
+// Options.Transport) and one RankState per rank holding its persistent
+// communicator.
+func newArtifacts(opt Options, reads [][]byte) (*Artifacts, error) {
+	w, err := opt.newWorld()
+	if err != nil {
+		return nil, err
+	}
 	// Observability attaches to the world before any rank starts; forks share
 	// the world and therefore the same trace lanes and metric registries.
 	w.SetObs(opt.Trace, opt.Metrics)
@@ -86,13 +95,21 @@ func newArtifacts(opt Options, reads [][]byte) *Artifacts {
 		World: w,
 		Reads: reads,
 		Ranks: make([]*RankState, opt.P),
+		ctl:   make([]*mpi.Comm, opt.P),
 		exec:  &sync.Mutex{},
 	}
 	for r := range a.Ranks {
 		a.Ranks[r] = &RankState{Comm: w.Comm(r)}
+		a.ctl[r] = w.ControlComm(r)
 	}
-	return a
+	return a, nil
 }
+
+// Close releases the world's transport endpoints (sockets, for the tcp and
+// proc transports; a no-op for inproc). After Close the artifacts — and
+// every fork sharing the world — can no longer be resumed. Callers that only
+// need the Output of a finished run may skip it for inproc worlds.
+func (a *Artifacts) Close() error { return a.World.Close() }
 
 // Stage returns the name of the last completed stage ("" before any).
 func (a *Artifacts) Stage() string {
@@ -154,6 +171,7 @@ func (a *Artifacts) fork(opt Options) *Artifacts {
 		Reads:     a.Reads,
 		Ranks:     make([]*RankState, len(a.Ranks)),
 		done:      append([]string(nil), a.done...),
+		ctl:       a.ctl,
 		commBytes: a.commBytes,
 		commMsgs:  a.commMsgs,
 		wall:      a.wall,

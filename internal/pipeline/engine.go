@@ -7,6 +7,7 @@ import (
 	"slices"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mpi"
@@ -107,12 +108,16 @@ func (e *Engine) stageIndex(name string) (int, error) {
 	return 0, fmt.Errorf("pipeline: unknown stage %q (stages: %s)", name, strings.Join(e.Stages(), " → "))
 }
 
-// Run assembles reads end to end: the whole graph on a fresh world.
+// Run assembles reads end to end: the whole graph on a fresh world. The
+// world is closed before returning (the artifacts are not exposed, so there
+// is nothing to resume) — for the socket-backed transports this is the
+// polite connection drain; for inproc it is a no-op.
 func (e *Engine) Run(ctx context.Context, reads [][]byte) (*Output, error) {
 	a, err := e.RunUntil(ctx, reads, StageExtractContig)
 	if err != nil {
 		return nil, err
 	}
+	defer a.Close()
 	return a.Output()
 }
 
@@ -126,7 +131,11 @@ func (e *Engine) RunUntil(ctx context.Context, reads [][]byte, until string) (*A
 	if err != nil {
 		return nil, err
 	}
-	return e.resume(ctx, newArtifacts(e.opt, reads), idx)
+	a, err := newArtifacts(e.opt, reads)
+	if err != nil {
+		return nil, err
+	}
+	return e.resume(ctx, a, idx)
 }
 
 // ResumeFrom continues the graph from the last stage recorded in a, running
@@ -189,10 +198,16 @@ func (e *Engine) resume(ctx context.Context, a *Artifacts, untilIdx int) (out *A
 			}
 		}
 		b0, m0 := a.World.TotalBytes(), a.World.TotalMsgs()
+		dist := a.World.Distributed()
+		var distBytes, distMsgs atomic.Int64
 		start := time.Now()
 		stageIdx := i
 		runErr := a.World.RunCtx(ctx, func(c *mpi.Comm) {
 			rank := c.Rank()
+			var rb0, rm0 int64
+			if dist {
+				rb0, rm0 = c.BytesSent(), c.MsgsSent()
+			}
 			lane := c.Lane()
 			spanStart := lane.Start()
 			// pprof labels let CPU profiles slice samples by stage and rank
@@ -201,13 +216,29 @@ func (e *Engine) resume(ctx context.Context, a *Artifacts, untilIdx int) (out *A
 				pprof.Labels("stage", st.Name(), "rank", strconv.Itoa(rank)),
 				func(context.Context) { st.Run(e.opt, a, rank) })
 			lane.Span(0, "stage", st.Name(), spanStart, obs.Arg{K: "index", V: int64(stageIdx)})
+			if dist {
+				// Sum this stage's traffic across all processes on the
+				// uncounted control plane (a rank's deltas are final here:
+				// every request is waited inside the stage body). The
+				// allreduce doubles as the cross-process stage barrier.
+				d := mpi.AllreduceSlice(a.ctl[rank],
+					[]int64{c.BytesSent() - rb0, c.MsgsSent() - rm0},
+					func(x, y int64) int64 { return x + y })
+				distBytes.Store(d[0])
+				distMsgs.Store(d[1])
+			}
 		})
 		wall := time.Since(start)
 		if runErr != nil {
 			return nil, runErr
 		}
-		a.commBytes += a.World.TotalBytes() - b0
-		a.commMsgs += a.World.TotalMsgs() - m0
+		if dist {
+			a.commBytes += distBytes.Load()
+			a.commMsgs += distMsgs.Load()
+		} else {
+			a.commBytes += a.World.TotalBytes() - b0
+			a.commMsgs += a.World.TotalMsgs() - m0
+		}
 		a.wall += wall
 		a.done = append(a.done, st.Name())
 		for _, ob := range e.obs {

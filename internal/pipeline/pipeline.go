@@ -29,6 +29,8 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/mpi/transport/tcp"
 	"repro/internal/obs"
 	"repro/internal/overlap"
 	"repro/internal/readsim"
@@ -45,6 +47,26 @@ const (
 
 // AlignBackends lists the built-in alignment backends.
 func AlignBackends() []string { return []string{BackendXDrop, BackendWFA} }
+
+// Transport names accepted by Options.Transport.
+const (
+	// TransportInproc runs all P ranks as goroutines of this process over
+	// the in-process mailbox transport ("" is an alias; the reference
+	// configuration).
+	TransportInproc = "inproc"
+	// TransportTCP runs the same program over a loopback TCP socket mesh:
+	// every message crosses a real wire codec and socket, still within one
+	// process. Contigs and traffic counters are identical to inproc.
+	TransportTCP = "tcp"
+	// TransportProc marks a run where each rank is a separate OS process
+	// (cmd/elba -transport proc). It requires the NewWorld hook: only the
+	// launcher knows how to dial this process's endpoint into the mesh.
+	TransportProc = "proc"
+)
+
+// Transports lists the transport names a library caller can select directly
+// (TransportProc needs the cmd/elba process launcher on top).
+func Transports() []string { return []string{TransportInproc, TransportTCP} }
 
 // Options parameterizes a pipeline run.
 type Options struct {
@@ -86,6 +108,18 @@ type Options struct {
 	// -metrics snapshot and the manifest. Same contract as Trace: ≥ P ranks,
 	// no effect on results, nil means zero-cost.
 	Metrics *obs.MetricSet `json:"-"`
+	// Transport selects how the P ranks exchange messages: "" or "inproc"
+	// (goroutines over the in-process mailbox), "tcp" (a loopback socket
+	// mesh inside this process — the real wire path), or "proc" (one OS
+	// process per rank, orchestrated by cmd/elba -transport proc, which
+	// supplies the NewWorld hook). Contigs are bit-identical and traffic
+	// counters equal across transports; only wall time differs.
+	Transport string
+	// NewWorld, when non-nil, overrides world construction — the expert
+	// hook the multi-process launcher uses to dial this process's endpoint
+	// into the rank mesh. The returned world must span p ranks. Excluded
+	// from the manifest (plumbing, not an algorithmic parameter).
+	NewWorld func(p int) (*mpi.World, error) `json:"-"`
 	// Async runs the communication-heavy loops on the nonblocking mpi layer
 	// so transfers overlap local computation: the SUMMA SpGEMM (overlap
 	// detection and transitive reduction) prefetches the next round's panels
@@ -210,6 +244,36 @@ func (o Options) EffectiveThreads() int {
 		t = 1
 	}
 	return t
+}
+
+// newWorld builds the rank mesh the run executes on, per Options.Transport.
+// The NewWorld hook wins when set (the proc launcher's endpoint dial);
+// otherwise inproc and tcp worlds are built locally.
+func (o Options) newWorld() (*mpi.World, error) {
+	if o.NewWorld != nil {
+		w, err := o.NewWorld(o.P)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: NewWorld hook: %w", err)
+		}
+		if w.Size() != o.P {
+			w.Close()
+			return nil, fmt.Errorf("pipeline: NewWorld hook built a %d-rank world, want P = %d", w.Size(), o.P)
+		}
+		return w, nil
+	}
+	switch o.Transport {
+	case "", TransportInproc:
+		return mpi.NewWorld(o.P), nil
+	case TransportTCP:
+		eps, err := tcp.NewLocal(o.P)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: tcp transport: %w", err)
+		}
+		return mpi.NewWorldTransport(eps...), nil
+	case TransportProc:
+		return nil, fmt.Errorf("pipeline: Transport %q needs the process launcher (run via cmd/elba -transport proc)", o.Transport)
+	}
+	return nil, fmt.Errorf("pipeline: unknown Transport %q (want %s)", o.Transport, strings.Join(Transports(), "|"))
 }
 
 // Run assembles reads on a fresh simulated world of opt.P ranks — the

@@ -32,6 +32,15 @@ func (o Options) Validate() error {
 	default:
 		bad("AlignBackend", "= %q: unknown backend (want %s)", o.AlignBackend, strings.Join(AlignBackends(), "|"))
 	}
+	switch o.Transport {
+	case "", TransportInproc, TransportTCP:
+	case TransportProc:
+		if o.NewWorld == nil {
+			bad("Transport", "= %q: needs the NewWorld endpoint hook (run via cmd/elba -transport proc)", o.Transport)
+		}
+	default:
+		bad("Transport", "= %q: unknown transport (want %s)", o.Transport, strings.Join(Transports(), "|"))
+	}
 	if o.Threads < 0 {
 		bad("Threads", "= %d: must be ≥ 0 (0 = auto split of GOMAXPROCS)", o.Threads)
 	}
