@@ -39,6 +39,29 @@
 // differs. (In proc mode -traceout/-metrics/-cpuprofile cover rank 0's
 // process; a worker that dies aborts its peers instead of hanging them.)
 //
+// # Running across machines
+//
+// The proc launcher is the single-host special case of a general mesh: with
+// -join, independently launched processes — on any mix of machines — wire
+// themselves into one world through a rendezvous point. One machine hosts
+// the bootstrap, then every rank joins it with the same assembly arguments:
+//
+//	hostA$ elba -serve-rendezvous :9100 -np 4
+//	hostA$ elba -preset celegans -transport tcp -join hostA:9100 -rank 0 -np 4 &
+//	hostA$ elba -preset celegans -transport tcp -join hostA:9100 -rank 1 -np 4 &
+//	hostB$ elba -preset celegans -transport tcp -join hostA:9100 -rank 2 -np 4 &
+//	hostB$ elba -preset celegans -transport tcp -join hostA:9100 -rank 3 -np 4 &
+//
+// Each worker listens for its peers (every interface, ephemeral port, unless
+// -listen pins an address) and advertises an address derived from its route
+// to the rendezvous; -advertise overrides it on NATed hosts. No shared
+// filesystem is assumed: contigs, statistics and metric snapshots stream to
+// rank 0 over the mesh, and rank 0 alone prints the summary and writes -out,
+// -metrics and -manifest. If any rank dies mid-run its peers abort promptly
+// with an error naming the dead rank (and the resume point, when a snapshot
+// completed). See OPERATIONS.md for ports, bootstrap ordering and failure
+// semantics.
+//
 // Profile capture needs no throwaway harness: -cpuprofile and -memprofile
 // write standard pprof files covering the whole assembly, e.g.
 //
@@ -68,6 +91,7 @@ import (
 	"time"
 
 	"repro/elba"
+	"repro/internal/mpi/transport/tcp"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
@@ -96,18 +120,47 @@ func main() {
 		traceOut    = flag.String("traceout", "", "write a Perfetto-loadable event trace (JSON) here")
 		metricsOut  = flag.String("metrics", "", "write the per-rank + merged metrics snapshot (JSON) here")
 		manifestOut = flag.String("manifest", "", "write the machine-readable RUN.json run manifest here")
+		serveRdv    = flag.String("serve-rendezvous", "", "host the bootstrap of an -np rank multi-host job at this address, then exit")
+		join        = flag.String("join", "", "join a multi-host job: the rendezvous address (host:port); needs -rank and -np")
+		rank        = flag.Int("rank", -1, "this process's world rank for -join (0 … np-1)")
+		listen      = flag.String("listen", "", "mesh listener bind address for -join (default: every interface, ephemeral port)")
+		advertise   = flag.String("advertise", "", "mesh address published to peers for -join (default: derived from the route to the rendezvous)")
 	)
 	flag.Parse()
 	if *np > 0 {
 		*p = *np
 	}
 
-	// -transport proc: the first invocation is the launcher (re-exec one
-	// worker per rank and wait); the re-exec'd workers carry the ELBA_PROC_*
-	// environment and fall through to the ordinary assembly path below, with
-	// a world wired over TCP instead of in-process mailboxes.
-	workerRank, workerNP, rdv, isWorker := procWorkerEnv()
-	if common.Transport == elba.TransportProc && !isWorker {
+	// -serve-rendezvous hosts only the bootstrap: serve the address exchange
+	// for -np ranks, then exit. Any machine of the job (or none) can host it.
+	if *serveRdv != "" {
+		os.Exit(serveRendezvous(*serveRdv, *p))
+	}
+
+	// Two ways this process can be one rank of a multi-process world:
+	// -transport proc re-exec'd it with the ELBA_PROC_* environment (the
+	// single-host launcher), or -join names a rendezvous to dial (multi-host).
+	// Either way it falls through to the ordinary assembly path below, with a
+	// world wired over TCP instead of in-process mailboxes.
+	worker := meshWorkerFromEnv()
+	if *join != "" {
+		switch {
+		case worker != nil:
+			log.Fatal("-join cannot be combined with the proc launcher environment")
+		case common.Transport == elba.TransportProc:
+			log.Fatal("-join launches each rank independently; use -transport tcp, not proc")
+		case *rank < 0 || *rank >= *p:
+			log.Fatalf("-join needs -rank in 0 … %d (got %d)", *p-1, *rank)
+		}
+		worker = &meshWorker{
+			rank: *rank, np: *p, rdv: *join,
+			cfg:       tcp.JoinConfig{Listen: *listen, Advertise: *advertise},
+			transport: elba.TransportTCP,
+		}
+	} else if *rank >= 0 {
+		log.Fatal("-rank only makes sense with -join")
+	}
+	if common.Transport == elba.TransportProc && worker == nil {
 		if err := common.Validate(); err != nil {
 			log.Fatal(err)
 		}
@@ -115,7 +168,7 @@ func main() {
 	}
 	// Non-zero ranks compute but stay silent: results are gathered at rank 0,
 	// whose process alone prints summaries and writes output files.
-	quiet := isWorker && workerRank > 0
+	quiet := worker != nil && worker.rank > 0
 
 	var src elba.Source
 	var reference []byte
@@ -149,9 +202,9 @@ func main() {
 	if err := common.Apply(&opt); err != nil {
 		log.Fatal(err)
 	}
-	if isWorker {
-		opt.Transport = elba.TransportProc
-		opt.NewWorld = procNewWorld(workerRank, workerNP, rdv)
+	if worker != nil {
+		opt.Transport = worker.transport
+		opt.NewWorld = worker.newWorld()
 	}
 	if *refPath != "" {
 		ref, err := elba.FromFastaFile(*refPath).Reads()

@@ -1,12 +1,29 @@
 package main
 
-// Multi-process execution (-transport proc): the launcher re-execs this
-// binary once per rank with identical arguments plus the ELBA_PROC_*
-// environment, serves the rendezvous point the workers dial to wire the TCP
-// mesh, and multiplexes their output (rank 0's stdout is the run's stdout).
-// Each worker process runs the ordinary assembly path with a NewWorld hook
-// that connects its single endpoint into the mesh — the pipeline, the
-// collectives and the nonblocking layer are unchanged above the seam.
+// Multi-process and multi-host execution.
+//
+// Two ways to put each rank in its own OS process share one worker path:
+//
+//   - Single host (-transport proc -np P): the launcher re-execs this binary
+//     once per rank with identical arguments plus the ELBA_PROC_* environment,
+//     serves the rendezvous point the workers dial to wire the TCP mesh, and
+//     multiplexes their output (rank 0's stdout is the run's stdout). This is
+//     the single-host special case of the mesh below.
+//   - Multiple hosts (-transport tcp -join host:port -rank R -np P): each
+//     worker is launched independently — by hand, a job scheduler, or ssh —
+//     and dials a standalone rendezvous (hosted by any one machine running
+//     `elba -serve-rendezvous addr -np P`). Workers advertise routable
+//     addresses derived from their route to the rendezvous; -listen and
+//     -advertise pin the bind interface and published address on multi-homed
+//     or NATed hosts.
+//
+// Either way each worker runs the ordinary assembly path with a NewWorld
+// hook that joins its single endpoint into the mesh — the pipeline, the
+// collectives and the nonblocking layer are unchanged above the seam. Rank 0
+// gathers the contigs, statistics and metric snapshots over the wire (no
+// shared filesystem is assumed) and alone prints summaries and writes output
+// files. A worker that dies aborts its peers through the transport failure
+// path instead of hanging them; see OPERATIONS.md for the failure semantics.
 
 import (
 	"fmt"
@@ -16,54 +33,88 @@ import (
 	"os/exec"
 	"strconv"
 
+	"repro/elba"
 	"repro/internal/mpi"
 	"repro/internal/mpi/transport/tcp"
 )
 
-// Worker environment set by the launcher. Presence of ELBA_PROC_RANK marks
-// a process as a rank worker.
+// Worker environment set by the proc launcher. Presence of ELBA_PROC_RANK
+// marks a process as a re-exec'd rank worker.
 const (
 	envProcRank = "ELBA_PROC_RANK"
 	envProcNP   = "ELBA_PROC_NP"
 	envProcRdv  = "ELBA_PROC_RDV"
 )
 
-// procWorkerEnv reports whether this process was re-exec'd as a rank worker,
-// and its coordinates (world rank, job size, rendezvous address).
-func procWorkerEnv() (rank, np int, rdv string, ok bool) {
+// meshWorker describes this process's place in a multi-process job: its
+// world rank, the job size, the rendezvous to dial, and how to bind and
+// advertise the mesh listener.
+type meshWorker struct {
+	rank, np  int
+	rdv       string
+	cfg       tcp.JoinConfig
+	transport string // Options.Transport value to record (proc or tcp)
+}
+
+// meshWorkerFromEnv reports whether this process was re-exec'd by the proc
+// launcher, and its coordinates. Launcher and workers share one host, so the
+// mesh stays on loopback.
+func meshWorkerFromEnv() *meshWorker {
 	rs, have := os.LookupEnv(envProcRank)
 	if !have {
-		return 0, 0, "", false
+		return nil
 	}
 	rank, err := strconv.Atoi(rs)
 	if err != nil {
 		log.Fatalf("bad %s=%q: %v", envProcRank, rs, err)
 	}
-	np, err = strconv.Atoi(os.Getenv(envProcNP))
+	np, err := strconv.Atoi(os.Getenv(envProcNP))
 	if err != nil || np < 1 {
 		log.Fatalf("bad %s=%q", envProcNP, os.Getenv(envProcNP))
 	}
-	rdv = os.Getenv(envProcRdv)
+	rdv := os.Getenv(envProcRdv)
 	if rdv == "" {
 		log.Fatalf("%s is empty", envProcRdv)
 	}
-	return rank, np, rdv, true
+	return &meshWorker{
+		rank: rank, np: np, rdv: rdv,
+		cfg:       tcp.JoinConfig{Listen: "127.0.0.1:0"},
+		transport: elba.TransportProc,
+	}
 }
 
-// procNewWorld returns the Options.NewWorld hook of one worker: dial the
-// rendezvous point, handshake this rank's endpoint into the mesh, and build
-// a world where the other np-1 ranks are remote.
-func procNewWorld(rank, np int, rdv string) func(int) (*mpi.World, error) {
+// newWorld returns the Options.NewWorld hook of one worker: dial the
+// rendezvous point, join this rank's endpoint into the mesh, and build a
+// world where the other np-1 ranks are remote.
+func (w *meshWorker) newWorld() func(int) (*mpi.World, error) {
 	return func(p int) (*mpi.World, error) {
-		if p != np {
-			return nil, fmt.Errorf("elba: -p %d disagrees with launcher job size %d", p, np)
+		if p != w.np {
+			return nil, fmt.Errorf("elba: -p %d disagrees with job size %d", p, w.np)
 		}
-		ep, err := tcp.Connect(rdv, rank, np)
+		ep, err := tcp.Join(w.rdv, w.rank, w.np, w.cfg)
 		if err != nil {
 			return nil, err
 		}
 		return mpi.NewWorldTransport(ep), nil
 	}
+}
+
+// serveRendezvous hosts the bootstrap of an np-rank multi-host job at addr
+// and exits once every rank has registered and received the address table
+// (-serve-rendezvous). Returns the exit code.
+func serveRendezvous(addr string, np int) int {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "rendezvous: serving %d ranks on %s\n", np, ln.Addr())
+	if err := tcp.ServeRendezvous(ln, np); err != nil {
+		log.Print(err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "rendezvous: all %d ranks wired\n", np)
+	return 0
 }
 
 // launchProc is the parent side of -transport proc: serve a rendezvous

@@ -1,0 +1,166 @@
+// Command mdlint checks markdown files for broken links.
+//
+// It verifies every inline link and image whose target is local: relative
+// file paths must exist on disk (resolved against the linking file's
+// directory), and fragments — "#section" within a file or "file.md#section"
+// across files — must name a heading in the target document, using GitHub's
+// anchor derivation (lowercase, punctuation stripped, spaces to hyphens,
+// duplicate anchors suffixed -1, -2, …). External schemes (http, https,
+// mailto) are not fetched.
+//
+// Usage:
+//
+//	mdlint FILE.md ...
+//
+// Each broken link is reported as file:line: message; the exit status is
+// non-zero if any file has one.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline links and images: [text](target) / ![alt](target),
+// with an optional "title" after the target.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(\s*<?([^<>()\s]+)>?(?:\s+"[^"]*")?\s*\)`)
+
+// headingRe matches ATX headings; setext headings are rare enough to skip.
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+// anchorStrip removes everything GitHub's anchor algorithm removes.
+var anchorStrip = regexp.MustCompile(`[^\p{L}\p{N}\s_-]`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdlint FILE.md ...")
+		os.Exit(2)
+	}
+	broken := 0
+	anchors := map[string]map[string]bool{}
+	for _, file := range os.Args[1:] {
+		broken += lint(file, anchors)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlint: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// lint reports each broken local link in file to stderr and returns how many
+// it found. anchors caches the heading-anchor sets of documents already read.
+func lint(file string, anchors map[string]map[string]bool) int {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", file, err)
+		return 1
+	}
+	broken := 0
+	for i, line := range visibleLines(string(data)) {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			if reason := check(file, m[1], anchors); reason != "" {
+				fmt.Fprintf(os.Stderr, "%s:%d: %s\n", file, i+1, reason)
+				broken++
+			}
+		}
+	}
+	return broken
+}
+
+// visibleLines returns the file's lines with fenced code blocks blanked, so
+// link- and heading-looking text inside ``` fences is ignored.
+func visibleLines(text string) []string {
+	lines := strings.Split(text, "\n")
+	fenced := false
+	for i, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			lines[i] = ""
+		} else if fenced {
+			lines[i] = ""
+		}
+	}
+	return lines
+}
+
+// check validates one link target found in file. It returns "" when the
+// target is fine (or external) and a human-readable reason otherwise.
+func check(file, target string, anchors map[string]map[string]bool) string {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return ""
+	}
+	path, frag, _ := strings.Cut(target, "#")
+	dest := file
+	if path != "" {
+		dest = filepath.Join(filepath.Dir(file), path)
+		info, err := os.Stat(dest)
+		if err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, dest)
+		}
+		if info.IsDir() || frag == "" {
+			return ""
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.HasSuffix(dest, ".md") {
+		return "" // anchors into non-markdown files are not checkable
+	}
+	set, err := headingAnchors(dest, anchors)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %v", target, err)
+	}
+	if !set[strings.ToLower(frag)] {
+		return fmt.Sprintf("broken link %q: no heading with anchor #%s in %s", target, frag, dest)
+	}
+	return ""
+}
+
+// headingAnchors returns the set of GitHub-style anchors for the headings of
+// the markdown file at path, memoized in cache.
+func headingAnchors(path string, cache map[string]map[string]bool) (map[string]bool, error) {
+	if set, ok := cache[path]; ok {
+		return set, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	seen := map[string]int{}
+	for _, line := range visibleLines(string(data)) {
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		a := anchor(m[1])
+		if n := seen[a]; n > 0 {
+			set[fmt.Sprintf("%s-%d", a, n)] = true
+		} else {
+			set[a] = true
+		}
+		seen[a]++
+	}
+	cache[path] = set
+	return set, nil
+}
+
+// anchor derives the GitHub anchor for a heading's text.
+func anchor(text string) string {
+	// Inline markup contributes its text only: strip emphasis markers and
+	// reduce links/images to their bracketed text.
+	text = linkRe.ReplaceAllStringFunc(text, func(s string) string {
+		open := strings.Index(s, "[")
+		close := strings.Index(s, "]")
+		return s[open+1 : close]
+	})
+	text = strings.NewReplacer("`", "", "*", "").Replace(text)
+	text = anchorStrip.ReplaceAllString(strings.ToLower(text), "")
+	// GitHub maps every space to a hyphen without collapsing runs, so a
+	// stripped symbol between spaces ("a × b") yields a double hyphen.
+	return strings.ReplaceAll(text, " ", "-")
+}

@@ -74,6 +74,19 @@ func WithAsync(async bool) Option { return func(a *Assembler) { a.opt.Async = as
 // launcher). Contigs and traffic counters are identical across transports.
 func WithTransport(name string) Option { return func(a *Assembler) { a.opt.Transport = name } }
 
+// WithFailureHandler registers fn to run exactly once if a run's world is
+// torn down early — a rank process died, a peer aborted the job, or the
+// context was cancelled — with the cause. When the transport can attribute
+// the failure to a specific rank (a worker killed mid-run, a broken
+// connection), FailedRank(err) reports which one; the same attribution is
+// woven into the error Assemble returns, along with the per-stage restart
+// point when earlier stages completed. fn runs on the goroutine that
+// detected the failure, before the run returns: keep it quick (log, flip a
+// flag) and do not call back into the assembler from it.
+func WithFailureHandler(fn func(error)) Option {
+	return func(a *Assembler) { a.opt.OnFailure = fn }
+}
+
 // WithTRFuzz overrides the transitive-reduction fuzz — a downstream-only
 // parameter, so chains resumed from a post-Alignment snapshot may differ in
 // it freely.

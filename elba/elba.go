@@ -51,11 +51,17 @@
 //
 // Ranks talk over a pluggable transport, selected with
 // WithTransport(elba.TransportInproc) — goroutines sharing in-process
-// mailboxes, the default — or WithTransport(elba.TransportTCP), a loopback
-// socket mesh inside one process. The third transport, TransportProc, runs
-// every rank as a separate OS process and is driven by the cmd/elba
-// launcher (`elba -transport proc -np 4`), not the library. Contigs and
-// byte/message counters are identical on every transport.
+// mailboxes, the default — or WithTransport(elba.TransportTCP), a socket
+// mesh: loopback inside one process by default, or spanning OS processes
+// and machines when each process joins a rendezvous (`elba -serve-rendezvous`
+// plus one `elba -transport tcp -join host:port -rank R -np P` worker per
+// rank; see OPERATIONS.md). The third transport, TransportProc, is the
+// single-host special case driven by the cmd/elba launcher (`elba
+// -transport proc -np 4`), which re-execs one worker per rank. Contigs and
+// byte/message counters are identical on every transport. If a rank
+// process dies mid-run its peers abort promptly with an error naming the
+// dead rank and the per-stage restart point; WithFailureHandler observes
+// the cause and FailedRank recovers the attribution.
 //
 // Observability is opt-in and result-neutral: WithTrace records per-rank
 // event spans (stage bodies, pool chunks, mpi sends/receives/waits) for
@@ -71,11 +77,13 @@
 package elba
 
 import (
+	"errors"
 	"io"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/fasta"
+	"repro/internal/mpi/transport"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/polish"
@@ -116,6 +124,20 @@ const (
 
 // Transports lists the transports selectable through the library API.
 func Transports() []string { return pipeline.Transports() }
+
+// FailedRank reports the world rank a failure is attributed to, when the
+// transport could name one — a worker process that died mid-run, a broken
+// mesh connection, a peer that aborted the job. It unwraps the error chains
+// returned by Assemble/RunUntil/ResumeFrom on a distributed run and the
+// causes delivered to WithFailureHandler; ok is false for errors with no
+// rank attribution (validation errors, context cancellation).
+func FailedRank(err error) (rank int, ok bool) {
+	var rf *transport.RankFailure
+	if errors.As(err, &rf) {
+		return rf.Rank, true
+	}
+	return 0, false
+}
 
 // Output is an assembled contig set plus run statistics.
 type Output = pipeline.Output

@@ -1,7 +1,9 @@
 package elba_test
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/elba"
@@ -89,6 +91,72 @@ func Example() {
 	rep := elba.Evaluate(ds.Genome, out.Contigs)
 	fmt.Println(len(out.Contigs) > 0, rep.Completeness > 90, rep.Misassemblies == 0)
 	// Output: true true true
+}
+
+// ExampleWithTransport runs the same assembly over the in-process mailbox
+// transport and the TCP socket mesh: the transport decides where ranks live
+// (goroutines, OS processes, machines — see OPERATIONS.md for the
+// multi-host deployment), never what they compute, so contigs and traffic
+// counters are bit-identical.
+func ExampleWithTransport() {
+	ds := elba.SimulateDataset(elba.CElegansLike, 30_000, 42)
+	outs := make(map[string]*elba.Output)
+	for _, tr := range []string{elba.TransportInproc, elba.TransportTCP} {
+		asm, err := elba.New(
+			elba.WithPreset(elba.CElegansLike),
+			elba.WithRanks(4),
+			elba.WithBackend(elba.BackendWFA),
+			elba.WithTransport(tr),
+		)
+		if err != nil {
+			panic(err)
+		}
+		out, err := asm.Assemble(context.Background(), elba.FromDataset(ds))
+		if err != nil {
+			panic(err)
+		}
+		outs[tr] = out
+	}
+	a, b := outs[elba.TransportInproc], outs[elba.TransportTCP]
+	same := len(a.Contigs) == len(b.Contigs)
+	for i := range a.Contigs {
+		same = same && bytes.Equal(a.Contigs[i].Seq, b.Contigs[i].Seq)
+	}
+	fmt.Println(same,
+		a.Stats.CommBytes == b.Stats.CommBytes,
+		a.Stats.CommMsgs == b.Stats.CommMsgs)
+	// Output: true true true
+}
+
+// ExampleWithFailureHandler demonstrates the failure hook: when a run's
+// world is torn down early — here by context cancellation as the Alignment
+// stage starts; in a multi-process run, by a rank dying — the handler
+// receives the cause exactly once, before Assemble returns its error. For
+// transport-attributed deaths, FailedRank(err) recovers which rank was
+// lost.
+func ExampleWithFailureHandler() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	failed := make(chan error, 1)
+	asm, err := elba.New(
+		elba.WithPreset(elba.CElegansLike),
+		elba.WithRanks(4),
+		elba.WithBackend(elba.BackendWFA),
+		elba.WithFailureHandler(func(err error) { failed <- err }),
+		elba.WithObserver(elba.Observer{StageStart: func(stage string, _, _ int) {
+			if stage == elba.StageAlignment {
+				cancel()
+			}
+		}}),
+	)
+	if err != nil {
+		panic(err)
+	}
+	_, err = asm.Assemble(ctx, elba.FromSimulation(elba.CElegansLike, 20_000, 42))
+	cause := <-failed
+	_, attributed := elba.FailedRank(cause)
+	fmt.Println(err != nil, errors.Is(cause, context.Canceled), attributed)
+	// Output: true true false
 }
 
 // ExampleMergeContigs shows the §7 polishing pass joining overlapping

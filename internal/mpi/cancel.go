@@ -17,7 +17,12 @@ package mpi
 // continue must build a fresh world (the pipeline engine treats cancelled
 // artifacts as dead for this reason).
 
-import "context"
+import (
+	"context"
+	"errors"
+
+	"repro/internal/mpi/transport"
+)
 
 // cancelPanic unwinds a rank goroutine after a world cancellation. Run and
 // the background matchers recognise it and do not report it as a rank error.
@@ -42,17 +47,55 @@ func (w *World) Cancel(cause error) {
 	}
 	w.cancelMu.Lock()
 	first := w.cancelErr == nil
+	var hook func(error)
 	if first {
 		w.cancelErr = cause
 		close(w.cancelCh)
+		hook = w.onCancel
 	}
 	w.cancelMu.Unlock()
 	if first {
+		if hook != nil {
+			hook(cause)
+		}
+		origin := failureOrigin(cause)
 		for _, r := range w.local {
 			// Abort may block on socket writes; never under cancelMu, and
 			// never on the canceller's goroutine.
-			go w.eps[r].Abort(cause.Error())
+			go w.eps[r].Abort(origin, cause.Error())
 		}
+	}
+}
+
+// failureOrigin extracts the world rank a cancellation cause is attributed
+// to — a cascade triggered by a peer's death keeps blaming that peer when
+// the abort is rebroadcast — or -1 when the cause is local (context
+// cancellation, a rank panic).
+func failureOrigin(cause error) int {
+	var rf *transport.RankFailure
+	if errors.As(cause, &rf) {
+		return rf.Rank
+	}
+	return -1
+}
+
+// OnCancel registers fn to run exactly once when the world is cancelled —
+// by context cancellation, a rank panic or send failure, or a
+// transport-reported peer death (unwrap the cause with errors.As to a
+// *transport.RankFailure to name a dead rank). fn runs on the goroutine
+// that first cancels the world, before blocked ranks finish unwinding, so
+// it must be quick and must not communicate on the world. Registering on an
+// already-cancelled world fires fn immediately with the buffered cause; a
+// later OnCancel replaces an unfired hook.
+func (w *World) OnCancel(fn func(error)) {
+	w.cancelMu.Lock()
+	pending := w.cancelErr
+	if pending == nil {
+		w.onCancel = fn
+	}
+	w.cancelMu.Unlock()
+	if pending != nil && fn != nil {
+		fn(pending)
 	}
 }
 
@@ -76,7 +119,11 @@ func (w *World) checkCancel() {
 // RunCtx is Run under a context: if ctx is cancelled while ranks execute,
 // the world is cancelled (waking every blocked rank) and RunCtx returns
 // ctx.Err(). A world that was already cancelled returns its cause without
-// starting any rank.
+// starting any rank. A ctx that is already cancelled on entry likewise
+// starts no rank, but it does cancel the world first — a run requested
+// under a dead context poisons the world exactly as a mid-run cancellation
+// would, so the OnCancel hook fires no matter where the cancellation lands
+// relative to the stage boundaries above.
 func (w *World) RunCtx(ctx context.Context, fn func(*Comm)) error {
 	if err := w.Err(); err != nil {
 		return err
@@ -85,7 +132,8 @@ func (w *World) RunCtx(ctx context.Context, fn func(*Comm)) error {
 		return w.runChecked(fn)
 	}
 	if err := ctx.Err(); err != nil {
-		return err
+		w.Cancel(err)
+		return w.Err()
 	}
 	stop := make(chan struct{})
 	parked := make(chan struct{})

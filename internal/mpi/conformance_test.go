@@ -12,9 +12,11 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/mpi/transport"
 	"repro/internal/mpi/transport/tcp"
 )
 
@@ -222,6 +224,93 @@ func TestConformanceCancelUnblocksReceive(t *testing.T) {
 			t.Fatalf("cancellation took %v, want prompt unwind", d)
 		}
 	})
+}
+
+// TestConformanceFailureDeliveryOrdering pins the failure contract the
+// engine's fault handling builds on, at the world level over the socket
+// transport (the in-process transport cannot lose a rank by construction —
+// its Abort is a no-op and cancellation flows through the World itself):
+//
+//   - a rank's abort cancels every peer's world with a cause that
+//     errors.As-unwraps to a *transport.RankFailure naming the aborting rank;
+//   - OnCancel fires exactly once with that cause, and a handler registered
+//     after the failure fires immediately with the buffered cause;
+//   - messages delivered before the failure stay matchable at the transport,
+//     so a receiver can drain what arrived before deciding how to unwind.
+func TestConformanceFailureDeliveryOrdering(t *testing.T) {
+	const p = 3
+	eps, err := tcp.NewLocal(p)
+	if err != nil {
+		t.Fatalf("tcp mesh: %v", err)
+	}
+	w := NewWorldTransport(eps...)
+	var fired atomic.Int32
+	causeCh := make(chan error, 1)
+	w.OnCancel(func(err error) {
+		fired.Add(1)
+		select {
+		case causeCh <- err:
+		default:
+		}
+	})
+	runErr := w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			// Data first, then death: the tag-1 payload precedes the abort on
+			// the wire, so it must survive the failure.
+			Send(c, 1, 1, []int64{42})
+			eps[0].Abort(-1, "injected fault: rank 0 dies")
+		default:
+			// Blocked on a message nobody will send; only the failure
+			// propagation can unwind this.
+			Recv[int64](c, 0, 99)
+		}
+	})
+	if runErr == nil {
+		t.Fatal("world survived a rank abort")
+	}
+	var rf *transport.RankFailure
+	if !errors.As(runErr, &rf) {
+		t.Fatalf("run error is not rank-attributed: %v", runErr)
+	}
+	if rf.Rank != 0 {
+		t.Fatalf("failure names rank %d, want 0: %v", rf.Rank, runErr)
+	}
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("OnCancel fired %d times, want exactly once", n)
+	}
+	if cause := <-causeCh; !errors.Is(runErr, cause) && runErr.Error() != cause.Error() {
+		t.Fatalf("OnCancel cause %v differs from run error %v", cause, runErr)
+	}
+	// Late registration replays the buffered cause immediately.
+	late := make(chan error, 1)
+	w.OnCancel(func(err error) { late <- err })
+	select {
+	case err := <-late:
+		if !errors.As(err, &rf) || rf.Rank != 0 {
+			t.Fatalf("late OnCancel cause lost rank attribution: %v", err)
+		}
+	default:
+		t.Fatal("OnCancel on a failed world did not fire immediately")
+	}
+	// The pre-failure message is still matchable at rank 1's endpoint
+	// (scan-then-wait: its reader may still be draining).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m, notify, ok := eps[1].Match(0, 1)
+		if ok {
+			if v := mustUnmarshal[int64](m.Payload); v[0] != 42 {
+				t.Fatalf("pre-failure payload corrupted: %v", v)
+			}
+			break
+		}
+		select {
+		case <-notify:
+		case <-time.After(time.Until(deadline)):
+			t.Fatal("message delivered before the failure is no longer matchable")
+		}
+	}
+	w.Close()
 }
 
 // TestConformanceCountersEqualAcrossTransports runs one traffic-heavy SPMD

@@ -95,6 +95,7 @@ type World struct {
 	cancelMu  sync.Mutex
 	cancelCh  chan struct{}
 	cancelErr error
+	onCancel  func(error)
 	// obs holds the optional tracing/metrics handles (see obs.go). Written
 	// only by SetObs before ranks start; read without synchronization after.
 	obs *worldObs
@@ -179,6 +180,18 @@ func (w *World) Distributed() bool { return len(w.local) < w.size }
 // it when a multi-process or socket-backed world is done; in-process worlds
 // have nothing to release.
 func (w *World) Close() error {
+	if cause := w.Err(); cause != nil {
+		// A cancelled world aborts instead of draining: Cancel broadcasts the
+		// abort on a background goroutine, and a polite BYE issued here could
+		// overtake it — telling peers this rank finished cleanly and leaving
+		// them blocked instead of failed. Abort is idempotent, so whichever
+		// broadcast runs first wins.
+		origin := failureOrigin(cause)
+		for _, r := range w.local {
+			w.eps[r].Abort(origin, cause.Error())
+		}
+		return nil
+	}
 	// Close all local endpoints concurrently: the BYE drain of each waits
 	// for its peers' BYEs, so in a world with several local endpoints a
 	// sequential loop would stall every close behind the next one's.

@@ -1,0 +1,210 @@
+package tcp
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mpi/transport"
+)
+
+// startRendezvous serves a p-rank bootstrap on loopback and returns its
+// address.
+func startRendezvous(t *testing.T, p int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ServeRendezvous(ln, p) }()
+	t.Cleanup(func() {
+		if err := <-done; err != nil {
+			t.Errorf("rendezvous: %v", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+// closeAll closes endpoints concurrently, like World.Close (the BYE drain of
+// each waits for its peers').
+func closeAll(t *testing.T, eps []transport.Transport) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for _, ep := range eps {
+		if ep == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(ep transport.Transport) { defer wg.Done(); ep.Close() }(ep)
+	}
+	wg.Wait()
+}
+
+// exchangeAllPairs sends one tagged message per ordered rank pair and
+// receives them all — the mesh works iff every connection does.
+func exchangeAllPairs(t *testing.T, eps []transport.Transport) {
+	t.Helper()
+	p := len(eps)
+	for src := 0; src < p; src++ {
+		for dst := 0; dst < p; dst++ {
+			payload := []byte{byte(src), byte(dst)}
+			if err := eps[src].Send(dst, transport.Message{Src: src, Tag: int64(10*src + dst), Payload: payload}); err != nil {
+				t.Fatalf("send %d->%d: %v", src, dst, err)
+			}
+		}
+	}
+	for src := 0; src < p; src++ {
+		for dst := 0; dst < p; dst++ {
+			m := take(t, eps[dst], src, int64(10*src+dst))
+			if m.Src != src || m.Payload[0] != byte(src) || m.Payload[1] != byte(dst) {
+				t.Fatalf("message %d->%d corrupted: %+v", src, dst, m)
+			}
+		}
+	}
+}
+
+// secondLoopbackOrSkip skips the test on hosts without a dialable second
+// loopback interface (127.0.0.2 works out of the box on Linux).
+func secondLoopbackOrSkip(t *testing.T) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.2:0")
+	if err != nil {
+		t.Skipf("second loopback interface unavailable: %v", err)
+	}
+	ln.Close()
+}
+
+// TestJoinTwoHostMesh wires a 4-rank mesh across two distinct loopback
+// interfaces — ranks 0,1 on 127.0.0.1 and ranks 2,3 on 127.0.0.2 — the
+// in-test stand-in for two machines. Every rank must learn a routable (here:
+// interface-specific) address for every peer and deliver on all pairs.
+func TestJoinTwoHostMesh(t *testing.T) {
+	secondLoopbackOrSkip(t)
+	hosts := []string{"127.0.0.1", "127.0.0.1", "127.0.0.2", "127.0.0.2"}
+	eps, err := NewLocalHosts(hosts)
+	if err != nil {
+		t.Fatalf("NewLocalHosts: %v", err)
+	}
+	t.Cleanup(func() { closeAll(t, eps) })
+	for i, ep := range eps {
+		if ep.Self() != i || ep.Size() != len(hosts) {
+			t.Fatalf("endpoint %d misconfigured: self=%d size=%d", i, ep.Self(), ep.Size())
+		}
+	}
+	exchangeAllPairs(t, eps)
+}
+
+// TestJoinUnspecifiedListenAddress joins ranks that bind every interface
+// (":0") and advertise no concrete host: each derives its advertised host
+// from its route to the rendezvous, falling back to the server-side rewrite
+// from the registration's source address. The mesh must still wire and
+// deliver.
+func TestJoinUnspecifiedListenAddress(t *testing.T) {
+	const p = 3
+	rdv := startRendezvous(t, p)
+	eps := make([]transport.Transport, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ep, err := Join(rdv, r, p, JoinConfig{Listen: ":0"})
+			if err == nil {
+				eps[r] = ep
+			}
+			errs[r] = err
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d join: %v", r, err)
+		}
+	}
+	t.Cleanup(func() { closeAll(t, eps) })
+	exchangeAllPairs(t, eps)
+}
+
+// TestJoinRejectsBadRank pins the argument validation of the join path.
+func TestJoinRejectsBadRank(t *testing.T) {
+	if _, err := Join("127.0.0.1:1", -1, 2, JoinConfig{}); err == nil {
+		t.Fatal("negative rank accepted")
+	}
+	if _, err := Join("127.0.0.1:1", 2, 2, JoinConfig{}); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+// TestRewriteUnspecified pins the server-side advertise rewrite: a
+// registration with an unspecified or empty host takes the host its
+// connection actually came from; concrete hosts pass through untouched.
+func TestRewriteUnspecified(t *testing.T) {
+	from := &net.TCPAddr{IP: net.ParseIP("127.0.0.5"), Port: 33000}
+	cases := []struct{ in, want string }{
+		{":9000", "127.0.0.5:9000"},
+		{"0.0.0.0:9000", "127.0.0.5:9000"},
+		{"[::]:9000", "127.0.0.5:9000"},
+		{"127.0.0.2:9000", "127.0.0.2:9000"},
+		{"example.com:9000", "example.com:9000"},
+	}
+	for _, c := range cases {
+		if got := rewriteUnspecified(c.in, from); got != c.want {
+			t.Errorf("rewriteUnspecified(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestReaderFailureIsRankAttributed pins the typed failure contract: when a
+// peer's connection dies abruptly (no BYE handshake, as a killed process
+// would), the surviving side's failure handler receives a
+// *transport.RankFailure naming that peer.
+func TestReaderFailureIsRankAttributed(t *testing.T) {
+	const p = 2
+	rdv := startRendezvous(t, p)
+	eps := make([]*Endpoint, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			eps[r], errs[r] = Join(rdv, r, p, JoinConfig{Listen: "127.0.0.1:0"})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d join: %v", r, err)
+		}
+	}
+	fails := make(chan error, 1)
+	eps[0].SetFailureHandler(func(err error) {
+		select {
+		case fails <- err:
+		default:
+		}
+	})
+	// Abrupt death of rank 1: sever its side of every connection directly.
+	for _, pc := range eps[1].peers {
+		if pc != nil {
+			pc.nc.Close()
+		}
+	}
+	err := <-fails
+	var rf *transport.RankFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("failure is not rank-attributed: %v", err)
+	}
+	if rf.Rank != 1 {
+		t.Fatalf("failure names rank %d, want 1: %v", rf.Rank, err)
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("failure text does not name the dead rank: %v", err)
+	}
+	eps[0].Close()
+	eps[1].Close()
+}

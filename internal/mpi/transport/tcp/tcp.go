@@ -1,17 +1,27 @@
 // Package tcp is the socket transport: it carries the mpi wire frames
-// between ranks running as separate OS processes, so `cmd/elba -transport
-// proc -np P` executes the same SPMD program as the in-process simulator on
-// a real process mesh.
+// between ranks running as separate OS processes — on one host (`cmd/elba
+// -transport proc -np P` re-execs one worker per rank) or across machines
+// (`cmd/elba -transport tcp -join host:port -rank R -np P` joins a
+// standalone rendezvous) — executing the same SPMD program as the
+// in-process simulator on a real process mesh.
 //
 // Topology and lifecycle:
 //
-//   - A rendezvous server (ServeRendezvous, run by the launching process)
-//     accepts one registration per rank — {rank, listen address} — and,
-//     once all P have arrived, broadcasts the full address table to each.
-//   - Connect(rdv, self, p) registers with the rendezvous, then wires the
+//   - A rendezvous server (ServeRendezvous, run by the launching process or
+//     standalone via `cmd/elba -serve-rendezvous`) accepts one registration
+//     per rank — {rank, advertised listen address} — and, once all P have
+//     arrived, broadcasts the full address table to each. Registrations
+//     that advertise an unspecified host (":port", "0.0.0.0:port") are
+//     rewritten to the source address the server observed, so a worker
+//     behind several interfaces still publishes a routable address.
+//   - Join(rdv, self, p, cfg) registers with the rendezvous, then wires the
 //     mesh: rank i dials every rank j < i and accepts from every j > i, so
 //     each unordered pair shares exactly one TCP connection. A one-byte-ish
-//     uvarint handshake identifies the dialer.
+//     uvarint handshake identifies the dialer. By default the mesh listener
+//     binds every interface and advertises the address this host used to
+//     reach the rendezvous — routable from any machine that can reach the
+//     rendezvous — with JoinConfig overriding bind and advertise addresses
+//     for multi-homed hosts. Connect is Join with the default config.
 //   - Messages are length-prefixed frames ([kind][tag][len][payload]); a
 //     reader goroutine per peer drains them into the rank's mailbox
 //     immediately, which both implements the buffered-send contract (a
@@ -22,13 +32,17 @@
 //     all its data, so closing can never discard delivered-but-unread
 //     frames (an early close with unread data would RST the connection).
 //   - Abort broadcasts an ABORT frame carrying the reason and tears the
-//     endpoint down without draining; peers' readers surface it through the
-//     failure handler, which is how one process's cancellation unwinds the
-//     whole job.
+//     endpoint down without draining. A peer's reader surfaces the abort —
+//     or a broken connection, which is how an outright-killed rank appears —
+//     through the failure handler as a *transport.RankFailure naming the
+//     dead rank; that is how one process's death or cancellation unwinds
+//     the whole job with a diagnosable error.
 //
 // NewLocal builds a full P-endpoint mesh over loopback inside one process —
 // the configuration the conformance and equivalence suites use to run the
-// real socket path without forking.
+// real socket path without forking. NewLocalHosts does the same with one
+// listen host per rank (127.0.0.1, 127.0.0.2, …), simulating a multi-host
+// deployment on distinct loopback interfaces.
 package tcp
 
 import (
@@ -37,6 +51,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -170,8 +185,11 @@ func (e *Endpoint) fail(err error) {
 
 // Abort tears the endpoint down without draining: every live peer gets an
 // ABORT frame carrying reason (best effort, bounded by a write deadline),
-// then all connections close.
-func (e *Endpoint) Abort(reason string) {
+// then all connections close. origin rides the frame's otherwise-unused tag
+// field (-1 = this endpoint's own rank), so a cascading abort keeps the
+// failure attributed to the rank that actually died — peers racing the
+// origin's own abort against a relayed one see the same rank either way.
+func (e *Endpoint) Abort(origin int, reason string) {
 	e.mu.Lock()
 	already := e.closing
 	e.closing = true
@@ -179,13 +197,16 @@ func (e *Endpoint) Abort(reason string) {
 	if already {
 		return
 	}
+	if origin < 0 {
+		origin = e.self
+	}
 	payload := []byte(reason)
 	for _, pc := range e.peers {
 		if pc == nil {
 			continue
 		}
 		pc.nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
-		pc.writeFrame(frameAbort, 0, payload)
+		pc.writeFrame(frameAbort, int64(origin), payload)
 		pc.nc.Close()
 	}
 }
@@ -237,21 +258,21 @@ func (e *Endpoint) reader(peer int, pc *peerConn) {
 	var hdr [13]byte
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			e.fail(fmt.Errorf("rank %d connection to rank %d: %w", e.self, peer, err))
+			e.fail(&transport.RankFailure{Rank: peer, Err: fmt.Errorf("connection to rank %d broke: %w", e.self, err)})
 			return
 		}
 		kind := hdr[0]
 		tag := int64(binary.LittleEndian.Uint64(hdr[1:9]))
 		n := binary.LittleEndian.Uint32(hdr[9:13])
 		if uint64(n) > maxFrameLen {
-			e.fail(fmt.Errorf("rank %d connection to rank %d: oversized frame (%d bytes)", e.self, peer, n))
+			e.fail(&transport.RankFailure{Rank: peer, Err: fmt.Errorf("sent rank %d an oversized frame (%d bytes)", e.self, n)})
 			return
 		}
 		var payload []byte
 		if n > 0 {
 			payload = make([]byte, n)
 			if _, err := io.ReadFull(br, payload); err != nil {
-				e.fail(fmt.Errorf("rank %d connection to rank %d: %w", e.self, peer, err))
+				e.fail(&transport.RankFailure{Rank: peer, Err: fmt.Errorf("connection to rank %d broke: %w", e.self, err)})
 				return
 			}
 		}
@@ -261,10 +282,21 @@ func (e *Endpoint) reader(peer int, pc *peerConn) {
 		case frameBye:
 			return
 		case frameAbort:
-			e.fail(fmt.Errorf("rank %d aborted: %s", peer, payload))
+			// The tag field names the rank the abort is attributed to; a
+			// relayed abort arrives from a messenger peer but still blames
+			// the rank that died first.
+			rank := peer
+			if tag >= 0 && tag < int64(e.size) {
+				rank = int(tag)
+			}
+			if rank != peer {
+				e.fail(&transport.RankFailure{Rank: rank, Err: fmt.Errorf("aborted the job (relayed by rank %d): %s", peer, payload)})
+			} else {
+				e.fail(&transport.RankFailure{Rank: rank, Err: fmt.Errorf("aborted the job: %s", payload)})
+			}
 			return
 		default:
-			e.fail(fmt.Errorf("rank %d connection to rank %d: unknown frame kind 0x%02x", e.self, peer, kind))
+			e.fail(&transport.RankFailure{Rank: peer, Err: fmt.Errorf("sent rank %d an unknown frame kind 0x%02x", e.self, kind)})
 			return
 		}
 	}
@@ -300,6 +332,10 @@ func ServeRendezvous(ln net.Listener, p int) error {
 			conn.Close()
 			return fmt.Errorf("tcp: rendezvous registration: %w", err)
 		}
+		// A worker advertising an unspecified host (":port", "0.0.0.0:port")
+		// gets it rewritten to the source IP this registration arrived from —
+		// the one address the server knows is routable back to the worker.
+		addr = rewriteUnspecified(addr, conn.RemoteAddr())
 		if rank >= uint64(p) || regs[rank] != nil {
 			conn.Close()
 			return fmt.Errorf("tcp: rendezvous: bad or duplicate rank %d", rank)
@@ -321,18 +357,67 @@ func ServeRendezvous(ln net.Listener, p int) error {
 	return first
 }
 
-// Connect builds rank self's endpoint of a p-rank job: register the local
-// listen address with the rendezvous at rdv, receive the address table, and
-// wire one connection per peer (dial lower ranks, accept higher ones).
+// rewriteUnspecified replaces an unspecified or empty host in addr with the
+// IP of from, keeping the port. Addresses with a concrete host pass through.
+func rewriteUnspecified(addr string, from net.Addr) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	if host != "" {
+		if ip := net.ParseIP(host); ip == nil || !ip.IsUnspecified() {
+			return addr
+		}
+	}
+	ra, ok := from.(*net.TCPAddr)
+	if !ok {
+		return addr
+	}
+	return net.JoinHostPort(ra.IP.String(), port)
+}
+
+// JoinConfig controls how Join binds and advertises one rank's mesh
+// listener. The zero value suits most deployments: bind every interface on
+// an ephemeral port and advertise the address this host used to reach the
+// rendezvous.
+type JoinConfig struct {
+	// Listen is the mesh listener's bind address ("host:port"; empty means
+	// ":0" — every interface, ephemeral port). Bind a specific interface on
+	// a multi-homed host to pin mesh traffic to one network.
+	Listen string
+	// Advertise is the address published to peers through the rendezvous
+	// ("host:port"). Empty derives a routable one: a listener bound to a
+	// concrete IP advertises it; otherwise the IP of this host's route to
+	// the rendezvous is used, and if even that is unspecified the rendezvous
+	// server substitutes the source address it observed. Set it explicitly
+	// only when peers must dial through an address this host cannot see
+	// (NAT, port forwarding).
+	Advertise string
+}
+
+// Connect builds rank self's endpoint of a p-rank job with the default
+// JoinConfig: register a routable listen address with the rendezvous at rdv,
+// receive the address table, and wire one connection per peer (dial lower
+// ranks, accept higher ones).
 func Connect(rdv string, self, p int) (*Endpoint, error) {
+	return Join(rdv, self, p, JoinConfig{})
+}
+
+// Join is Connect with explicit bind/advertise control — the entry point of
+// a multi-host worker (`cmd/elba -transport tcp -join host:port -rank R`).
+func Join(rdv string, self, p int, cfg JoinConfig) (*Endpoint, error) {
 	if self < 0 || self >= p {
 		return nil, fmt.Errorf("tcp: rank %d out of range [0,%d)", self, p)
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, fmt.Errorf("tcp: listen: %w", err)
+	listen := cfg.Listen
+	if listen == "" {
+		listen = ":0"
 	}
-	addrs, err := rendezvous(rdv, self, p, ln.Addr().String())
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen %s: %w", listen, err)
+	}
+	addrs, err := rendezvous(rdv, self, p, cfg.Advertise, ln)
 	if err != nil {
 		ln.Close()
 		return nil, err
@@ -408,18 +493,23 @@ func Connect(rdv string, self, p int) (*Endpoint, error) {
 	return e, nil
 }
 
-// rendezvous registers (self, listenAddr) and returns the full address table.
-func rendezvous(rdv string, self, p int, listenAddr string) ([]string, error) {
+// rendezvous registers this rank's advertised address and returns the full
+// address table. An empty advertise derives one from the mesh listener and
+// the route to the rendezvous.
+func rendezvous(rdv string, self, p int, advertise string, ln net.Listener) ([]string, error) {
 	conn, err := net.DialTimeout("tcp", rdv, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("tcp: dial rendezvous %s: %w", rdv, err)
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(dialTimeout))
+	if advertise == "" {
+		advertise = advertisedAddr(conn, ln)
+	}
 	bw := bufio.NewWriter(conn)
 	var hs [binary.MaxVarintLen64]byte
 	bw.Write(hs[:binary.PutUvarint(hs[:], uint64(self))])
-	writeString(bw, listenAddr)
+	writeString(bw, advertise)
 	if err := bw.Flush(); err != nil {
 		return nil, fmt.Errorf("tcp: rendezvous register: %w", err)
 	}
@@ -434,11 +524,45 @@ func rendezvous(rdv string, self, p int, listenAddr string) ([]string, error) {
 	return addrs, nil
 }
 
+// advertisedAddr derives the address peers should dial: a listener bound to
+// a concrete IP advertises it; otherwise the IP this host used to reach the
+// rendezvous (loopback for a local bootstrap, the outbound interface for a
+// remote one) joined with the listener's port. If even the route IP is
+// unspecified the host is left empty for the rendezvous server to rewrite.
+func advertisedAddr(rdvConn net.Conn, ln net.Listener) string {
+	la, ok := ln.Addr().(*net.TCPAddr)
+	if !ok {
+		return ln.Addr().String()
+	}
+	port := strconv.Itoa(la.Port)
+	if len(la.IP) > 0 && !la.IP.IsUnspecified() {
+		return net.JoinHostPort(la.IP.String(), port)
+	}
+	if ra, ok := rdvConn.LocalAddr().(*net.TCPAddr); ok && len(ra.IP) > 0 && !ra.IP.IsUnspecified() {
+		return net.JoinHostPort(ra.IP.String(), port)
+	}
+	return net.JoinHostPort("", port)
+}
+
 // NewLocal wires a complete p-rank loopback mesh inside one process: a
-// throwaway rendezvous plus p Connects. It exercises the full socket path —
+// throwaway rendezvous plus p Joins. It exercises the full socket path —
 // frames, readers, BYE/ABORT — and is what the conformance and equivalence
 // suites run; close the endpoints (or the owning mpi.World) when done.
 func NewLocal(p int) ([]transport.Transport, error) {
+	hosts := make([]string, p)
+	for i := range hosts {
+		hosts[i] = "127.0.0.1"
+	}
+	return NewLocalHosts(hosts)
+}
+
+// NewLocalHosts wires a len(hosts)-rank mesh inside one process where rank
+// i's listener binds hosts[i] on an ephemeral port — distinct loopback
+// interfaces (127.0.0.1, 127.0.0.2, …) simulate a multi-host deployment, so
+// the equivalence and fault-injection suites can exercise cross-"host"
+// routing and advertise derivation without real machines.
+func NewLocalHosts(hosts []string) ([]transport.Transport, error) {
+	p := len(hosts)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("tcp: rendezvous listen: %w", err)
@@ -451,7 +575,8 @@ func NewLocal(p int) ([]transport.Transport, error) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			ep, err := Connect(ln.Addr().String(), r, p)
+			ep, err := Join(ln.Addr().String(), r, p,
+				JoinConfig{Listen: net.JoinHostPort(hosts[r], "0")})
 			if err != nil {
 				errs[r] = err
 				return
@@ -464,7 +589,7 @@ func NewLocal(p int) ([]transport.Transport, error) {
 		if err != nil {
 			for _, ep := range eps {
 				if ep != nil {
-					ep.Abort("mesh setup failed")
+					ep.Abort(-1, "mesh setup failed")
 				}
 			}
 			return nil, err

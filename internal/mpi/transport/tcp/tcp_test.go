@@ -102,7 +102,7 @@ func TestAbortReachesPeerFailureHandlers(t *testing.T) {
 	fails := make(chan error, 2)
 	eps[1].SetFailureHandler(func(err error) { fails <- err })
 	eps[2].SetFailureHandler(func(err error) { fails <- err })
-	eps[0].Abort("deliberate test abort")
+	eps[0].Abort(-1, "deliberate test abort")
 	for i := 0; i < 2; i++ {
 		select {
 		case err := <-fails:
@@ -156,7 +156,7 @@ func TestCloseIsIdempotentAndFailureSilent(t *testing.T) {
 
 func TestFailureBeforeHandlerRegistrationIsBuffered(t *testing.T) {
 	eps := mesh(t, 2)
-	eps[0].Abort("early abort")
+	eps[0].Abort(-1, "early abort")
 	// Rank 1's reader may observe the abort before anyone registers a
 	// handler; registration must replay the buffered failure.
 	deadline := time.Now().Add(10 * time.Second)

@@ -47,10 +47,13 @@ type Message struct {
 //
 // Lifecycle: SetFailureHandler must be called (if at all) before the first
 // Send or Match; the handler fires at most once, when the endpoint breaks —
-// a peer aborted, a connection died. Abort tears the endpoint down
-// immediately and tells live peers to fail (best effort); Close drains
-// politely and releases resources. Both are idempotent; the in-process
-// transport has nothing to tear down, so for it they are no-ops.
+// a peer aborted, a connection died. Transports that can attribute the
+// failure to a specific peer deliver a *RankFailure naming the dead rank;
+// messages already delivered before the failure stay matchable, so a
+// receiver can drain what arrived before deciding how to unwind. Abort tears
+// the endpoint down immediately and tells live peers to fail (best effort);
+// Close drains politely and releases resources. Both are idempotent; the
+// in-process transport has nothing to tear down, so for it they are no-ops.
 type Transport interface {
 	// Self returns the world rank this endpoint serves.
 	Self() int
@@ -65,11 +68,31 @@ type Transport interface {
 	// SetFailureHandler registers fn to run (once) when the endpoint fails.
 	SetFailureHandler(fn func(error))
 	// Abort tears the endpoint down without draining, propagating reason to
-	// peers best-effort.
-	Abort(reason string)
+	// peers best-effort. origin is the world rank the failure is attributed
+	// to, or -1 when this endpoint's own rank is the origin. A cascading
+	// abort (a rank tearing down because it learned some other rank died)
+	// passes the original rank, so peers racing both signals attribute the
+	// failure to the rank that actually died, never to the messenger.
+	Abort(origin int, reason string)
 	// Close releases the endpoint after a polite drain.
 	Close() error
 }
+
+// RankFailure is the error a transport delivers to its failure handler when
+// a specific peer rank is lost: its process died, its connection broke, or it
+// aborted the job. Rank is the world rank of the dead peer; Err carries the
+// transport-level cause. Callers above the seam (package mpi, the pipeline
+// engine) unwrap it with errors.As to name the failed rank in diagnostics and
+// to decide restartability.
+type RankFailure struct {
+	Rank int
+	Err  error
+}
+
+func (e *RankFailure) Error() string { return fmt.Sprintf("rank %d failed: %v", e.Rank, e.Err) }
+
+// Unwrap exposes the transport-level cause to errors.Is/As chains.
+func (e *RankFailure) Unwrap() error { return e.Err }
 
 // QueueInstrumented is optionally implemented by transports whose local
 // delivery queue can report depth changes (package mpi wires the hook to the
@@ -203,7 +226,7 @@ func (t *inproc) Match(src int, tag int64) (Message, <-chan struct{}, bool) {
 }
 
 func (t *inproc) SetFailureHandler(func(error)) {}
-func (t *inproc) Abort(string)                  {}
+func (t *inproc) Abort(int, string)             {}
 func (t *inproc) Close() error                  { return nil }
 
 func (t *inproc) SetQueueDepthHook(fn func(int64)) {

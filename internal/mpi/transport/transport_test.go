@@ -137,7 +137,7 @@ func TestInprocEndpoints(t *testing.T) {
 	}
 	// Lifecycle no-ops must be safe in any order.
 	eps[0].SetFailureHandler(func(error) { t.Error("inproc endpoint reported a failure") })
-	eps[0].Abort("nothing to tear down")
+	eps[0].Abort(-1, "nothing to tear down")
 	if err := eps[0].Close(); err != nil {
 		t.Fatal(err)
 	}

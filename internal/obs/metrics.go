@@ -330,9 +330,18 @@ func mergeBuckets(a, b []Bucket) []Bucket {
 
 // MetricSet is the per-rank registry collection an assembly run reports
 // into: one Registry per simulated rank, merged deterministically for the
-// manifest and the -metrics snapshot.
+// manifest and the -metrics snapshot. In a multi-process run each process
+// populates only its own rank's registry; rank 0 absorbs the others'
+// snapshots — streamed over the engine's control communicator — with
+// SetSnapshot, so Merged and WriteJSON cover the whole world without a
+// shared filesystem.
 type MetricSet struct {
 	regs []*Registry
+
+	// imported holds per-rank snapshots streamed from other processes; a
+	// non-nil entry overrides that rank's live registry in Merged/WriteJSON.
+	mu       sync.Mutex
+	imported [][]Metric
 }
 
 // NewMetricSet creates a set with one registry per rank.
@@ -363,6 +372,37 @@ func (s *MetricSet) Rank(i int) *Registry {
 	return s.regs[i]
 }
 
+// SetSnapshot installs a fixed snapshot for rank i, overriding its live
+// registry in Merged and WriteJSON. A distributed run calls it at rank 0
+// with the snapshots streamed from the other processes; installing nil
+// reverts rank i to its live registry. Nil set: no-op.
+func (s *MetricSet) SetSnapshot(i int, snap []Metric) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.imported == nil {
+		s.imported = make([][]Metric, len(s.regs))
+	}
+	s.imported[i] = snap
+}
+
+// snapshot returns rank i's effective snapshot: the imported one when
+// installed, the live registry's otherwise.
+func (s *MetricSet) snapshot(i int) []Metric {
+	s.mu.Lock()
+	var imp []Metric
+	if s.imported != nil {
+		imp = s.imported[i]
+	}
+	s.mu.Unlock()
+	if imp != nil {
+		return imp
+	}
+	return s.regs[i].Snapshot()
+}
+
 // Merged returns the deterministic cross-rank merge of all per-rank
 // snapshots. Nil set: nil.
 func (s *MetricSet) Merged() []Metric {
@@ -370,8 +410,8 @@ func (s *MetricSet) Merged() []Metric {
 		return nil
 	}
 	snaps := make([][]Metric, len(s.regs))
-	for i, r := range s.regs {
-		snaps[i] = r.Snapshot()
+	for i := range s.regs {
+		snaps[i] = s.snapshot(i)
 	}
 	return Merge(snaps...)
 }
@@ -383,8 +423,8 @@ func (s *MetricSet) WriteJSON(w io.Writer) error {
 		return fmt.Errorf("obs: WriteJSON on a nil metric set")
 	}
 	perRank := make([][]Metric, len(s.regs))
-	for i, r := range s.regs {
-		perRank[i] = r.Snapshot()
+	for i := range s.regs {
+		perRank[i] = s.snapshot(i)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

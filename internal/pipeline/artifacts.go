@@ -90,6 +90,9 @@ func newArtifacts(opt Options, reads [][]byte) (*Artifacts, error) {
 	// Observability attaches to the world before any rank starts; forks share
 	// the world and therefore the same trace lanes and metric registries.
 	w.SetObs(opt.Trace, opt.Metrics)
+	if opt.OnFailure != nil {
+		w.OnCancel(opt.OnFailure)
+	}
 	a := &Artifacts{
 		Opt:   opt,
 		World: w,

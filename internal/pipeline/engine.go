@@ -2,6 +2,8 @@ package pipeline
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime/pprof"
 	"slices"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/mpi"
+	"repro/internal/mpi/transport"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -226,11 +229,23 @@ func (e *Engine) resume(ctx context.Context, a *Artifacts, untilIdx int) (out *A
 					func(x, y int64) int64 { return x + y })
 				distBytes.Store(d[0])
 				distMsgs.Store(d[1])
+				if st.Name() == StageExtractContig {
+					// Each process populated only its own rank's metrics;
+					// stream every snapshot to rank 0 on the control plane so
+					// the -metrics file and the manifest cover the whole
+					// world with no shared-filesystem assumption. The gather
+					// runs whether or not this process collects metrics: in a
+					// -join job every process has its own command line, and a
+					// sequence conditional on a local flag would deadlock the
+					// world the moment rank 0 asks for a manifest and a
+					// worker was launched without.
+					streamMetrics(a.ctl[rank], e.opt.Metrics)
+				}
 			}
 		})
 		wall := time.Since(start)
 		if runErr != nil {
-			return nil, runErr
+			return nil, e.abortError(st.Name(), a, runErr)
 		}
 		if dist {
 			a.commBytes += distBytes.Load()
@@ -248,4 +263,58 @@ func (e *Engine) resume(ctx context.Context, a *Artifacts, untilIdx int) (out *A
 		}
 	}
 	return a, nil
+}
+
+// abortError decorates a failed stage execution. A transport-attributed rank
+// death (a worker process died, its connection broke, or it aborted) is
+// wrapped to name the failed stage, the dead rank, and — when earlier stages
+// completed — the per-stage restart point a pre-failure snapshot could
+// ResumeFrom on a fresh world. The original chain is preserved, so
+// errors.As(err, **transport.RankFailure) still identifies the rank.
+func (e *Engine) abortError(stage string, a *Artifacts, err error) error {
+	var rf *transport.RankFailure
+	if !errors.As(err, &rf) {
+		return err
+	}
+	if restart := a.Stage(); restart != "" {
+		return fmt.Errorf("pipeline: stage %q aborted by the loss of rank %d (restart point: a snapshot completed through %q can resume from there): %w",
+			stage, rf.Rank, restart, err)
+	}
+	return fmt.Errorf("pipeline: stage %q aborted by the loss of rank %d (no completed stages; restart the run from scratch): %w",
+		stage, rf.Rank, err)
+}
+
+// streamMetrics gathers every rank's metric snapshot at rank 0 on the
+// uncounted control communicator and imports them into rank 0's MetricSet.
+// Snapshots travel JSON-encoded: metric names are strings, which the typed
+// wire codec deliberately does not carry, and the control plane is invisible
+// to every counter, so the encoding never perturbs what it reports. A
+// process without a MetricSet still participates — it contributes an empty
+// snapshot and discards the gather — so the collective sequence is identical
+// on every process regardless of per-process observability flags.
+func streamMetrics(ctl *mpi.Comm, ms *obs.MetricSet) {
+	self := ctl.WorldRank(ctl.Rank())
+	var buf []byte
+	if ms != nil {
+		b, err := json.Marshal(ms.Rank(self).Snapshot())
+		if err != nil {
+			panic(fmt.Sprintf("pipeline: encoding rank %d metrics: %v", self, err))
+		}
+		buf = b
+	}
+	parts := mpi.Gatherv(ctl, 0, buf)
+	if ctl.Rank() != 0 || ms == nil {
+		return
+	}
+	for r, part := range parts {
+		wr := ctl.WorldRank(r)
+		if wr == self || len(part) == 0 {
+			continue
+		}
+		var snap []obs.Metric
+		if err := json.Unmarshal(part, &snap); err != nil {
+			panic(fmt.Sprintf("pipeline: decoding rank %d metrics: %v", wr, err))
+		}
+		ms.SetSnapshot(wr, snap)
+	}
 }

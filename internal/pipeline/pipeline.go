@@ -106,7 +106,10 @@ type Options struct {
 	// Metrics, when non-nil, collects per-rank typed counters, gauges and
 	// histograms (mpi.*, kmer.*, spmat.*, align.*, pipeline.*) for the
 	// -metrics snapshot and the manifest. Same contract as Trace: ≥ P ranks,
-	// no effect on results, nil means zero-cost.
+	// no effect on results, nil means zero-cost. In a multi-process run every
+	// process must agree on whether Metrics is set (the engine streams the
+	// snapshots to rank 0 over the control plane at the end of the final
+	// stage, an SPMD exchange all processes must join).
 	Metrics *obs.MetricSet `json:"-"`
 	// Transport selects how the P ranks exchange messages: "" or "inproc"
 	// (goroutines over the in-process mailbox), "tcp" (a loopback socket
@@ -120,6 +123,14 @@ type Options struct {
 	// into the rank mesh. The returned world must span p ranks. Excluded
 	// from the manifest (plumbing, not an algorithmic parameter).
 	NewWorld func(p int) (*mpi.World, error) `json:"-"`
+	// OnFailure, when non-nil, runs exactly once if the run's world is
+	// cancelled — a rank process died, a peer aborted the job, or the
+	// context was cancelled — with the cause. Unwrap it with errors.As to a
+	// *transport.RankFailure to name a dead rank. It runs on the goroutine
+	// that detected the failure, before the run returns; keep it quick and
+	// do not communicate from it. Excluded from the manifest (plumbing, not
+	// an algorithmic parameter).
+	OnFailure func(error) `json:"-"`
 	// Async runs the communication-heavy loops on the nonblocking mpi layer
 	// so transfers overlap local computation: the SUMMA SpGEMM (overlap
 	// detection and transitive reduction) prefetches the next round's panels
