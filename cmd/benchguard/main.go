@@ -70,16 +70,20 @@ var (
 	note          = flag.String("note", "", "free-form note stored in the JSON")
 	manifestPath  = flag.String("manifest", "", "verify a RUN.json run manifest instead of parsing bench output")
 	manifestBase  = flag.String("manifest-baseline", "", "baseline manifest: contig checksum and comm totals must match -manifest exactly")
+	manifestRst   = flag.Int("manifest-restarts", -1, "require the -manifest run's supervised restart count to equal this exactly (-1: don't check); chaos CI uses it to prove a recovery actually happened")
 )
 
 func main() {
 	flag.Parse()
 	if *manifestPath != "" {
-		runManifestMode(*manifestPath, *manifestBase)
+		runManifestMode(*manifestPath, *manifestBase, *manifestRst)
 		return
 	}
 	if *manifestBase != "" {
 		fatal(fmt.Errorf("-manifest-baseline requires -manifest"))
+	}
+	if *manifestRst >= 0 {
+		fatal(fmt.Errorf("-manifest-restarts requires -manifest"))
 	}
 	in := os.Stdin
 	if *benchPath != "" {

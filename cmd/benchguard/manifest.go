@@ -8,8 +8,11 @@ import (
 )
 
 // runManifestMode loads the manifest (and optional baseline), verifies, and
-// exits nonzero on any violation.
-func runManifestMode(curPath, basePath string) {
+// exits nonzero on any violation. restarts ≥ 0 additionally requires the
+// run's supervised restart count to equal it exactly — the chaos job's proof
+// that a fault was injected AND recovered from (0 restarts means the fault
+// never fired; more means the job thrashed).
+func runManifestMode(curPath, basePath string, restarts int) {
 	cur, err := obs.ReadManifestFile(curPath)
 	if err != nil {
 		fatal(err)
@@ -21,7 +24,11 @@ func runManifestMode(curPath, basePath string) {
 			fatal(err)
 		}
 	}
-	if bad := verifyManifest(cur, base); len(bad) > 0 {
+	bad := verifyManifest(cur, base)
+	if restarts >= 0 && cur.Restarts != restarts {
+		bad = append(bad, fmt.Sprintf("restarts = %d, want exactly %d", cur.Restarts, restarts))
+	}
+	if len(bad) > 0 {
 		for _, m := range bad {
 			fmt.Fprintln(os.Stderr, "benchguard: FAIL:", m)
 		}

@@ -88,9 +88,11 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"repro/elba"
+	"repro/internal/faultinject"
 	"repro/internal/mpi/transport/tcp"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
@@ -120,6 +122,10 @@ func main() {
 		traceOut    = flag.String("traceout", "", "write a Perfetto-loadable event trace (JSON) here")
 		metricsOut  = flag.String("metrics", "", "write the per-rank + merged metrics snapshot (JSON) here")
 		manifestOut = flag.String("manifest", "", "write the machine-readable RUN.json run manifest here")
+		checkpoint  = flag.String("checkpoint", "", "write durable checkpoints under this directory after completed stages, enabling -resume and supervised proc recovery")
+		ckptEvery   = flag.String("checkpoint-every", "", "which stage boundaries to checkpoint: all (default) or one stage name")
+		resume      = flag.String("resume", "", "finish a run from the most advanced committed checkpoint under this directory (same input and algorithmic options required)")
+		maxRestarts = flag.Int("max-restarts", 3, "with -transport proc and -checkpoint: relaunch the worker group up to N times after a rank failure before giving up")
 		serveRdv    = flag.String("serve-rendezvous", "", "host the bootstrap of an -np rank multi-host job at this address, then exit")
 		join        = flag.String("join", "", "join a multi-host job: the rendezvous address (host:port); needs -rank and -np")
 		rank        = flag.Int("rank", -1, "this process's world rank for -join (0 … np-1)")
@@ -129,6 +135,14 @@ func main() {
 	flag.Parse()
 	if *np > 0 {
 		*p = *np
+	}
+
+	// Deterministic fault injection (chaos CI, recovery drills): a malformed
+	// ELBA_FAULT spec is a fatal configuration error, not a silent no-op.
+	// The launcher process arms too but runs no stages; only the worker whose
+	// rank the spec names ever fires.
+	if _, err := faultinject.FromEnv(); err != nil {
+		log.Fatal(err)
 	}
 
 	// -serve-rendezvous hosts only the bootstrap: serve the address exchange
@@ -164,7 +178,7 @@ func main() {
 		if err := common.Validate(); err != nil {
 			log.Fatal(err)
 		}
-		os.Exit(launchProc(*p))
+		os.Exit(launchProc(*p, *checkpoint, *maxRestarts))
 	}
 	// Non-zero ranks compute but stay silent: results are gathered at rank 0,
 	// whose process alone prints summaries and writes output files.
@@ -202,9 +216,26 @@ func main() {
 	if err := common.Apply(&opt); err != nil {
 		log.Fatal(err)
 	}
+	opt.CheckpointDir = *checkpoint
+	opt.CheckpointEvery = *ckptEvery
 	if worker != nil {
 		opt.Transport = worker.transport
 		opt.NewWorld = worker.newWorld()
+	}
+	// Resume point: the -resume flag, overridden by the supervisor's relaunch
+	// environment (which pins the exact committed stage directory it saw).
+	resumeDir := *resume
+	if dir := os.Getenv(envProcResume); dir != "" {
+		resumeDir = dir
+	}
+	// Supervised relaunches ride the attempt count into the run manifest.
+	restarts := 0
+	if rs := os.Getenv(envProcRestarts); rs != "" {
+		n, err := strconv.Atoi(rs)
+		if err != nil {
+			log.Fatalf("bad %s=%q: %v", envProcRestarts, rs, err)
+		}
+		restarts = n
 	}
 	if *refPath != "" {
 		ref, err := elba.FromFastaFile(*refPath).Reads()
@@ -283,7 +314,12 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	result, err := asm.Assemble(ctx, src)
+	var result *elba.Output
+	if resumeDir != "" {
+		result, err = asm.AssembleFrom(ctx, src, resumeDir)
+	} else {
+		result, err = asm.Assemble(ctx, src)
+	}
 	if cpuFile != nil {
 		pprof.StopCPUProfile()
 		if cerr := cpuFile.Close(); cerr != nil {
@@ -329,7 +365,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", *metricsOut)
 	}
 	if *manifestOut != "" {
-		if werr := result.Manifest(opt).WriteFile(*manifestOut); werr != nil {
+		man := result.Manifest(opt)
+		man.Restarts = restarts
+		if werr := man.WriteFile(*manifestOut); werr != nil {
 			log.Fatal(werr)
 		}
 		fmt.Fprintf(os.Stderr, "wrote manifest to %s\n", *manifestOut)

@@ -26,25 +26,43 @@ package main
 // path instead of hanging them; see OPERATIONS.md for the failure semantics.
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/exec"
 	"strconv"
+	"strings"
+	"time"
 
 	"repro/elba"
+	"repro/internal/faultinject"
 	"repro/internal/mpi"
 	"repro/internal/mpi/transport/tcp"
+	"repro/internal/pipeline"
 )
 
 // Worker environment set by the proc launcher. Presence of ELBA_PROC_RANK
-// marks a process as a re-exec'd rank worker.
+// marks a process as a re-exec'd rank worker. RESUME and RESTARTS are set by
+// the supervisor on relaunch attempts: the checkpoint stage directory to
+// finish the run from (absent when no checkpoint committed before the
+// failure) and the attempt number rank 0 records in the run manifest.
 const (
-	envProcRank = "ELBA_PROC_RANK"
-	envProcNP   = "ELBA_PROC_NP"
-	envProcRdv  = "ELBA_PROC_RDV"
+	envProcRank     = "ELBA_PROC_RANK"
+	envProcNP       = "ELBA_PROC_NP"
+	envProcRdv      = "ELBA_PROC_RDV"
+	envProcResume   = "ELBA_PROC_RESUME"
+	envProcRestarts = "ELBA_PROC_RESTARTS"
 )
+
+// procGrace bounds how long surviving workers may keep running after the
+// first worker failure before the supervisor kills them. It comfortably
+// covers the transport's own failure propagation (abort delivery is
+// immediate; a hung peer takes one heartbeat timeout to surface) — only a
+// rank that is itself wedged, e.g. SIGSTOPped by fault injection, ever
+// reaches the kill.
+const procGrace = 30 * time.Second
 
 // meshWorker describes this process's place in a multi-process job: its
 // world rank, the job size, the rendezvous to dial, and how to bind and
@@ -117,11 +135,76 @@ func serveRendezvous(addr string, np int) int {
 	return 0
 }
 
-// launchProc is the parent side of -transport proc: serve a rendezvous
-// listener, re-exec this binary np times with the worker environment, and
-// wait. Rank 0's stdout is the run's stdout (the summary lines); all other
-// output goes to stderr. Returns the exit code to propagate.
-func launchProc(np int) int {
+// launchProc is the parent side of -transport proc: a supervisor. Each
+// attempt serves a fresh rendezvous listener, re-execs this binary np times
+// with the worker environment, and waits. When checkpointing is on
+// (-checkpoint) and a worker dies, the supervisor relaunches the whole group
+// — resuming from the most advanced committed checkpoint if one exists, from
+// scratch otherwise — up to maxRestarts times with exponential backoff
+// before giving up with the workers' failure exit code. Without durable
+// checkpoints there is nothing safe to relaunch from, so the first failure
+// is final (PR 8 behavior: the attributed abort). Rank 0's stdout is the
+// run's stdout (the summary lines); all other output goes to stderr.
+// Returns the exit code to propagate.
+func launchProc(np int, checkpointDir string, maxRestarts int) int {
+	if checkpointDir == "" {
+		maxRestarts = 0
+	}
+	resumeDir := ""
+	for attempt := 0; ; attempt++ {
+		code := runProcGroup(np, attempt, resumeDir)
+		if code == 0 {
+			if attempt > 0 {
+				fmt.Fprintf(os.Stderr, "elba: recovered after %d restart(s)\n", attempt)
+			}
+			return 0
+		}
+		if attempt >= maxRestarts {
+			if maxRestarts > 0 {
+				log.Printf("giving up after %d restart(s)", attempt)
+			}
+			return code
+		}
+		resumeDir = ""
+		from := "from scratch (no committed checkpoint yet)"
+		if dir, man, err := pipeline.LatestCheckpoint(checkpointDir); err != nil {
+			log.Printf("checkpoint scan: %v; restarting from scratch", err)
+		} else if man != nil {
+			// Pin the exact commit this supervisor saw (a stage directory),
+			// not the root: a racing writer can never move the resume point.
+			resumeDir = dir
+			from = "from checkpoint " + dir
+		}
+		backoff := 500 * time.Millisecond << attempt
+		log.Printf("worker group failed; relaunching %s (attempt %d of %d) in %v",
+			from, attempt+2, maxRestarts+1, backoff)
+		time.Sleep(backoff)
+	}
+}
+
+// workerEnviron is the base environment of one worker group attempt: the
+// supervisor's own, minus any armed fault spec on relaunches — an injected
+// fault fires once per job, not once per attempt, or recovery could never
+// complete (the relaunched rank would just be killed at the same stage
+// again).
+func workerEnviron(attempt int) []string {
+	env := os.Environ()
+	if attempt == 0 {
+		return env
+	}
+	kept := make([]string, 0, len(env))
+	for _, kv := range env {
+		if strings.HasPrefix(kv, faultinject.EnvVar+"=") {
+			continue
+		}
+		kept = append(kept, kv)
+	}
+	return kept
+}
+
+// runProcGroup runs one attempt of the np-worker group to completion and
+// returns its exit code (0: the whole group succeeded).
+func runProcGroup(np, attempt int, resumeDir string) int {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Print(err)
@@ -139,11 +222,15 @@ func launchProc(np int) int {
 	procs := make([]*exec.Cmd, np)
 	for rank := 0; rank < np; rank++ {
 		cmd := exec.Command(exe, os.Args[1:]...)
-		cmd.Env = append(os.Environ(),
+		cmd.Env = append(workerEnviron(attempt),
 			envProcRank+"="+strconv.Itoa(rank),
 			envProcNP+"="+strconv.Itoa(np),
 			envProcRdv+"="+ln.Addr().String(),
+			envProcRestarts+"="+strconv.Itoa(attempt),
 		)
+		if resumeDir != "" {
+			cmd.Env = append(cmd.Env, envProcResume+"="+resumeDir)
+		}
 		// Only rank 0 produces results; its stdout stays machine-parseable.
 		if rank == 0 {
 			cmd.Stdout = os.Stdout
@@ -160,15 +247,43 @@ func launchProc(np int) int {
 		}
 		procs[rank] = cmd
 	}
-	code := 0
+	type waitRes struct {
+		rank int
+		err  error
+	}
+	waits := make(chan waitRes, np)
 	for rank, cmd := range procs {
-		if err := cmd.Wait(); err != nil {
-			// A worker that died on error has already aborted its peers via
-			// the transport; just record the first failure.
+		go func(rank int, cmd *exec.Cmd) { waits <- waitRes{rank, cmd.Wait()} }(rank, cmd)
+	}
+	code := 0
+	// Once any worker fails, the survivors get a bounded grace to unwind on
+	// their own (the transport abort or missed heartbeats reach them well
+	// within it); stragglers — a SIGSTOPped rank never exits by itself — are
+	// then killed so the supervisor can relaunch instead of waiting forever.
+	var grace <-chan time.Time
+	for n := 0; n < np; {
+		select {
+		case r := <-waits:
+			n++
+			if r.err == nil {
+				continue
+			}
 			if code == 0 {
 				code = 1
+				grace = time.After(procGrace)
 			}
-			log.Printf("rank %d: %v", rank, err)
+			var xe *exec.ExitError
+			if errors.As(r.err, &xe) && xe.ExitCode() == faultinject.ExitKilled {
+				log.Printf("rank %d: killed by injected fault (exit %d)", r.rank, faultinject.ExitKilled)
+			} else {
+				log.Printf("rank %d: %v", r.rank, r.err)
+			}
+		case <-grace:
+			log.Printf("killing workers still running %v after the first failure", procGrace)
+			for _, c := range procs {
+				c.Process.Kill() // no-op error on the already-exited ones
+			}
+			grace = nil
 		}
 	}
 	if code != 0 {

@@ -87,6 +87,19 @@ func WithFailureHandler(fn func(error)) Option {
 	return func(a *Assembler) { a.opt.OnFailure = fn }
 }
 
+// WithCheckpoint makes every run of the assembler write durable checkpoints
+// under dir: after each completed stage (every = "" or "all"), or only after
+// the named stage, the engine persists per-rank state files plus a
+// rank-0-committed manifest to dir/<stage>/. A later assembler with equal
+// algorithmic options finishes the run with AssembleFrom(dir). Checkpointing
+// never changes contigs, traffic counters or the run manifest.
+func WithCheckpoint(dir, every string) Option {
+	return func(a *Assembler) {
+		a.opt.CheckpointDir = dir
+		a.opt.CheckpointEvery = every
+	}
+}
+
 // WithTRFuzz overrides the transitive-reduction fuzz — a downstream-only
 // parameter, so chains resumed from a post-Alignment snapshot may differ in
 // it freely.
@@ -161,6 +174,53 @@ func (a *Assembler) Assemble(ctx context.Context, src Source) (*Output, error) {
 		return nil, err
 	}
 	return eng.Run(ctx, reads)
+}
+
+// AssembleFrom finishes a run from the most advanced committed checkpoint
+// under dir (written by an assembler configured with checkpointing — see
+// Options.CheckpointDir): it loads the per-rank state onto a fresh world,
+// verifies the checkpoint's options fingerprint and reads checksum against
+// this assembler and source, resumes the remaining stages, and returns the
+// completed Output. Contigs and traffic counters are bit-identical to an
+// undisturbed run. src must serve the original input; mismatched options or
+// reads are refused with an explanatory error, and a corrupt or truncated
+// rank file fails with an error naming the rank and file.
+func (a *Assembler) AssembleFrom(ctx context.Context, src Source, dir string) (*Output, error) {
+	reads, err := src.Reads()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := a.engine()
+	if err != nil {
+		return nil, err
+	}
+	arts, err := eng.LoadCheckpoint(ctx, reads, dir)
+	if err != nil {
+		return nil, err
+	}
+	defer arts.Close()
+	fin, err := eng.ResumeFrom(ctx, arts, StageExtractContig)
+	if err != nil {
+		return nil, err
+	}
+	return fin.Output()
+}
+
+// LoadCheckpoint restores the most advanced committed checkpoint under dir
+// as an Artifacts snapshot on a fresh world — the resume point a crashed run
+// left behind. Continue it with ResumeFrom (possibly under downstream-
+// modified options, like any snapshot); AssembleFrom is the one-call
+// wrapper. The caller owns the returned artifacts' world (Close it).
+func (a *Assembler) LoadCheckpoint(ctx context.Context, src Source, dir string) (*Artifacts, error) {
+	reads, err := src.Reads()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := a.engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.LoadCheckpoint(ctx, reads, dir)
 }
 
 // RunUntil executes the pipeline's stage graph up to and including stage

@@ -1,0 +1,212 @@
+// Package faultinject arms deterministic faults for the recovery tests and
+// the nightly chaos job: kill, hang or slow one rank when it reaches a named
+// pipeline stage for the nth time. A fault is dormant until armed — by the
+// ELBA_FAULT environment variable in a worker process, or by Arm in a test —
+// and the hooks compiled into the engine's stage boundaries reduce to one
+// atomic load when nothing is armed, so production runs pay nothing.
+//
+// Spec syntax (the ELBA_FAULT value):
+//
+//	MODE:rank=R,stage=S[,n=N][,delay=D]
+//
+//	kill:rank=2,stage=Alignment          exit the process as rank 2 enters Alignment
+//	hang:rank=1,stage=CountKmer,n=2      freeze (SIGSTOP) on the 2nd entry
+//	slow:rank=0,stage=ExtractContig,delay=5s   sleep 5s at the boundary
+//
+// Modes:
+//
+//   - kill — os.Exit(ExitKilled): the abrupt process death a crashed or
+//     OOM-killed rank produces. Peers see a broken connection.
+//   - hang — SIGSTOP to the own process: everything freezes (compute,
+//     socket readers, heartbeats) with every connection left open — the
+//     wedged-but-not-dead failure only heartbeat timeouts can surface.
+//   - slow — sleep for delay (default 2s): exercises straggler tolerance
+//     without failing anything.
+//
+// n counts occurrences of the (rank, stage) boundary within one process
+// lifetime (default 1: the first). Supervised relaunch strips ELBA_FAULT
+// from the worker environment, so an injected fault fires once per job, not
+// once per attempt.
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// EnvVar is the environment variable FromEnv reads the fault spec from.
+const EnvVar = "ELBA_FAULT"
+
+// ExitKilled is the exit code of a kill-mode fault — distinct from the
+// ordinary failure exit (1) so the supervisor's classification and the chaos
+// job can tell an injected kill from a genuine assembly error.
+const ExitKilled = 87
+
+// Fault modes.
+const (
+	ModeKill = "kill"
+	ModeHang = "hang"
+	ModeSlow = "slow"
+)
+
+// Fault is one armed fault: mode applied to rank when it enters stage for
+// the nth time.
+type Fault struct {
+	Mode  string
+	Rank  int
+	Stage string
+	N     int           // occurrence count to trigger on (1 = first)
+	Delay time.Duration // slow mode: how long to sleep
+}
+
+// String renders the fault in spec syntax.
+func (f *Fault) String() string {
+	s := fmt.Sprintf("%s:rank=%d,stage=%s,n=%d", f.Mode, f.Rank, f.Stage, f.N)
+	if f.Mode == ModeSlow {
+		s += ",delay=" + f.Delay.String()
+	}
+	return s
+}
+
+// Parse decodes a fault spec (see the package comment for syntax).
+func Parse(spec string) (*Fault, error) {
+	mode, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("faultinject: spec %q: want MODE:rank=R,stage=S[,n=N][,delay=D]", spec)
+	}
+	switch mode {
+	case ModeKill, ModeHang, ModeSlow:
+	default:
+		return nil, fmt.Errorf("faultinject: spec %q: unknown mode %q (want kill|hang|slow)", spec, mode)
+	}
+	f := &Fault{Mode: mode, Rank: -1, N: 1, Delay: 2 * time.Second}
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: spec %q: bad field %q (want key=value)", spec, kv)
+		}
+		switch k {
+		case "rank":
+			r, err := strconv.Atoi(v)
+			if err != nil || r < 0 {
+				return nil, fmt.Errorf("faultinject: spec %q: bad rank %q", spec, v)
+			}
+			f.Rank = r
+		case "stage":
+			if v == "" {
+				return nil, fmt.Errorf("faultinject: spec %q: empty stage", spec)
+			}
+			f.Stage = v
+		case "n":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("faultinject: spec %q: bad occurrence count %q (want ≥ 1)", spec, v)
+			}
+			f.N = n
+		case "delay":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faultinject: spec %q: bad delay %q", spec, v)
+			}
+			f.Delay = d
+		default:
+			return nil, fmt.Errorf("faultinject: spec %q: unknown field %q", spec, k)
+		}
+	}
+	if f.Rank < 0 {
+		return nil, fmt.Errorf("faultinject: spec %q: missing rank", spec)
+	}
+	if f.Stage == "" {
+		return nil, fmt.Errorf("faultinject: spec %q: missing stage", spec)
+	}
+	return f, nil
+}
+
+// armed holds the active fault (nil when disarmed) and its occurrence count.
+var (
+	mu       sync.Mutex
+	armed    atomic.Pointer[Fault]
+	hits     int
+	onAction func(f *Fault) // test override for the kill/hang actions
+)
+
+// Arm activates f process-wide (nil disarms) and resets the occurrence
+// counter. Tests arm directly; workers arm from the environment.
+func Arm(f *Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	hits = 0
+	armed.Store(f)
+}
+
+// FromEnv parses EnvVar and arms the result. An unset or empty variable
+// disarms and returns nil; a malformed spec is returned as an error with
+// nothing armed (a chaos job with a typo must fail loudly, not run the
+// undisturbed assembly and "pass").
+func FromEnv() (*Fault, error) {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		Arm(nil)
+		return nil, nil
+	}
+	f, err := Parse(spec)
+	if err != nil {
+		Arm(nil)
+		return nil, err
+	}
+	Arm(f)
+	return f, nil
+}
+
+// SetAction overrides the kill and hang actions (tests only: an in-process
+// test cannot os.Exit). fn receives the fault that fired; nil restores the
+// real actions.
+func SetAction(fn func(f *Fault)) {
+	mu.Lock()
+	defer mu.Unlock()
+	onAction = fn
+}
+
+// At is the injection hook: the engine calls it as world rank `rank` reaches
+// the named stage boundary. When the armed fault matches (rank, stage) and
+// this is its nth occurrence, the fault fires; otherwise At is one atomic
+// load and a comparison.
+func At(stage string, rank int) {
+	f := armed.Load()
+	if f == nil || f.Rank != rank || f.Stage != stage {
+		return
+	}
+	mu.Lock()
+	hits++
+	fire := hits == f.N
+	act := onAction
+	mu.Unlock()
+	if !fire {
+		return
+	}
+	if act != nil && f.Mode != ModeSlow {
+		act(f)
+		return
+	}
+	switch f.Mode {
+	case ModeKill:
+		fmt.Fprintf(os.Stderr, "faultinject: killing rank %d at stage %s (exit %d)\n", rank, stage, ExitKilled)
+		os.Exit(ExitKilled)
+	case ModeHang:
+		fmt.Fprintf(os.Stderr, "faultinject: hanging rank %d at stage %s (SIGSTOP)\n", rank, stage)
+		// Freeze the whole process — compute, socket readers, heartbeats —
+		// with every connection still open: the failure only a peer's
+		// heartbeat timeout can detect. SIGCONT resumes it (the supervisor
+		// kills stopped workers outright).
+		syscall.Kill(os.Getpid(), syscall.SIGSTOP)
+	case ModeSlow:
+		fmt.Fprintf(os.Stderr, "faultinject: slowing rank %d at stage %s by %v\n", rank, stage, f.Delay)
+		time.Sleep(f.Delay)
+	}
+}

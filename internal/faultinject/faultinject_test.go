@@ -1,0 +1,126 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Fault
+	}{
+		{"kill:rank=2,stage=Alignment", Fault{Mode: ModeKill, Rank: 2, Stage: "Alignment", N: 1, Delay: 2 * time.Second}},
+		{"hang:rank=1,stage=CountKmer,n=2", Fault{Mode: ModeHang, Rank: 1, Stage: "CountKmer", N: 2, Delay: 2 * time.Second}},
+		{"slow:rank=0,stage=ExtractContig,delay=5s", Fault{Mode: ModeSlow, Rank: 0, Stage: "ExtractContig", N: 1, Delay: 5 * time.Second}},
+		{"slow:rank=3,stage=FastaReader,n=4,delay=250ms", Fault{Mode: ModeSlow, Rank: 3, Stage: "FastaReader", N: 4, Delay: 250 * time.Millisecond}},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.spec, err)
+		}
+		if *f != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.spec, *f, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct{ spec, frag string }{
+		{"kill", "want MODE:"},
+		{"boom:rank=1,stage=Alignment", "unknown mode"},
+		{"kill:rank=1", "missing stage"},
+		{"kill:stage=Alignment", "missing rank"},
+		{"kill:rank=-1,stage=Alignment", "bad rank"},
+		{"kill:rank=x,stage=Alignment", "bad rank"},
+		{"kill:rank=1,stage=", "empty stage"},
+		{"kill:rank=1,stage=Alignment,n=0", "bad occurrence count"},
+		{"kill:rank=1,stage=Alignment,n=z", "bad occurrence count"},
+		{"slow:rank=1,stage=Alignment,delay=nope", "bad delay"},
+		{"kill:rank=1,stage=Alignment,color=red", "unknown field"},
+		{"kill:rank=1,stage=Alignment,nonsense", "bad field"},
+	}
+	for _, c := range bad {
+		_, err := Parse(c.spec)
+		if err == nil {
+			t.Errorf("Parse(%q): want error, got nil", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) error %q does not contain %q", c.spec, err, c.frag)
+		}
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Cleanup(func() { Arm(nil) })
+
+	t.Setenv(EnvVar, "")
+	if f, err := FromEnv(); err != nil || f != nil {
+		t.Fatalf("FromEnv(empty) = %v, %v; want nil, nil", f, err)
+	}
+
+	t.Setenv(EnvVar, "kill:rank=2,stage=Alignment")
+	f, err := FromEnv()
+	if err != nil || f == nil {
+		t.Fatalf("FromEnv(valid) = %v, %v", f, err)
+	}
+	if got := armed.Load(); got != f {
+		t.Fatalf("FromEnv did not arm the parsed fault")
+	}
+
+	t.Setenv(EnvVar, "garbage")
+	if _, err := FromEnv(); err == nil {
+		t.Fatal("FromEnv(malformed) = nil error, want error")
+	}
+	if armed.Load() != nil {
+		t.Fatal("malformed spec left a fault armed")
+	}
+}
+
+func TestAtFiresOnNthOccurrence(t *testing.T) {
+	t.Cleanup(func() { Arm(nil); SetAction(nil) })
+
+	var fired []string
+	SetAction(func(f *Fault) { fired = append(fired, f.String()) })
+
+	Arm(&Fault{Mode: ModeKill, Rank: 2, Stage: "Alignment", N: 2})
+
+	At("Alignment", 1) // wrong rank
+	At("CountKmer", 2) // wrong stage
+	At("Alignment", 2) // 1st occurrence: below n
+	if len(fired) != 0 {
+		t.Fatalf("fault fired early: %v", fired)
+	}
+	At("Alignment", 2) // 2nd occurrence: fires
+	if len(fired) != 1 {
+		t.Fatalf("fault did not fire on nth occurrence: %v", fired)
+	}
+	At("Alignment", 2) // 3rd occurrence: already spent
+	if len(fired) != 1 {
+		t.Fatalf("fault fired more than once: %v", fired)
+	}
+}
+
+func TestAtDisarmed(t *testing.T) {
+	t.Cleanup(func() { Arm(nil); SetAction(nil) })
+	var fired int
+	SetAction(func(*Fault) { fired++ })
+	Arm(nil)
+	At("Alignment", 2)
+	if fired != 0 {
+		t.Fatal("disarmed fault fired")
+	}
+}
+
+func TestSlowSleeps(t *testing.T) {
+	t.Cleanup(func() { Arm(nil) })
+	Arm(&Fault{Mode: ModeSlow, Rank: 0, Stage: "CountKmer", N: 1, Delay: 50 * time.Millisecond})
+	start := time.Now()
+	At("CountKmer", 0)
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("slow fault slept %v, want ≥ 50ms", d)
+	}
+}

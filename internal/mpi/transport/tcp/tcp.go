@@ -50,9 +50,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mpi/transport"
@@ -63,18 +65,31 @@ const (
 	frameMsg   = 0x01 // payload is an mpi wire frame
 	frameAbort = 0x02 // payload is the abort reason; sender is dead
 	frameBye   = 0x03 // orderly shutdown; no further frames follow
+	framePing  = 0x04 // heartbeat probe, sent only on a write-idle connection
+	framePong  = 0x05 // heartbeat reply; arrival alone proves the peer lives
 )
 
 // maxFrameLen bounds a single frame payload (matches the MPI 2^31-1 count
 // limit the chunking layer enforces, plus codec header slack).
 const maxFrameLen = 1<<31 - 1 + 64
 
-// dialTimeout bounds every connection attempt (rendezvous and mesh).
+// dialTimeout is the default bound on connection attempts (rendezvous and
+// mesh); JoinConfig.DialTimeout overrides it per Join.
 const dialTimeout = 30 * time.Second
 
 // closeDrain bounds how long Close waits for a peer's BYE before closing
 // anyway (a peer that crashed will never say goodbye).
 const closeDrain = 10 * time.Second
+
+// Heartbeat defaults (JoinConfig.HeartbeatInterval/-Timeout override; a
+// negative value disables). A connection that is write-idle for the interval
+// carries a PING; a reader that receives nothing — data, PING or PONG — for
+// the timeout declares the peer failed. The timeout spans several intervals
+// so one delayed probe never kills a healthy job.
+const (
+	defaultHeartbeatInterval = 2 * time.Second
+	defaultHeartbeatTimeout  = 15 * time.Second
+)
 
 // Endpoint is one rank's socket endpoint. It implements
 // transport.Transport, transport.QueueInstrumented and
@@ -83,6 +98,11 @@ type Endpoint struct {
 	self, size int
 	box        *transport.Mailbox
 	peers      []*peerConn // indexed by rank; nil at self
+
+	hbInterval time.Duration // ping a write-idle connection this often (≤0: never)
+	hbTimeout  time.Duration // declare a silent peer dead after this long (≤0: never)
+	hbStop     chan struct{} // closes the heartbeat goroutine; nil when disabled
+	hbOnce     sync.Once
 
 	mu      sync.Mutex
 	failFn  func(error)
@@ -93,9 +113,10 @@ type Endpoint struct {
 
 // peerConn is the single connection shared with one peer rank.
 type peerConn struct {
-	nc   net.Conn
-	wmu  sync.Mutex
-	done chan struct{} // closed when the reader exits (BYE, abort or error)
+	nc        net.Conn
+	wmu       sync.Mutex
+	done      chan struct{} // closed when the reader exits (BYE, abort or error)
+	lastWrite atomic.Int64  // unix nanos of the last frame written; heartbeats ping only idle conns
 }
 
 func (p *peerConn) writeFrame(kind byte, tag int64, payload []byte) error {
@@ -107,6 +128,7 @@ func (p *peerConn) writeFrame(kind byte, tag int64, payload []byte) error {
 	defer p.wmu.Unlock()
 	bufs := net.Buffers{hdr[:], payload}
 	_, err := bufs.WriteTo(p.nc)
+	p.lastWrite.Store(time.Now().UnixNano())
 	return err
 }
 
@@ -197,6 +219,7 @@ func (e *Endpoint) Abort(origin int, reason string) {
 	if already {
 		return
 	}
+	e.stopHeartbeat()
 	if origin < 0 {
 		origin = e.self
 	}
@@ -205,7 +228,14 @@ func (e *Endpoint) Abort(origin int, reason string) {
 		if pc == nil {
 			continue
 		}
-		pc.nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		// A connection whose deadline cannot even be set is already dead or
+		// wedged: writing the abort frame to it could block teardown, so skip
+		// the notification and just close — the peer's reader will surface
+		// the broken connection instead.
+		if err := pc.nc.SetWriteDeadline(time.Now().Add(2 * time.Second)); err != nil {
+			pc.nc.Close()
+			continue
+		}
 		pc.writeFrame(frameAbort, int64(origin), payload)
 		pc.nc.Close()
 	}
@@ -222,6 +252,7 @@ func (e *Endpoint) Close() error {
 	if already {
 		return nil
 	}
+	e.stopHeartbeat()
 	for _, pc := range e.peers {
 		if pc != nil {
 			pc.writeFrame(frameBye, 0, nil)
@@ -250,15 +281,92 @@ func (e *Endpoint) Close() error {
 	return nil
 }
 
-// reader drains one peer connection into the mailbox until BYE, ABORT or a
-// connection error.
+// readFailure classifies a reader's error: a read-deadline expiry means the
+// peer went silent past the heartbeat timeout — the signature of a hung
+// process or an unreachable host, which never closes the connection — while
+// anything else is the connection itself breaking (a killed process resets
+// or closes its sockets).
+func (e *Endpoint) readFailure(err error) error {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return fmt.Errorf("missed heartbeats for %v (process hung or host unreachable)", e.hbTimeout)
+	}
+	return fmt.Errorf("connection to rank %d broke: %w", e.self, err)
+}
+
+// readFullAlive fills buf from the peer's buffered reader, refreshing the
+// connection's read deadline per chunk when heartbeat detection is on: a
+// large frame that is still flowing never trips the timeout, a stalled one
+// does.
+func (e *Endpoint) readFullAlive(pc *peerConn, br *bufio.Reader, buf []byte) error {
+	const chunk = 1 << 20
+	for len(buf) > 0 {
+		if e.hbTimeout > 0 {
+			pc.nc.SetReadDeadline(time.Now().Add(e.hbTimeout))
+		}
+		n := len(buf)
+		if n > chunk {
+			n = chunk
+		}
+		if _, err := io.ReadFull(br, buf[:n]); err != nil {
+			return err
+		}
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// heartbeat pings every write-idle peer connection each interval, so a rank
+// that is alive but has nothing to say still proves it: the peer's reader
+// treats any arriving frame — data, PING or PONG — as liveness. Runs until
+// Close or Abort stops it; write errors are left for the peer's reader to
+// surface.
+func (e *Endpoint) heartbeat() {
+	t := time.NewTicker(e.hbInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.hbStop:
+			return
+		case <-t.C:
+		}
+		idle := time.Now().Add(-e.hbInterval).UnixNano()
+		for _, pc := range e.peers {
+			if pc == nil {
+				continue
+			}
+			select {
+			case <-pc.done:
+				continue
+			default:
+			}
+			if pc.lastWrite.Load() > idle {
+				continue // recent traffic already proved this rank alive
+			}
+			pc.writeFrame(framePing, 0, nil)
+		}
+	}
+}
+
+// stopHeartbeat shuts the heartbeat goroutine down (idempotent; no-op when
+// heartbeats are disabled).
+func (e *Endpoint) stopHeartbeat() {
+	e.hbOnce.Do(func() {
+		if e.hbStop != nil {
+			close(e.hbStop)
+		}
+	})
+}
+
+// reader drains one peer connection into the mailbox until BYE, ABORT, a
+// connection error, or — with heartbeat detection on — a silence longer than
+// the heartbeat timeout.
 func (e *Endpoint) reader(peer int, pc *peerConn) {
 	defer close(pc.done)
 	br := bufio.NewReaderSize(pc.nc, 1<<16)
 	var hdr [13]byte
 	for {
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			e.fail(&transport.RankFailure{Rank: peer, Err: fmt.Errorf("connection to rank %d broke: %w", e.self, err)})
+		if err := e.readFullAlive(pc, br, hdr[:]); err != nil {
+			e.fail(&transport.RankFailure{Rank: peer, Err: e.readFailure(err)})
 			return
 		}
 		kind := hdr[0]
@@ -271,14 +379,20 @@ func (e *Endpoint) reader(peer int, pc *peerConn) {
 		var payload []byte
 		if n > 0 {
 			payload = make([]byte, n)
-			if _, err := io.ReadFull(br, payload); err != nil {
-				e.fail(&transport.RankFailure{Rank: peer, Err: fmt.Errorf("connection to rank %d broke: %w", e.self, err)})
+			if err := e.readFullAlive(pc, br, payload); err != nil {
+				e.fail(&transport.RankFailure{Rank: peer, Err: e.readFailure(err)})
 				return
 			}
 		}
 		switch kind {
 		case frameMsg:
 			e.box.Push(transport.Message{Src: peer, Tag: tag, Payload: payload})
+		case framePing:
+			// Reply so a one-sided conversation stays provably alive in both
+			// directions; the reply errors, if any, surface on this reader.
+			pc.writeFrame(framePong, 0, nil)
+		case framePong:
+			// Arrival alone refreshed the read deadline; nothing to do.
 		case frameBye:
 			return
 		case frameAbort:
@@ -393,6 +507,46 @@ type JoinConfig struct {
 	// only when peers must dial through an address this host cannot see
 	// (NAT, port forwarding).
 	Advertise string
+	// DialTimeout bounds every connection attempt this Join makes — the
+	// rendezvous and each mesh peer — and the total time Join keeps
+	// retrying a rendezvous that is not answering yet (0 = 30s). Workers
+	// may start before the rendezvous: Join redials with exponential
+	// backoff and jitter until the budget runs out, so launch order does
+	// not matter within it.
+	DialTimeout time.Duration
+	// HeartbeatInterval is how often a write-idle peer connection carries a
+	// PING proving this rank alive (0 = 2s; negative disables sending
+	// pings — peers with detection on will then declare this rank dead
+	// during long silences).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a peer may stay completely silent — no
+	// data, PING or PONG — before its connection is declared dead and the
+	// failure handler fires a RankFailure (0 = 15s; negative disables
+	// detection, restoring block-forever reads). A hung-but-not-exited rank
+	// never closes its sockets; this timeout is what surfaces it. Must
+	// exceed the interval, ideally by several multiples.
+	HeartbeatTimeout time.Duration
+}
+
+// dialBudget returns the effective connection-attempt budget.
+func (c JoinConfig) dialBudget() time.Duration {
+	if c.DialTimeout == 0 {
+		return dialTimeout
+	}
+	return c.DialTimeout
+}
+
+// heartbeats returns the effective (interval, timeout) pair; a non-positive
+// member means that half is disabled.
+func (c JoinConfig) heartbeats() (time.Duration, time.Duration) {
+	interval, timeout := c.HeartbeatInterval, c.HeartbeatTimeout
+	if interval == 0 {
+		interval = defaultHeartbeatInterval
+	}
+	if timeout == 0 {
+		timeout = defaultHeartbeatTimeout
+	}
+	return interval, timeout
 }
 
 // Connect builds rank self's endpoint of a p-rank job with the default
@@ -409,6 +563,11 @@ func Join(rdv string, self, p int, cfg JoinConfig) (*Endpoint, error) {
 	if self < 0 || self >= p {
 		return nil, fmt.Errorf("tcp: rank %d out of range [0,%d)", self, p)
 	}
+	dial := cfg.dialBudget()
+	hbInterval, hbTimeout := cfg.heartbeats()
+	if hbInterval > 0 && hbTimeout > 0 && hbTimeout <= hbInterval {
+		return nil, fmt.Errorf("tcp: heartbeat timeout %v must exceed the interval %v", hbTimeout, hbInterval)
+	}
 	listen := cfg.Listen
 	if listen == "" {
 		listen = ":0"
@@ -417,16 +576,18 @@ func Join(rdv string, self, p int, cfg JoinConfig) (*Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcp: listen %s: %w", listen, err)
 	}
-	addrs, err := rendezvous(rdv, self, p, cfg.Advertise, ln)
+	addrs, err := rendezvous(rdv, self, p, cfg.Advertise, ln, dial)
 	if err != nil {
 		ln.Close()
 		return nil, err
 	}
 	e := &Endpoint{
-		self:  self,
-		size:  p,
-		box:   transport.NewMailbox(),
-		peers: make([]*peerConn, p),
+		self:       self,
+		size:       p,
+		box:        transport.NewMailbox(),
+		peers:      make([]*peerConn, p),
+		hbInterval: hbInterval,
+		hbTimeout:  hbTimeout,
 	}
 	var wg sync.WaitGroup
 	errs := make(chan error, 2)
@@ -441,7 +602,7 @@ func Join(rdv string, self, p int, cfg JoinConfig) (*Endpoint, error) {
 				errs <- fmt.Errorf("tcp: rank %d mesh accept: %w", self, err)
 				return
 			}
-			conn.SetDeadline(time.Now().Add(dialTimeout))
+			conn.SetDeadline(time.Now().Add(dial))
 			// Read the handshake unbuffered: a buffered reader could swallow
 			// the first bytes of the frames the dialer sends right after it.
 			peer, err := binary.ReadUvarint(byteReader{conn})
@@ -459,7 +620,7 @@ func Join(rdv string, self, p int, cfg JoinConfig) (*Endpoint, error) {
 	go func() {
 		defer wg.Done()
 		for peer := 0; peer < self; peer++ {
-			conn, err := net.DialTimeout("tcp", addrs[peer], dialTimeout)
+			conn, err := net.DialTimeout("tcp", addrs[peer], dial)
 			if err != nil {
 				errs <- fmt.Errorf("tcp: rank %d dial rank %d: %w", self, peer, err)
 				return
@@ -490,19 +651,23 @@ func Join(rdv string, self, p int, cfg JoinConfig) (*Endpoint, error) {
 			go e.reader(peer, pc)
 		}
 	}
+	if e.hbInterval > 0 {
+		e.hbStop = make(chan struct{})
+		go e.heartbeat()
+	}
 	return e, nil
 }
 
 // rendezvous registers this rank's advertised address and returns the full
 // address table. An empty advertise derives one from the mesh listener and
 // the route to the rendezvous.
-func rendezvous(rdv string, self, p int, advertise string, ln net.Listener) ([]string, error) {
-	conn, err := net.DialTimeout("tcp", rdv, dialTimeout)
+func rendezvous(rdv string, self, p int, advertise string, ln net.Listener, dial time.Duration) ([]string, error) {
+	conn, err := dialRetry(rdv, dial)
 	if err != nil {
 		return nil, fmt.Errorf("tcp: dial rendezvous %s: %w", rdv, err)
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(dialTimeout))
+	conn.SetDeadline(time.Now().Add(dial))
 	if advertise == "" {
 		advertise = advertisedAddr(conn, ln)
 	}
@@ -522,6 +687,35 @@ func rendezvous(rdv string, self, p int, advertise string, ln net.Listener) ([]s
 		}
 	}
 	return addrs, nil
+}
+
+// dialRetry dials addr until it answers or the timeout budget is spent,
+// backing off exponentially with jitter between attempts. Workers routinely
+// start before the rendezvous is listening — a supervised relaunch even
+// guarantees it, racing fresh workers against a fresh rendezvous — so a
+// refused connection inside the budget is a bootstrap-order race, not an
+// error.
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	backoff := 50 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, err
+		}
+		if sleep > remain {
+			sleep = remain
+		}
+		time.Sleep(sleep)
+	}
 }
 
 // advertisedAddr derives the address peers should dial: a listener bound to

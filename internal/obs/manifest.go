@@ -58,6 +58,12 @@ type Manifest struct {
 	Comm    CommTotals    `json:"comm"`
 	Contigs ContigSummary `json:"contigs"`
 	Metrics []Metric      `json:"metrics,omitempty"`
+	// Restarts counts how many times the supervised proc launcher relaunched
+	// the worker group before this run completed (0 for an undisturbed run).
+	// Like wall time it is never part of baseline comparison — a recovered
+	// run's checksum and traffic totals still must match the baseline — but
+	// chaos CI gates on its exact value with benchguard -manifest-restarts.
+	Restarts int `json:"restarts,omitempty"`
 }
 
 // ChecksumSeqs hashes a sequence list order- and content-sensitively

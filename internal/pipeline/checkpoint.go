@@ -1,0 +1,503 @@
+package pipeline
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bidir"
+	"repro/internal/fasta"
+	"repro/internal/grid"
+	"repro/internal/kmer"
+	"repro/internal/mpi"
+	"repro/internal/mpi/wire"
+	"repro/internal/obs"
+	"repro/internal/overlap"
+	"repro/internal/spmat"
+	"repro/internal/tr"
+	"repro/internal/trace"
+)
+
+// Durable checkpoints: after a completed stage the engine serializes every
+// rank's artifact state to CheckpointDir/<stage>/ — one wire-encoded file per
+// rank plus a MANIFEST.json that rank 0 commits last. The commit protocol
+// makes the layout crash-consistent with nothing but POSIX rename:
+//
+//  1. Each rank encodes its state with the mpi/wire typed codec (the same
+//     deterministic encoding messages travel in, so checkpoint bytes are
+//     transport- and schedule-invariant), writes it to a temp file in the
+//     stage dir, fsyncs, and renames it to rank-<r>.ckpt.
+//  2. The ranks gather their content hashes at rank 0 on the uncounted
+//     control plane (so checkpointing never perturbs the traffic counters
+//     the pipeline reports).
+//  3. Rank 0 writes MANIFEST.json — stage, completed-stage list, options
+//     fingerprint, reads checksum, per-rank hashes, accumulated traffic
+//     totals — via the same temp+fsync+rename dance. The manifest rename is
+//     the commit point: a stage dir without MANIFEST.json is garbage from an
+//     interrupted attempt and LatestCheckpoint ignores it.
+//
+// LoadCheckpoint inverts the process with a two-phase protocol that can
+// never hang on a corrupt file: every rank first reads, hash-verifies and
+// decodes its file locally, then all ranks agree on success with one control
+// allreduce; only when every rank loaded cleanly do they run the collective
+// state rebuild (the grid exchange). A bad file surfaces as an error naming
+// the rank and the file on every process.
+
+// CheckpointSchema identifies the on-disk checkpoint layout version.
+const CheckpointSchema = "elba/checkpoint/v1"
+
+// ckptSchema is the per-rank file's schema number (bumped with ckptRank).
+const ckptSchema uint32 = 1
+
+// CheckpointManifestName is the per-stage commit file written by rank 0.
+const CheckpointManifestName = "MANIFEST.json"
+
+// CheckpointManifest is the committed description of one stage checkpoint.
+type CheckpointManifest struct {
+	Schema        string   `json:"schema"`
+	Stage         string   `json:"stage"`
+	Done          []string `json:"done"`
+	P             int      `json:"p"`
+	Fingerprint   string   `json:"options_fingerprint"`
+	ReadsChecksum string   `json:"reads_checksum"`
+	RankHashes    []string `json:"rank_hashes"` // sha256 of rank-<r>.ckpt, world-rank order
+	CommBytes     int64    `json:"comm_bytes"`  // chain totals through Stage
+	CommMsgs      int64    `json:"comm_msgs"`
+	WallNS        int64    `json:"wall_ns"`
+}
+
+// Fingerprint returns a stable hex digest of the algorithmic options — the
+// parameters that determine the checkpoint state and the assembly result.
+// Plumbing and observability knobs (Threads, Async, Transport, Trace,
+// Metrics, the checkpoint settings themselves) are excluded: they are
+// result-invariant by the pipeline's standing equivalences, so a checkpoint
+// taken under -transport proc restores under inproc and a sync engine
+// resumes an async run's checkpoint. LoadCheckpoint refuses a manifest whose
+// fingerprint differs from the resuming engine's.
+func (o Options) Fingerprint() string {
+	backend := o.AlignBackend
+	if backend == "" {
+		backend = BackendXDrop
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "elba/options/v1 p=%d k=%d backend=%s xdrop=%d rlow=%d rhigh=%d minov=%d minfrac=%g maxovh=%d trfuzz=%d trmaxiter=%d packseq=%t",
+		o.P, o.K, backend, o.XDrop, o.ReliableLow, o.ReliableHigh,
+		o.MinOverlap, o.MinScoreFrac, o.MaxOverhang, o.TRFuzz, o.TRMaxIter, o.PackSeqComm)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ckptRank is one rank's serialized artifact state: a single wire frame.
+// Distributed matrices are flattened to dims + the rank's local triples (the
+// block geometry is a pure function of grid position and dims, rebuilt on
+// load); pointers never cross the codec. Only the fields downstream stages
+// still consume are populated — see rankCheckpoint.
+type ckptRank struct {
+	Schema      uint32
+	Rank, P     int32
+	Fingerprint string
+	Stage       string
+	Timers      []trace.Record
+
+	HasOverlap     bool
+	OvNumReads     int64
+	OvNumKmers     int64
+	OvCandPairs    int64
+	OvKeptOverlaps int64
+	OvContained    []int32
+
+	HasKmers        bool
+	KmerK           int32
+	KmerNumCols     int32
+	KmerOccurrences int64
+	KmerTriples     []kmer.ATriple
+
+	HasCands    bool
+	CandNR      int32
+	CandNC      int32
+	CandTriples []spmat.Triple[overlap.Seeds]
+
+	HasR     bool
+	RNR, RNC int32
+	RTriples []spmat.Triple[bidir.Aln]
+
+	HasSG      bool
+	SGNR, SGNC int32
+	SGTriples  []spmat.Triple[bidir.Edge]
+
+	TRIterations   int64
+	TREdgesRemoved int64
+	TRProducts     int64
+}
+
+// rankFile names rank r's checkpoint file within a stage dir.
+func rankFile(rank int) string { return fmt.Sprintf("rank-%d.ckpt", rank) }
+
+// rankCheckpoint snapshots rank's state for the current resume point. Fields
+// no downstream stage consumes are dropped — the same liveness the stage
+// graph's Deps encode: Kmers feed only DetectOverlap, Candidates only
+// Alignment, R only TrReduction (which rederives the string graph from it),
+// and after TrReduction the reduced StringGraph plus the replicated Overlap
+// counters carry everything ExtractContig needs.
+func (a *Artifacts) rankCheckpoint(rank int) ckptRank {
+	rs := a.Ranks[rank]
+	has := func(stage string) bool { return slices.Contains(a.done, stage) }
+	ck := ckptRank{
+		Schema: ckptSchema, Rank: int32(rank), P: int32(a.Opt.P),
+		Fingerprint: a.Opt.Fingerprint(), Stage: a.Stage(),
+		Timers: rs.Timers.Records(),
+	}
+	if rs.Overlap != nil {
+		ck.HasOverlap = true
+		ck.OvNumReads = int64(rs.Overlap.NumReads)
+		ck.OvNumKmers = int64(rs.Overlap.NumKmers)
+		ck.OvCandPairs = rs.Overlap.CandidatePairs
+		ck.OvKeptOverlaps = rs.Overlap.KeptOverlaps
+		ck.OvContained = rs.Overlap.Contained
+	}
+	if has(StageCountKmer) && !has(StageDetectOverlap) {
+		ck.HasKmers = true
+		ck.KmerK = int32(rs.Kmers.K)
+		ck.KmerNumCols = int32(rs.Kmers.NumCols)
+		ck.KmerOccurrences = rs.Kmers.Occurrences
+		ck.KmerTriples = rs.Kmers.Triples
+	}
+	if has(StageDetectOverlap) && !has(StageAlignment) {
+		ck.HasCands = true
+		ck.CandNR, ck.CandNC = rs.Candidates.NR, rs.Candidates.NC
+		ck.CandTriples = rs.Candidates.Local.Ts
+	}
+	if has(StageAlignment) && !has(StageTrReduction) {
+		ck.HasR = true
+		ck.RNR, ck.RNC = rs.Overlap.R.NR, rs.Overlap.R.NC
+		ck.RTriples = rs.Overlap.R.Local.Ts
+	}
+	if has(StageTrReduction) {
+		ck.HasSG = true
+		ck.SGNR, ck.SGNC = rs.StringGraph.NR, rs.StringGraph.NC
+		ck.SGTriples = rs.StringGraph.Local.Ts
+		ck.TRIterations = int64(rs.TRStats.Iterations)
+		ck.TREdgesRemoved = rs.TRStats.EdgesRemoved
+		ck.TRProducts = rs.TRStats.Products
+	}
+	return ck
+}
+
+// installRank writes a decoded checkpoint into rs. The caller has already
+// rebuilt rs.Grid and rs.Store (the only artifact fields whose construction
+// communicates).
+func installRank(rs *RankState, ck *ckptRank) {
+	rs.Timers = trace.FromRecords(ck.Timers)
+	if ck.HasOverlap {
+		rs.Overlap = &overlap.Result{
+			NumReads:       int(ck.OvNumReads),
+			NumKmers:       int(ck.OvNumKmers),
+			CandidatePairs: ck.OvCandPairs,
+			KeptOverlaps:   ck.OvKeptOverlaps,
+			Contained:      ck.OvContained,
+		}
+	}
+	if ck.HasKmers {
+		rs.Kmers = &kmer.Result{
+			K: int(ck.KmerK), NumCols: int(ck.KmerNumCols),
+			Triples: ck.KmerTriples, Occurrences: ck.KmerOccurrences,
+		}
+	}
+	if ck.HasCands {
+		rs.Candidates = spmat.FromLocalTriples(rs.Grid, ck.CandNR, ck.CandNC, ck.CandTriples)
+	}
+	if ck.HasR {
+		rs.Overlap.R = spmat.FromLocalTriples(rs.Grid, ck.RNR, ck.RNC, ck.RTriples)
+	}
+	if ck.HasSG {
+		rs.StringGraph = spmat.FromLocalTriples(rs.Grid, ck.SGNR, ck.SGNC, ck.SGTriples)
+		rs.TRStats = tr.Stats{
+			Iterations:   int(ck.TRIterations),
+			EdgesRemoved: ck.TREdgesRemoved,
+			Products:     ck.TRProducts,
+		}
+	}
+}
+
+// checkpointAfter reports whether the engine checkpoints after this stage.
+// The final stage never checkpoints: its output is the run result.
+func (e *Engine) checkpointAfter(stage string) bool {
+	if e.opt.CheckpointDir == "" || stage == StageExtractContig {
+		return false
+	}
+	switch e.opt.CheckpointEvery {
+	case "", "all":
+		return true
+	}
+	return e.opt.CheckpointEvery == stage
+}
+
+// writeCheckpoint persists the artifacts' current resume point (steps 1–3 of
+// the commit protocol above). Called by resume between a stage's completion
+// and its observers, on every process of the world; collective on the
+// control plane.
+func (e *Engine) writeCheckpoint(ctx context.Context, a *Artifacts) error {
+	stage := a.Stage()
+	stageDir := filepath.Join(e.opt.CheckpointDir, stage)
+	if err := os.MkdirAll(stageDir, 0o777); err != nil {
+		return fmt.Errorf("pipeline: checkpoint after %q: %w", stage, err)
+	}
+	var mu sync.Mutex
+	var errs []error
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		errs = append(errs, err)
+	}
+	runErr := a.World.RunCtx(ctx, func(c *mpi.Comm) {
+		rank := c.Rank()
+		frame := wire.MarshalOne(a.rankCheckpoint(rank))
+		sum := sha256.Sum256(frame)
+		hash := hex.EncodeToString(sum[:])
+		path := filepath.Join(stageDir, rankFile(rank))
+		if err := writeFileAtomic(path, frame); err != nil {
+			fail(fmt.Errorf("pipeline: checkpoint rank %d: %w", rank, err))
+			hash = "" // rank 0 sees the hole and never commits the manifest
+		}
+		ctl := a.ctl[rank]
+		parts := mpi.Gatherv(ctl, 0, []byte(hash))
+		if ctl.Rank() != 0 {
+			return
+		}
+		hashes := make([]string, e.opt.P)
+		for r, part := range parts {
+			hashes[ctl.WorldRank(r)] = string(part)
+		}
+		for r, h := range hashes {
+			if h == "" {
+				fail(fmt.Errorf("pipeline: checkpoint after %q not committed: rank %d reported no content hash (its write failed; see that process's log)", stage, r))
+				return
+			}
+		}
+		man := CheckpointManifest{
+			Schema: CheckpointSchema, Stage: stage,
+			Done: append([]string(nil), a.done...),
+			P:    e.opt.P, Fingerprint: e.opt.Fingerprint(),
+			ReadsChecksum: obs.ChecksumSeqs(a.Reads),
+			RankHashes:    hashes,
+			CommBytes:     a.commBytes, CommMsgs: a.commMsgs,
+			WallNS: int64(a.wall),
+		}
+		blob, err := json.MarshalIndent(man, "", "  ")
+		if err != nil {
+			fail(fmt.Errorf("pipeline: checkpoint manifest: %w", err))
+			return
+		}
+		if err := writeFileAtomic(filepath.Join(stageDir, CheckpointManifestName), append(blob, '\n')); err != nil {
+			fail(fmt.Errorf("pipeline: committing checkpoint manifest: %w", err))
+		}
+	})
+	if runErr != nil {
+		return e.abortError(stage, a, runErr)
+	}
+	return errors.Join(errs...)
+}
+
+// LatestCheckpoint scans a checkpoint dir for the most advanced committed
+// stage checkpoint (the longest completed-stage list whose MANIFEST.json
+// exists) and returns its stage dir and manifest. Passing a stage dir
+// itself (one directly containing MANIFEST.json) selects that stage — the
+// operator override for resuming an earlier stage on purpose. A missing or
+// empty dir — or one holding only uncommitted stage dirs — returns
+// ("", nil, nil): no checkpoint, not an error, so a supervisor can ask
+// before the first commit.
+func LatestCheckpoint(dir string) (stageDir string, man *CheckpointManifest, err error) {
+	if blob, err := os.ReadFile(filepath.Join(dir, CheckpointManifestName)); err == nil {
+		var m CheckpointManifest
+		if err := json.Unmarshal(blob, &m); err != nil {
+			return "", nil, fmt.Errorf("pipeline: checkpoint manifest %s: %w", filepath.Join(dir, CheckpointManifestName), err)
+		}
+		if m.Schema != CheckpointSchema {
+			return "", nil, fmt.Errorf("pipeline: checkpoint manifest %s: schema %q (this build reads %q)", filepath.Join(dir, CheckpointManifestName), m.Schema, CheckpointSchema)
+		}
+		return dir, &m, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return "", nil, nil
+		}
+		return "", nil, fmt.Errorf("pipeline: scanning checkpoint dir: %w", err)
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		mp := filepath.Join(dir, ent.Name(), CheckpointManifestName)
+		blob, err := os.ReadFile(mp)
+		if err != nil {
+			continue // uncommitted stage dir (interrupted attempt): ignore
+		}
+		var m CheckpointManifest
+		if err := json.Unmarshal(blob, &m); err != nil {
+			return "", nil, fmt.Errorf("pipeline: checkpoint manifest %s: %w", mp, err)
+		}
+		if m.Schema != CheckpointSchema {
+			return "", nil, fmt.Errorf("pipeline: checkpoint manifest %s: schema %q (this build reads %q)", mp, m.Schema, CheckpointSchema)
+		}
+		if man == nil || len(m.Done) > len(man.Done) {
+			man, stageDir = &m, filepath.Join(dir, ent.Name())
+		}
+	}
+	return stageDir, man, nil
+}
+
+// LoadCheckpoint builds Artifacts from the most advanced committed
+// checkpoint under dir, on a fresh world of this engine's options: the
+// resume point a crashed run left behind. reads must be the original input
+// (verified against the manifest's checksum, like the options fingerprint —
+// resuming under different parameters or data is refused, not silently
+// wrong). The returned artifacts continue through Engine.ResumeFrom exactly
+// like an in-memory snapshot, with bit-identical contigs and equal traffic
+// counters to an undisturbed run.
+//
+// In a multi-process world every process must call LoadCheckpoint (the state
+// rebuild communicates); each loads only its local ranks' files. A corrupt
+// or truncated rank file fails the load everywhere, with the owning process
+// naming the rank and file.
+func (e *Engine) LoadCheckpoint(ctx context.Context, reads [][]byte, dir string) (*Artifacts, error) {
+	stageDir, man, err := LatestCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	if man == nil {
+		return nil, fmt.Errorf("pipeline: no committed checkpoint under %s", dir)
+	}
+	if man.P != e.opt.P {
+		return nil, fmt.Errorf("pipeline: checkpoint %s holds a %d-rank world; engine P = %d", stageDir, man.P, e.opt.P)
+	}
+	if fp := e.opt.Fingerprint(); man.Fingerprint != fp {
+		return nil, fmt.Errorf("pipeline: checkpoint %s was written under different algorithmic options (fingerprint %.12s…, this engine %.12s…); refusing to resume", stageDir, man.Fingerprint, fp)
+	}
+	if rc := obs.ChecksumSeqs(reads); man.ReadsChecksum != rc {
+		return nil, fmt.Errorf("pipeline: checkpoint %s was written for a different read set (checksum %.12s…, these reads %.12s…); refusing to resume", stageDir, man.ReadsChecksum, rc)
+	}
+	if len(man.RankHashes) != e.opt.P {
+		return nil, fmt.Errorf("pipeline: checkpoint manifest %s lists %d rank hashes, want %d", stageDir, len(man.RankHashes), e.opt.P)
+	}
+	a, err := newArtifacts(e.opt, reads)
+	if err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	var errs []error
+	var peerFail atomic.Bool
+	runErr := a.World.RunCtx(ctx, func(c *mpi.Comm) {
+		rank := c.Rank()
+		ck, err := readRankCheckpoint(filepath.Join(stageDir, rankFile(rank)), man, rank, e.opt)
+		flag := []int64{0}
+		if err != nil {
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+			flag[0] = 1
+		}
+		// Phase 1 barrier: every rank — including ones whose file is bad —
+		// joins this agreement, so a corrupt checkpoint can fail the load
+		// without wedging a collective. Phase 2 communicates only when all
+		// ranks decoded cleanly.
+		bad := mpi.AllreduceSlice(a.ctl[rank], flag, func(x, y int64) int64 { return x + y })
+		if bad[0] > 0 {
+			peerFail.Store(true)
+			return
+		}
+		rs := a.Ranks[rank]
+		rs.Grid = grid.New(rs.Comm)
+		rs.Store = fasta.FromGlobal(rs.Comm, a.Reads)
+		installRank(rs, ck)
+		rs.Comm.Metrics().Gauge("pipeline.reads_local").Set(int64(rs.Store.Hi - rs.Store.Lo))
+	})
+	if runErr != nil {
+		a.Close()
+		return nil, fmt.Errorf("pipeline: loading checkpoint %s: %w", stageDir, runErr)
+	}
+	if len(errs) > 0 || peerFail.Load() {
+		a.Close()
+		if len(errs) > 0 {
+			return nil, errors.Join(errs...)
+		}
+		return nil, fmt.Errorf("pipeline: checkpoint %s: a peer process failed to load its rank files (see its log)", stageDir)
+	}
+	a.done = append([]string(nil), man.Done...)
+	a.commBytes, a.commMsgs = man.CommBytes, man.CommMsgs
+	a.wall = time.Duration(man.WallNS)
+	return a, nil
+}
+
+// readRankCheckpoint loads and verifies one rank's file: content hash
+// against the committed manifest first (so truncation or bit rot is caught
+// before the codec sees the bytes), then the decoded self-description
+// against the resuming engine. Every failure names the rank and the file.
+func readRankCheckpoint(path string, man *CheckpointManifest, rank int, opt Options) (*ckptRank, error) {
+	frame, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: checkpoint rank %d: reading %s: %w", rank, path, err)
+	}
+	sum := sha256.Sum256(frame)
+	if got := hex.EncodeToString(sum[:]); got != man.RankHashes[rank] {
+		return nil, fmt.Errorf("pipeline: checkpoint rank %d: %s is corrupt or truncated: content hash %.12s… does not match the committed manifest (%.12s…)",
+			rank, path, got, man.RankHashes[rank])
+	}
+	ck, err := wire.UnmarshalOne[ckptRank](frame)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: checkpoint rank %d: decoding %s: %w", rank, path, err)
+	}
+	if ck.Schema != ckptSchema {
+		return nil, fmt.Errorf("pipeline: checkpoint rank %d: %s has schema %d (this build reads %d)", rank, path, ck.Schema, ckptSchema)
+	}
+	if int(ck.Rank) != rank || int(ck.P) != opt.P {
+		return nil, fmt.Errorf("pipeline: checkpoint rank %d: %s describes rank %d of a %d-rank world (want rank %d of %d)",
+			rank, path, ck.Rank, ck.P, rank, opt.P)
+	}
+	if ck.Fingerprint != opt.Fingerprint() {
+		return nil, fmt.Errorf("pipeline: checkpoint rank %d: %s carries options fingerprint %.12s…, engine has %.12s…",
+			rank, path, ck.Fingerprint, opt.Fingerprint())
+	}
+	return &ck, nil
+}
+
+// writeFileAtomic writes data crash-consistently: temp file in the target's
+// dir, fsync, rename. Readers see either the old file or the complete new
+// one, never a torn write.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Persist the rename itself (the commit point must survive power loss).
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

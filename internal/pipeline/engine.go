@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/mpi"
 	"repro/internal/mpi/transport"
 	"repro/internal/obs"
@@ -207,6 +208,9 @@ func (e *Engine) resume(ctx context.Context, a *Artifacts, untilIdx int) (out *A
 		stageIdx := i
 		runErr := a.World.RunCtx(ctx, func(c *mpi.Comm) {
 			rank := c.Rank()
+			// Deterministic fault injection (chaos tests and the nightly CI
+			// job): one atomic load when nothing is armed.
+			faultinject.At(st.Name(), rank)
 			var rb0, rm0 int64
 			if dist {
 				rb0, rm0 = c.BytesSent(), c.MsgsSent()
@@ -256,6 +260,17 @@ func (e *Engine) resume(ctx context.Context, a *Artifacts, untilIdx int) (out *A
 		}
 		a.wall += wall
 		a.done = append(a.done, st.Name())
+		if e.checkpointAfter(st.Name()) {
+			// Durable resume point: persisted after the stage's accounting
+			// lands (so the manifest's totals match the chain's) and before
+			// observers see the stage as complete. Checkpoint I/O and the
+			// hash gather run outside the stage's traffic window, on the
+			// uncounted control plane — totals stay equal to an
+			// unobserved run's.
+			if cerr := e.writeCheckpoint(ctx, a); cerr != nil {
+				return nil, cerr
+			}
+		}
 		for _, ob := range e.obs {
 			if ob.StageEnd != nil {
 				ob.StageEnd(st.Name(), a.Aggregate(), wall)

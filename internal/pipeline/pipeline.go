@@ -131,6 +131,20 @@ type Options struct {
 	// do not communicate from it. Excluded from the manifest (plumbing, not
 	// an algorithmic parameter).
 	OnFailure func(error) `json:"-"`
+	// CheckpointDir, when non-empty, makes the engine write a durable
+	// checkpoint of the per-rank artifacts after each completed stage (see
+	// CheckpointEvery): one wire-encoded file per rank plus a
+	// rank-0-committed MANIFEST.json, under CheckpointDir/<stage>/. A later
+	// run with equal algorithmic options resumes via Engine.LoadCheckpoint.
+	// Checkpoint traffic runs on the uncounted control plane and checkpoint
+	// time is excluded from WallTime, so a checkpointed run's manifest is
+	// identical to an unobserved one. Excluded from the run manifest
+	// (operational plumbing, not an algorithmic parameter).
+	CheckpointDir string `json:"-"`
+	// CheckpointEvery narrows CheckpointDir: "" or "all" checkpoints after
+	// every stage but the final one; a stage name checkpoints only after
+	// that stage. Ignored when CheckpointDir is empty.
+	CheckpointEvery string `json:"-"`
 	// Async runs the communication-heavy loops on the nonblocking mpi layer
 	// so transfers overlap local computation: the SUMMA SpGEMM (overlap
 	// detection and transitive reduction) prefetches the next round's panels

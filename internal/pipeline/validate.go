@@ -3,6 +3,7 @@ package pipeline
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"strings"
 
 	"repro/internal/kmer"
@@ -69,6 +70,18 @@ func (o Options) Validate() error {
 	}
 	if o.TRMaxIter < 0 {
 		bad("TRMaxIter", "= %d: must be ≥ 0", o.TRMaxIter)
+	}
+	switch o.CheckpointEvery {
+	case "", "all":
+	case StageExtractContig:
+		bad("CheckpointEvery", "= %q: the final stage is never checkpointed (its output is the result; use -manifest/-contigs)", o.CheckpointEvery)
+	default:
+		if !slices.Contains(StageNames(), o.CheckpointEvery) {
+			bad("CheckpointEvery", "= %q: unknown stage (want all|%s)", o.CheckpointEvery, strings.Join(StageNames()[:len(StageNames())-1], "|"))
+		}
+	}
+	if o.CheckpointEvery != "" && o.CheckpointDir == "" {
+		bad("CheckpointEvery", "= %q: set without CheckpointDir", o.CheckpointEvery)
 	}
 	if o.Trace != nil && o.Trace.Ranks() < o.P {
 		bad("Trace", "covers %d ranks: needs at least P = %d", o.Trace.Ranks(), o.P)

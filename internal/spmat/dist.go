@@ -75,6 +75,25 @@ func FromGlobalTriples[T any](g *grid.Grid, nr, nc int32, all []Triple[T], combi
 	return a
 }
 
+// FromLocalTriples rebuilds a distributed matrix from one rank's previously
+// dumped local block — the checkpoint restore path. The triples must already
+// be canonical (column-major, no duplicates) and lie inside this rank's block
+// of the nr×nc grid distribution, which holds for any slice taken from
+// Local.Ts of a matrix with the same grid and dims. No communication.
+func FromLocalTriples[T any](g *grid.Grid, nr, nc int32, ts []Triple[T]) *Dist[T] {
+	a := newDistShell[T](g, nr, nc)
+	for _, t := range ts {
+		if !a.owns(t.Row, t.Col) {
+			panic(fmt.Sprintf("spmat: restored triple (%d,%d) outside block [%d,%d)x[%d,%d)",
+				t.Row, t.Col, a.RowLo, a.RowHi, a.ColLo, a.ColHi))
+		}
+	}
+	if len(ts) > 0 {
+		a.Local.Ts = ts
+	}
+	return a
+}
+
 // Nnz returns the global nonzero count (collective).
 func (a *Dist[T]) Nnz() int64 {
 	return mpi.Allreduce(a.G.Comm, int64(a.Local.Nnz()), func(x, y int64) int64 { return x + y })

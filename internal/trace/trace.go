@@ -229,9 +229,11 @@ func (s *Summary) Total() time.Duration {
 	return t
 }
 
-// wire is the flattened per-stage record exchanged by MergeMax and folded by
-// the aggregation shared with Aggregate.
-type wire struct {
+// Record is one stage's accounting flattened to wire-encodable scalars: the
+// form MergeMax exchanges between ranks and durable checkpoints persist
+// (every field is a fixed-width integer or a string, so the typed wire codec
+// carries it and the bytes are schedule-invariant).
+type Record struct {
 	Name    string
 	Nanos   int64
 	Bytes   int64
@@ -241,22 +243,40 @@ type wire struct {
 	Work    int64
 }
 
-// wires flattens the timer set into per-stage records in first-seen order.
-func (t *Timers) wires() []wire {
+// Records flattens the timer set into per-stage records in first-seen order.
+// FromRecords inverts it exactly.
+func (t *Timers) Records() []Record {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var out []wire
+	var out []Record
 	for _, n := range t.order {
 		e := t.m[n]
-		out = append(out, wire{Name: n, Nanos: int64(e.Dur), Bytes: e.Bytes, Msgs: e.Msgs,
+		out = append(out, Record{Name: n, Nanos: int64(e.Dur), Bytes: e.Bytes, Msgs: e.Msgs,
 			OvBytes: e.OverlapBytes, OvMsgs: e.OverlapMsgs, Work: e.Work})
 	}
 	return out
 }
 
+// FromRecords rebuilds a timer set from flattened records, preserving order —
+// the checkpoint restore path; FromRecords(t.Records()) is equivalent to
+// t.Clone().
+func FromRecords(recs []Record) *Timers {
+	t := New()
+	for _, r := range recs {
+		e := t.entry(r.Name)
+		e.Dur = time.Duration(r.Nanos)
+		e.Bytes = r.Bytes
+		e.Msgs = r.Msgs
+		e.OverlapBytes = r.OvBytes
+		e.OverlapMsgs = r.OvMsgs
+		e.Work = r.Work
+	}
+	return t
+}
+
 // foldWires aggregates per-rank records: durations, per-rank bytes/messages
 // and work take the max (critical path); bytes and work are also summed.
-func foldWires(parts [][]wire) *Summary {
+func foldWires(parts [][]Record) *Summary {
 	out := &Summary{m: map[string]SummaryEntry{}}
 	for _, part := range parts {
 		for _, w := range part {
@@ -297,7 +317,7 @@ func foldWires(parts [][]wire) *Summary {
 // per-rank bytes/messages and work take the max (critical path); bytes and
 // work are also summed (totals). Collective; returns nil on non-zero ranks.
 func MergeMax(c *mpi.Comm, t *Timers) *Summary {
-	parts := mpi.Gatherv(c, 0, t.wires())
+	parts := mpi.Gatherv(c, 0, t.Records())
 	if c.Rank() != 0 {
 		return nil
 	}
@@ -310,10 +330,10 @@ func MergeMax(c *mpi.Comm, t *Timers) *Summary {
 // stages, uses it to stream per-stage aggregates to observers without
 // perturbing the run's traffic counters.
 func Aggregate(ts []*Timers) *Summary {
-	parts := make([][]wire, 0, len(ts))
+	parts := make([][]Record, 0, len(ts))
 	for _, t := range ts {
 		if t != nil {
-			parts = append(parts, t.wires())
+			parts = append(parts, t.Records())
 		}
 	}
 	return foldWires(parts)
