@@ -70,17 +70,21 @@ var (
 	note          = flag.String("note", "", "free-form note stored in the JSON")
 	manifestPath  = flag.String("manifest", "", "verify a RUN.json run manifest instead of parsing bench output")
 	manifestBase  = flag.String("manifest-baseline", "", "baseline manifest: contig checksum and comm totals must match -manifest exactly")
+	manifestPair  = flag.String("manifest-pair", "", "companion manifest for -assert ratios: every derived metric gains <name>_ratio = manifest/pair (the elbad smoke job pairs a sweep's cache-hit run with its cold predecessor)")
 	manifestRst   = flag.Int("manifest-restarts", -1, "require the -manifest run's supervised restart count to equal this exactly (-1: don't check); chaos CI uses it to prove a recovery actually happened")
 )
 
 func main() {
 	flag.Parse()
 	if *manifestPath != "" {
-		runManifestMode(*manifestPath, *manifestBase, *manifestRst)
+		runManifestMode(*manifestPath, *manifestBase, *manifestPair, *manifestRst, *asserts)
 		return
 	}
 	if *manifestBase != "" {
 		fatal(fmt.Errorf("-manifest-baseline requires -manifest"))
+	}
+	if *manifestPair != "" {
+		fatal(fmt.Errorf("-manifest-pair requires -manifest"))
 	}
 	if *manifestRst >= 0 {
 		fatal(fmt.Errorf("-manifest-restarts requires -manifest"))
@@ -290,13 +294,14 @@ func checkAsserts(rec *Record, spec string) []string {
 	return bad
 }
 
-// parseAssert splits 'name:metric>=value' into its parts.
+// parseAssert splits 'name:metric>=value' into its parts. The name part is
+// optional: a bare 'metric>=value' targets the synthetic "manifest"
+// benchmark that -manifest mode derives its metrics under.
 func parseAssert(s string) (name, metric, op string, value float64, err error) {
-	i := strings.LastIndex(s, ":")
-	if i < 0 {
-		return "", "", "", 0, fmt.Errorf("bad -assert %q: want name:metric>=value", s)
+	name, cond := manifestBench, s
+	if i := strings.LastIndex(s, ":"); i >= 0 {
+		name, cond = stripProcs(s[:i]), s[i+1:]
 	}
-	name, cond := stripProcs(s[:i]), s[i+1:]
 	for _, candidate := range []string{">=", "<="} {
 		if j := strings.Index(cond, candidate); j >= 0 {
 			metric, op = cond[:j], candidate

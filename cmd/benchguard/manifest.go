@@ -7,12 +7,21 @@ import (
 	"repro/internal/obs"
 )
 
+// manifestBench is the synthetic benchmark name the manifest's derived
+// metrics live under, so -assert works unchanged in -manifest mode (a bare
+// 'metric<=value' assertion defaults to it).
+const manifestBench = "manifest"
+
 // runManifestMode loads the manifest (and optional baseline), verifies, and
 // exits nonzero on any violation. restarts ≥ 0 additionally requires the
 // run's supervised restart count to equal it exactly — the chaos job's proof
 // that a fault was injected AND recovered from (0 restarts means the fault
-// never fired; more means the job thrashed).
-func runManifestMode(curPath, basePath string, restarts int) {
+// never fired; more means the job thrashed). asserts are evaluated against
+// the manifest's derived metrics (align_cells, cache_hit, comm_bytes, …);
+// with pairPath every derived metric additionally gains a <name>_ratio
+// against the companion manifest, which is how the elbad smoke job proves a
+// cache hit re-did at most half the sweep pair's alignment work.
+func runManifestMode(curPath, basePath, pairPath string, restarts int, asserts string) {
 	cur, err := obs.ReadManifestFile(curPath)
 	if err != nil {
 		fatal(err)
@@ -28,6 +37,24 @@ func runManifestMode(curPath, basePath string, restarts int) {
 	if restarts >= 0 && cur.Restarts != restarts {
 		bad = append(bad, fmt.Sprintf("restarts = %d, want exactly %d", cur.Restarts, restarts))
 	}
+	if asserts != "" {
+		metrics := manifestMetrics(cur)
+		if pairPath != "" {
+			pair, err := obs.ReadManifestFile(pairPath)
+			if err != nil {
+				fatal(err)
+			}
+			for name, pv := range manifestMetrics(pair) {
+				if pv > 0 {
+					metrics[name+"_ratio"] = metrics[name] / pv
+				}
+			}
+		}
+		rec := &Record{Benchmarks: map[string]map[string]float64{manifestBench: metrics}}
+		bad = append(bad, checkAsserts(rec, asserts)...)
+	} else if pairPath != "" {
+		bad = append(bad, "-manifest-pair without -assert checks nothing")
+	}
 	if len(bad) > 0 {
 		for _, m := range bad {
 			fmt.Fprintln(os.Stderr, "benchguard: FAIL:", m)
@@ -35,6 +62,39 @@ func runManifestMode(curPath, basePath string, restarts int) {
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: manifest verified")
+}
+
+// manifestMetrics flattens a manifest into assertable scalars: the traffic
+// and contig totals, the supervised restart count, cache_hit (1 when the
+// daemon's artifact cache satisfied the run's alignment), and the run's own
+// performed work from its metric snapshot — align_cells is 0 for a cache
+// hit, because the resumed run never aligned (absent metrics read as 0 for
+// exactly that reason).
+func manifestMetrics(m *obs.Manifest) map[string]float64 {
+	out := map[string]float64{
+		"comm_bytes": float64(m.Comm.Bytes),
+		"comm_msgs":  float64(m.Comm.Msgs),
+		"contigs":    float64(m.Contigs.Count),
+		"restarts":   float64(m.Restarts),
+		"cache_hit":  0,
+	}
+	if m.Cache == "hit" {
+		out["cache_hit"] = 1
+	}
+	for _, metric := range m.Metrics {
+		if metric.Name != "align.cells" {
+			continue
+		}
+		if metric.Kind == obs.KindHistogram {
+			out["align_cells"] = float64(metric.Sum)
+		} else {
+			out["align_cells"] = float64(metric.Value)
+		}
+	}
+	if _, ok := out["align_cells"]; !ok {
+		out["align_cells"] = 0
+	}
+	return out
 }
 
 // verifyManifest is the -manifest mode: it checks the RUN.json record's

@@ -81,6 +81,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -98,6 +99,14 @@ import (
 	"repro/internal/trace"
 )
 
+// Exit codes beyond the generic 0/1/2 (see OPERATIONS.md for the full
+// table): assembly aborted because a peer rank died vs. stopped by the
+// operator's interrupt.
+const (
+	exitRankFailure = 3
+	exitInterrupted = 130
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("elba: ")
@@ -112,6 +121,7 @@ func main() {
 		np          = flag.Int("np", 0, "alias for -p (mpirun-style spelling, e.g. -transport proc -np 4)")
 		k           = flag.Int("k", 0, "k-mer length override (default: preset/paper value)")
 		xdrop       = flag.Int("x", 0, "x-drop / wavefront-prune threshold override")
+		trfuzz      = flag.Int("trfuzz", 0, "transitive-reduction fuzz override (default: preset/paper value)")
 		outPath     = flag.String("out", "", "write contigs FASTA here")
 		refPath     = flag.String("ref", "", "reference FASTA for a quality report")
 		breakdown   = flag.Bool("breakdown", false, "print the per-stage runtime breakdown")
@@ -212,6 +222,9 @@ func main() {
 	}
 	if *xdrop > 0 {
 		opt.XDrop = int32(*xdrop)
+	}
+	if *trfuzz > 0 {
+		opt.TRFuzz = int32(*trfuzz)
 	}
 	if err := common.Apply(&opt); err != nil {
 		log.Fatal(err)
@@ -338,7 +351,19 @@ func main() {
 		}
 	}
 	if err != nil {
-		log.Fatal(err)
+		// Distinct exit codes so supervisors and scripts can tell why the
+		// assembly stopped without parsing the message: a dead peer rank is
+		// retryable-with-recovery, an operator interrupt is not an error at
+		// all (130 = 128+SIGINT, the shell convention). OPERATIONS.md tables
+		// every code.
+		log.Print(err)
+		if _, ok := elba.FailedRank(err); ok {
+			os.Exit(exitRankFailure)
+		}
+		if errors.Is(err, context.Canceled) {
+			os.Exit(exitInterrupted)
+		}
+		os.Exit(1)
 	}
 	if quiet {
 		// Worker ranks > 0: the contigs and statistics were gathered at rank

@@ -100,6 +100,13 @@ import (
 // Async field (default true) overlaps the SUMMA, k-mer and read-sequence
 // exchanges against computation via nonblocking communication. Contigs are
 // bit-identical for every Threads and Async value.
+//
+// Options.Fingerprint and Options.FingerprintThrough(stage) are the stable
+// content addresses of the result-determining options: FingerprintThrough
+// covers only the options consumed by stages up to and including stage (the
+// "option prefix"), which is what checkpoint validation enforces and the
+// elbad artifact cache keys on — two option sets sharing a prefix through
+// Alignment may share one post-Alignment artifact.
 type Options = pipeline.Options
 
 // Alignment backend names for Options.AlignBackend.

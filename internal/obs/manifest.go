@@ -64,6 +64,13 @@ type Manifest struct {
 	// run's checksum and traffic totals still must match the baseline — but
 	// chaos CI gates on its exact value with benchguard -manifest-restarts.
 	Restarts int `json:"restarts,omitempty"`
+	// Cache records how a daemon (elbad) job obtained its alignment
+	// artifacts: "hit" when the run resumed from a shared post-Alignment
+	// cache entry, "miss" when it computed one, empty outside the daemon.
+	// Informational like Restarts — never part of baseline comparison, but
+	// benchguard's manifest-derived cache_hit metric gates on it in the
+	// elbad smoke job.
+	Cache string `json:"cache,omitempty"`
 }
 
 // ChecksumSeqs hashes a sequence list order- and content-sensitively

@@ -53,11 +53,15 @@ import (
 // state rebuild (the grid exchange). A bad file surfaces as an error naming
 // the rank and the file on every process.
 
-// CheckpointSchema identifies the on-disk checkpoint layout version.
-const CheckpointSchema = "elba/checkpoint/v1"
+// CheckpointSchema identifies the on-disk checkpoint layout version. v2
+// switched the embedded options fingerprint from the full option set to the
+// prefix through the checkpointed stage (FingerprintThrough), so a
+// post-Alignment checkpoint resumes under different TR parameters — the
+// sweep-reuse semantics the artifact cache is built on.
+const CheckpointSchema = "elba/checkpoint/v2"
 
 // ckptSchema is the per-rank file's schema number (bumped with ckptRank).
-const ckptSchema uint32 = 1
+const ckptSchema uint32 = 2
 
 // CheckpointManifestName is the per-stage commit file written by rank 0.
 const CheckpointManifestName = "MANIFEST.json"
@@ -76,25 +80,58 @@ type CheckpointManifest struct {
 	WallNS        int64    `json:"wall_ns"`
 }
 
-// Fingerprint returns a stable hex digest of the algorithmic options — the
-// parameters that determine the checkpoint state and the assembly result.
-// Plumbing and observability knobs (Threads, Async, Transport, Trace,
-// Metrics, the checkpoint settings themselves) are excluded: they are
-// result-invariant by the pipeline's standing equivalences, so a checkpoint
-// taken under -transport proc restores under inproc and a sync engine
-// resumes an async run's checkpoint. LoadCheckpoint refuses a manifest whose
-// fingerprint differs from the resuming engine's.
-func (o Options) Fingerprint() string {
+// FingerprintThrough returns a stable hex digest of the algorithmic options
+// the stage prefix ending at `stage` (inclusive) depends on. Each option
+// enters the digest at the first stage that consumes it:
+//
+//	FastaReader    P (the grid shape every distributed artifact is laid out on)
+//	CountKmer      K, ReliableLow, ReliableHigh
+//	DetectOverlap  — (pure SpGEMM over CountKmer's A matrix)
+//	Alignment      AlignBackend, XDrop, MinOverlap, MinScoreFrac, MaxOverhang
+//	TrReduction    TRFuzz, TRMaxIter
+//	ExtractContig  PackSeqComm
+//
+// Two uses share this one implementation: a checkpoint committed after a
+// stage embeds the prefix through that stage, so LoadCheckpoint accepts a
+// resuming engine whose options differ only downstream of the resume point
+// (the TR-parameter sweep); and the serve-layer artifact cache keys entries
+// by (reads checksum, prefix through the cached stage) so sweep jobs reuse
+// one alignment. Plumbing and observability knobs (Threads, Async,
+// Transport, Trace, Metrics, the checkpoint settings themselves) never enter
+// any prefix: they are result-invariant by the pipeline's standing
+// equivalences. Unknown stage names panic — callers pass stage constants or
+// names validated against StageNames.
+func (o Options) FingerprintThrough(stage string) string {
+	idx := slices.Index(StageNames(), stage)
+	if idx < 0 {
+		panic(fmt.Sprintf("pipeline: FingerprintThrough(%q): unknown stage", stage))
+	}
 	backend := o.AlignBackend
 	if backend == "" {
 		backend = BackendXDrop
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "elba/options/v1 p=%d k=%d backend=%s xdrop=%d rlow=%d rhigh=%d minov=%d minfrac=%g maxovh=%d trfuzz=%d trmaxiter=%d packseq=%t",
-		o.P, o.K, backend, o.XDrop, o.ReliableLow, o.ReliableHigh,
-		o.MinOverlap, o.MinScoreFrac, o.MaxOverhang, o.TRFuzz, o.TRMaxIter, o.PackSeqComm)
+	fmt.Fprintf(h, "elba/options/v2 through=%s p=%d", stage, o.P)
+	if idx >= 1 { // CountKmer
+		fmt.Fprintf(h, " k=%d rlow=%d rhigh=%d", o.K, o.ReliableLow, o.ReliableHigh)
+	}
+	if idx >= 3 { // Alignment
+		fmt.Fprintf(h, " backend=%s xdrop=%d minov=%d minfrac=%g maxovh=%d",
+			backend, o.XDrop, o.MinOverlap, o.MinScoreFrac, o.MaxOverhang)
+	}
+	if idx >= 4 { // TrReduction
+		fmt.Fprintf(h, " trfuzz=%d trmaxiter=%d", o.TRFuzz, o.TRMaxIter)
+	}
+	if idx >= 5 { // ExtractContig
+		fmt.Fprintf(h, " packseq=%t", o.PackSeqComm)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
+
+// Fingerprint digests the full algorithmic option set — the prefix through
+// the final stage. Two option values with equal fingerprints produce
+// bit-identical contigs on the same reads.
+func (o Options) Fingerprint() string { return o.FingerprintThrough(StageExtractContig) }
 
 // ckptRank is one rank's serialized artifact state: a single wire frame.
 // Distributed matrices are flattened to dims + the rank's local triples (the
@@ -153,7 +190,7 @@ func (a *Artifacts) rankCheckpoint(rank int) ckptRank {
 	has := func(stage string) bool { return slices.Contains(a.done, stage) }
 	ck := ckptRank{
 		Schema: ckptSchema, Rank: int32(rank), P: int32(a.Opt.P),
-		Fingerprint: a.Opt.Fingerprint(), Stage: a.Stage(),
+		Fingerprint: a.Opt.FingerprintThrough(a.Stage()), Stage: a.Stage(),
 		Timers: rs.Timers.Records(),
 	}
 	if rs.Overlap != nil {
@@ -286,7 +323,7 @@ func (e *Engine) writeCheckpoint(ctx context.Context, a *Artifacts) error {
 		man := CheckpointManifest{
 			Schema: CheckpointSchema, Stage: stage,
 			Done: append([]string(nil), a.done...),
-			P:    e.opt.P, Fingerprint: e.opt.Fingerprint(),
+			P:    e.opt.P, Fingerprint: e.opt.FingerprintThrough(stage),
 			ReadsChecksum: obs.ChecksumSeqs(a.Reads),
 			RankHashes:    hashes,
 			CommBytes:     a.commBytes, CommMsgs: a.commMsgs,
@@ -380,8 +417,14 @@ func (e *Engine) LoadCheckpoint(ctx context.Context, reads [][]byte, dir string)
 	if man.P != e.opt.P {
 		return nil, fmt.Errorf("pipeline: checkpoint %s holds a %d-rank world; engine P = %d", stageDir, man.P, e.opt.P)
 	}
-	if fp := e.opt.Fingerprint(); man.Fingerprint != fp {
-		return nil, fmt.Errorf("pipeline: checkpoint %s was written under different algorithmic options (fingerprint %.12s…, this engine %.12s…); refusing to resume", stageDir, man.Fingerprint, fp)
+	if !slices.Contains(StageNames(), man.Stage) {
+		return nil, fmt.Errorf("pipeline: checkpoint manifest %s names unknown stage %q", stageDir, man.Stage)
+	}
+	// The manifest carries the option prefix through its stage: options that
+	// only stages downstream of the resume point consume (the TR sweep
+	// parameters, for a post-Alignment checkpoint) may differ freely.
+	if fp := e.opt.FingerprintThrough(man.Stage); man.Fingerprint != fp {
+		return nil, fmt.Errorf("pipeline: checkpoint %s was written under different algorithmic options (fingerprint %.12s…, this engine %.12s… through %s); refusing to resume", stageDir, man.Fingerprint, fp, man.Stage)
 	}
 	if rc := obs.ChecksumSeqs(reads); man.ReadsChecksum != rc {
 		return nil, fmt.Errorf("pipeline: checkpoint %s was written for a different read set (checksum %.12s…, these reads %.12s…); refusing to resume", stageDir, man.ReadsChecksum, rc)
@@ -463,9 +506,13 @@ func readRankCheckpoint(path string, man *CheckpointManifest, rank int, opt Opti
 		return nil, fmt.Errorf("pipeline: checkpoint rank %d: %s describes rank %d of a %d-rank world (want rank %d of %d)",
 			rank, path, ck.Rank, ck.P, rank, opt.P)
 	}
-	if ck.Fingerprint != opt.Fingerprint() {
-		return nil, fmt.Errorf("pipeline: checkpoint rank %d: %s carries options fingerprint %.12s…, engine has %.12s…",
-			rank, path, ck.Fingerprint, opt.Fingerprint())
+	if ck.Stage != man.Stage {
+		return nil, fmt.Errorf("pipeline: checkpoint rank %d: %s snapshots stage %q, manifest committed %q",
+			rank, path, ck.Stage, man.Stage)
+	}
+	if fp := opt.FingerprintThrough(man.Stage); ck.Fingerprint != fp {
+		return nil, fmt.Errorf("pipeline: checkpoint rank %d: %s carries options fingerprint %.12s…, engine has %.12s… through %s",
+			rank, path, ck.Fingerprint, fp, man.Stage)
 	}
 	return &ck, nil
 }

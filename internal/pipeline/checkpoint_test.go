@@ -332,6 +332,115 @@ func TestCheckpointRefusesMismatch(t *testing.T) {
 	})
 }
 
+// TestFingerprintThrough pins the prefix-fingerprint contract the checkpoint
+// validation and the serve-layer artifact cache share: options first consumed
+// downstream of a stage do not enter that stage's prefix, options at or
+// upstream of it do, and plumbing knobs never enter any prefix.
+func TestFingerprintThrough(t *testing.T) {
+	base := DefaultOptions(4)
+	fp := base.FingerprintThrough(StageAlignment)
+
+	downstream := base
+	downstream.TRFuzz = 500
+	downstream.TRMaxIter = 3
+	downstream.PackSeqComm = true
+	if got := downstream.FingerprintThrough(StageAlignment); got != fp {
+		t.Error("TR/contig options changed the Alignment prefix fingerprint")
+	}
+	if got := downstream.Fingerprint(); got == base.Fingerprint() {
+		t.Error("TR options do not change the full fingerprint")
+	}
+
+	plumbing := base
+	plumbing.Threads = 7
+	plumbing.Async = !base.Async
+	plumbing.Transport = TransportTCP
+	if got := plumbing.Fingerprint(); got != base.Fingerprint() {
+		t.Error("plumbing knobs changed the fingerprint")
+	}
+
+	for name, mut := range map[string]func(*Options){
+		"P":           func(o *Options) { o.P = 1 },
+		"K":           func(o *Options) { o.K = 17 },
+		"XDrop":       func(o *Options) { o.XDrop = 30 },
+		"MaxOverhang": func(o *Options) { o.MaxOverhang = 999 },
+		"Backend":     func(o *Options) { o.AlignBackend = BackendWFA },
+	} {
+		o := base
+		mut(&o)
+		if o.FingerprintThrough(StageAlignment) == fp {
+			t.Errorf("%s change did not move the Alignment prefix fingerprint", name)
+		}
+	}
+	if base.Fingerprint() != base.FingerprintThrough(StageExtractContig) {
+		t.Error("Fingerprint() is not the full-graph prefix")
+	}
+}
+
+// TestCheckpointPrefixResume is the sweep-reuse contract: a post-Alignment
+// checkpoint must resume under changed TR parameters (downstream of the
+// resume point) and reproduce a cold run at those parameters exactly, while
+// an in-prefix change (MaxOverhang feeds the Alignment-stage overlap
+// classification) is still refused.
+func TestCheckpointPrefixResume(t *testing.T) {
+	reads := testReads(5000, 673)
+	base := DefaultOptions(4)
+	base.K = 21
+	base.XDrop = 25
+	dir := t.TempDir()
+	ckOpt := base
+	ckOpt.CheckpointDir = dir
+	ckOpt.CheckpointEvery = StageAlignment
+	eng, err := Plan(ckOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts, err := eng.RunUntil(context.Background(), reads, StageAlignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts.Close()
+
+	swept := base
+	swept.TRFuzz = 400
+	swept.TRMaxIter = 5
+	cold, err := Run(reads, swept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Plan(swept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := fresh.LoadCheckpoint(context.Background(), reads, dir)
+	if err != nil {
+		t.Fatalf("post-Alignment checkpoint refused a downstream-only option change: %v", err)
+	}
+	defer loaded.Close()
+	fin, err := fresh.ResumeFrom(context.Background(), loaded, StageExtractContig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fin.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRun(t, cold, out, "prefix resume under swept TR options")
+
+	inPrefix := base
+	inPrefix.MaxOverhang = 999
+	e, err := Plan(inPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, err := e.LoadCheckpoint(context.Background(), reads, dir); err == nil {
+		a.Close()
+		t.Fatal("in-prefix option change (MaxOverhang) accepted a post-Alignment checkpoint")
+	} else if !strings.Contains(err.Error(), "different algorithmic options") {
+		t.Errorf("refusal lacks the options message: %v", err)
+	}
+}
+
 // TestCheckpointEveryValidation covers the CheckpointEvery option gate.
 func TestCheckpointEveryValidation(t *testing.T) {
 	opt := DefaultOptions(1)

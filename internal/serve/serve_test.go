@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// startDaemon spins up a Server plus an httptest front end and tears both
+// down with the test.
+func startDaemon(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// postJob submits spec and returns the job id, failing on any non-202.
+func postJob(t *testing.T, ts *httptest.Server, spec JobSpec) string {
+	t.Helper()
+	id, status := tryPostJob(t, ts, spec)
+	if status != http.StatusAccepted {
+		t.Fatalf("POST /jobs: status %d", status)
+	}
+	return id
+}
+
+func tryPostJob(t *testing.T, ts *httptest.Server, spec JobSpec) (string, int) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		io.Copy(io.Discard, resp.Body)
+		return "", resp.StatusCode
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding POST /jobs response: %v", err)
+	}
+	return out.ID, resp.StatusCode
+}
+
+// waitJob polls GET /jobs/{id} until the job is terminal.
+func waitJob(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	// Generous: a -race lap on a loaded CI runner slows the pipeline ~10×.
+	deadline := time.Now().Add(10 * time.Minute)
+	for {
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatalf("GET /jobs/%s: %v", id, err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decoding job status: %v", err)
+		}
+		if st.State.terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", id, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// jobManifest fetches and parses GET /jobs/{id}/manifest.
+func jobManifest(t *testing.T, ts *httptest.Server, id string) *obs.Manifest {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/manifest")
+	if err != nil {
+		t.Fatalf("GET manifest: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s/manifest: status %d", id, resp.StatusCode)
+	}
+	man, err := obs.ReadManifest(resp.Body)
+	if err != nil {
+		t.Fatalf("parsing manifest: %v", err)
+	}
+	return man
+}
+
+func jobContigs(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/contigs")
+	if err != nil {
+		t.Fatalf("GET contigs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s/contigs: status %d", id, resp.StatusCode)
+	}
+	fa, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fa
+}
+
+// standalone runs the same spec through the bare pipeline (no daemon, no
+// cache) and returns its manifest — the ground truth daemon jobs must match.
+func standalone(t *testing.T, s *Server, spec JobSpec) *obs.Manifest {
+	t.Helper()
+	opt, reads, err := s.jobInputs(spec)
+	if err != nil {
+		t.Fatalf("jobInputs: %v", err)
+	}
+	opt.Trace = obs.NewTrace(opt.P)
+	opt.Metrics = obs.NewMetricSet(opt.P)
+	eng, err := pipeline.Plan(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Run(context.Background(), reads)
+	if err != nil {
+		t.Fatalf("standalone run: %v", err)
+	}
+	return out.Manifest(opt)
+}
+
+// metricSum returns the named metric's Sum (histograms) or Value (counters)
+// from a manifest, 0 if absent — a stage that never ran records nothing
+// (that's exactly how a cache hit shows zero alignment work).
+func metricSum(t *testing.T, man *obs.Manifest, name string) int64 {
+	t.Helper()
+	for _, m := range man.Metrics {
+		if m.Name == name {
+			if m.Kind == "histogram" {
+				return m.Sum
+			}
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// TestConcurrentJobsMatchStandalone is the isolation gate: two jobs with
+// different parameters running concurrently in one daemon must each produce
+// output bit-identical to a standalone pipeline run at the same options,
+// with per-job manifests whose work metrics match their own standalone run
+// exactly — any cross-job trace or metric bleed moves a counter and fails
+// the comparison. Run under -race this also proves the job plumbing is
+// data-race-free.
+func TestConcurrentJobsMatchStandalone(t *testing.T) {
+	specA := JobSpec{Preset: "celegans", GenomeLen: 15000, Seed: 7, P: 4, Threads: 1, TRFuzz: 150}
+	specB := JobSpec{Preset: "celegans", GenomeLen: 18000, Seed: 11, P: 4, Threads: 1, XDrop: 20}
+	s, ts := startDaemon(t, Config{Workers: 2})
+
+	idA := postJob(t, ts, specA)
+	idB := postJob(t, ts, specB)
+	stA := waitJob(t, ts, idA)
+	stB := waitJob(t, ts, idB)
+	if stA.State != JobDone || stB.State != JobDone {
+		t.Fatalf("states: %s=%q (%s), %s=%q (%s)", idA, stA.State, stA.Error, idB, stB.State, stB.Error)
+	}
+
+	wantA := standalone(t, s, specA)
+	wantB := standalone(t, s, specB)
+	for _, tc := range []struct {
+		id   string
+		want *obs.Manifest
+	}{{idA, wantA}, {idB, wantB}} {
+		got := jobManifest(t, ts, tc.id)
+		if bad := got.Verify(); len(bad) > 0 {
+			t.Errorf("%s manifest invalid: %v", tc.id, bad)
+		}
+		if got.Contigs != tc.want.Contigs {
+			t.Errorf("%s contigs %+v, standalone %+v", tc.id, got.Contigs, tc.want.Contigs)
+		}
+		if got.Comm != tc.want.Comm {
+			t.Errorf("%s comm %+v, standalone %+v", tc.id, got.Comm, tc.want.Comm)
+		}
+		for _, metric := range []string{"align.cells", "align.pairs"} {
+			if g, w := metricSum(t, got, metric), metricSum(t, tc.want, metric); g != w {
+				t.Errorf("%s metric %s = %d, standalone %d (cross-job bleed?)", tc.id, metric, g, w)
+			}
+		}
+		if got.Cache != "" {
+			t.Errorf("%s manifest cache = %q, want empty (daemon has no cache)", tc.id, got.Cache)
+		}
+	}
+	// The two jobs differ by construction; identical checksums would mean
+	// one job's output leaked into the other.
+	if wantA.Contigs.Checksum == wantB.Contigs.Checksum {
+		t.Fatalf("test needs distinguishable jobs, both checksum %s", wantA.Contigs.Checksum)
+	}
+}
+
+// TestJobEventsStream checks the SSE endpoint replays a completed job's
+// whole progress log: queued, started, every stage boundary in pipeline
+// order, and the terminal done event.
+func TestJobEventsStream(t *testing.T) {
+	_, ts := startDaemon(t, Config{})
+	id := postJob(t, ts, JobSpec{Preset: "celegans", GenomeLen: 15000, Seed: 3, P: 1, Threads: 1})
+	if st := waitJob(t, ts, id); st.State != JobDone {
+		t.Fatalf("job %s: %q (%s)", id, st.State, st.Error)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type %q", ct)
+	}
+	var types []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if name, ok := strings.CutPrefix(sc.Text(), "event: "); ok {
+			types = append(types, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading SSE stream: %v", err)
+	}
+	want := []string{"queued", "started"}
+	for range pipeline.StageNames() {
+		want = append(want, "stage_start", "stage_end")
+	}
+	want = append(want, "done")
+	if got, wanted := fmt.Sprint(types), fmt.Sprint(want); got != wanted {
+		t.Fatalf("event sequence %v, want %v", types, want)
+	}
+}
+
+// TestAdmissionAndCancel covers the bounded queue and both cancellation
+// paths: a full queue answers 429, a queued job cancels instantly, and a
+// running job unwinds via its context and lands in cancelled.
+func TestAdmissionAndCancel(t *testing.T) {
+	big := JobSpec{Preset: "celegans", GenomeLen: 60000, Seed: 5, P: 4, Threads: 1}
+	_, ts := startDaemon(t, Config{Queue: 1, Workers: 1})
+
+	running := postJob(t, ts, big) // dequeued immediately, occupies the worker
+	queued := postJob(t, ts, big)  // fills the queue
+	if _, status := tryPostJob(t, ts, big); status != http.StatusTooManyRequests {
+		t.Fatalf("third submit: status %d, want 429", status)
+	}
+
+	del := func(id string) int {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("DELETE /jobs/%s: %v", id, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if status := del(queued); status != http.StatusOK {
+		t.Fatalf("cancelling queued job: status %d", status)
+	}
+	if st := waitJob(t, ts, queued); st.State != JobCancelled {
+		t.Fatalf("queued job state %q, want cancelled", st.State)
+	}
+	if status := del(running); status != http.StatusOK {
+		t.Fatalf("cancelling running job: status %d", status)
+	}
+	if st := waitJob(t, ts, running); st.State != JobCancelled {
+		t.Fatalf("running job state %q, want cancelled", st.State)
+	}
+	// Terminal jobs refuse further cancels.
+	if status := del(running); status != http.StatusConflict {
+		t.Fatalf("re-cancel: status %d, want 409", status)
+	}
+	// Output endpoints explain themselves for jobs without output.
+	resp, err := http.Get(ts.URL + "/jobs/" + running + "/contigs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("contigs of cancelled job: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestUploadedDatasetRoundTrip uploads reads as FASTA, assembles the
+// dataset by id, and checks the daemon's contigs match a standalone run on
+// the same sequences. Bad submissions get 400s.
+func TestUploadedDatasetRoundTrip(t *testing.T) {
+	s, ts := startDaemon(t, Config{})
+	opt, reads, err := s.jobInputs(JobSpec{Preset: "celegans", GenomeLen: 15000, Seed: 13, P: 1, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fa bytes.Buffer
+	for i, r := range reads {
+		fmt.Fprintf(&fa, ">read%d\n%s\n", i, r)
+	}
+	resp, err := http.Post(ts.URL+"/datasets", "text/plain", bytes.NewReader(fa.Bytes()))
+	if err != nil {
+		t.Fatalf("POST /datasets: %v", err)
+	}
+	var ds struct {
+		ID    string `json:"id"`
+		Reads int    `json:"reads"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ds)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Reads != len(reads) || ds.ID != obs.ChecksumSeqs(reads) {
+		t.Fatalf("dataset %+v, want %d reads id %s", ds, len(reads), obs.ChecksumSeqs(reads))
+	}
+
+	spec := JobSpec{Dataset: ds.ID, P: 1, Threads: 1, K: opt.K}
+	id := postJob(t, ts, spec)
+	if st := waitJob(t, ts, id); st.State != JobDone {
+		t.Fatalf("job %s: %q (%s)", id, st.State, st.Error)
+	}
+	want := standalone(t, s, spec)
+	if got := jobManifest(t, ts, id); got.Contigs != want.Contigs {
+		t.Fatalf("uploaded-dataset contigs %+v, standalone %+v", got.Contigs, want.Contigs)
+	}
+
+	for _, bad := range []JobSpec{
+		{},                                   // no input
+		{Dataset: "nope"},                    // unknown dataset
+		{Preset: "celegans", Dataset: ds.ID}, // both inputs
+		{Preset: "martian"},                  // unknown preset
+		{Preset: "celegans", P: 3},           // invalid options (P not a square)
+	} {
+		if _, status := tryPostJob(t, ts, bad); status != http.StatusBadRequest {
+			t.Fatalf("spec %+v: status %d, want 400", bad, status)
+		}
+	}
+}
